@@ -1,0 +1,30 @@
+"""Shared reporting helpers for the benchmark suite (import-name-safe).
+
+Lives outside ``conftest.py`` so bench modules can import it unambiguously
+even when ``tests/`` and ``benchmarks/`` are collected in the same pytest
+invocation (both directories have a ``conftest.py``; only fixtures belong
+there).
+"""
+
+from __future__ import annotations
+
+#: scale factor for dataset stand-ins actually materialized in benches
+BENCH_SCALE = 0.002
+
+
+def print_series(title: str, header: list, rows: list) -> None:
+    """Render one figure/table as aligned text (the bench 'plot')."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0)) + 2
+              for i, h in enumerate(header)]
+    print("".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("".join(str(c).rjust(w) for c, w in zip(r, widths)))
+
+
+def fmt(x: float, digits: int = 4) -> str:
+    if x == float("inf"):
+        return "FAIL"
+    if x >= 100:
+        return f"{x:.1f}"
+    return f"{x:.{digits}g}"

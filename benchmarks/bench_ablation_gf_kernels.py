@@ -1,0 +1,75 @@
+"""Ablation: GF(2^m) multiplication strategies.
+
+The inner loop is dominated by field multiplies; the library ships two
+vectorized strategies (dense product table vs log/antilog with the
+sentinel trick).  This bench justifies the default ("table" for the uint8
+fields MIDAS uses) with measurements, and checks both agree bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import print_series
+from repro.ff.gf2m import GF2m
+from repro.util.rng import RngStream
+from repro.util.timing import time_call
+
+SIZE = (4096, 64)
+
+
+def _operands(field, seed=0):
+    rng = RngStream(seed)
+    a = field.random(rng, size=SIZE)
+    b = field.random(rng, size=SIZE)
+    return a, b
+
+
+def test_strategies_agree_bitwise():
+    for m in (4, 7, 8):
+        ft = GF2m(m, mul_strategy="table")
+        fl = GF2m(m, mul_strategy="logexp")
+        a, b = _operands(ft, seed=m)
+        assert np.array_equal(ft.mul(a, b), fl.mul(a, b))
+
+
+def test_strategy_throughput_report():
+    rows = []
+    speeds = {}
+    for m, strategies in [(8, ("table", "logexp")), (12, ("logexp",))]:
+        for strat in strategies:
+            f = GF2m(m, mul_strategy=strat)
+            a, b = _operands(f, seed=1)
+            fn = lambda f=f, a=a, b=b: f.mul(a, b)
+            fn()
+            t = time_call(fn, min_time=0.03)
+            ops = a.size / t / 1e6
+            speeds[(m, strat)] = ops
+            rows.append([f"GF(2^{m})", strat, f"{ops:.0f}"])
+    # XOR addition as the speed-of-light reference
+    f8 = GF2m(8)
+    a, b = _operands(f8, seed=2)
+    t = time_call(lambda: f8.add(a, b), min_time=0.03)
+    rows.append(["GF(2^8)", "add (XOR)", f"{a.size / t / 1e6:.0f}"])
+    print_series(
+        "Ablation: GF multiply strategies (Mops/s, array "
+        f"{SIZE[0]}x{SIZE[1]})",
+        ["field", "strategy", "Mops/s"],
+        rows,
+    )
+    # default choice justified: table >= logexp on the MIDAS field
+    assert speeds[(8, "table")] >= 0.8 * speeds[(8, "logexp")]
+
+
+@pytest.mark.benchmark(group="ablation-gf")
+@pytest.mark.parametrize("strategy", ["table", "logexp"])
+def test_gf_mul_benchmark(benchmark, strategy):
+    f = GF2m(8, mul_strategy=strategy)
+    a, b = _operands(f, seed=3)
+    benchmark(lambda: f.mul(a, b))
+
+
+@pytest.mark.benchmark(group="ablation-gf")
+def test_gf_add_benchmark(benchmark):
+    f = GF2m(8)
+    a, b = _operands(f, seed=4)
+    benchmark(lambda: f.add(a, b))

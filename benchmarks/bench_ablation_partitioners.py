@@ -1,0 +1,85 @@
+"""Ablation: partition quality vs modeled MIDAS runtime.
+
+The paper uses "a naive [random] partitioning scheme" and notes the
+algorithm's costs are governed by MAXLOAD and MAXDEG (Theorem 2).  This
+ablation quantifies the headroom: locality-aware partitioners cut MAXDEG,
+which shifts the communication term and the optimal N1.
+"""
+
+import pytest
+
+from _bench_utils import fmt, print_series
+from repro.core.model import PartitionStats, estimate_runtime
+from repro.core.schedule import PhaseSchedule
+from repro.graph.generators import grid2d, miami_like
+from repro.graph.partition import PARTITIONERS, make_partition
+from repro.runtime.cluster import juliet
+from repro.util.rng import RngStream
+
+K, N, N1 = 8, 256, 16
+
+
+@pytest.mark.parametrize(
+    "graph_name",
+    ["miami_like", "grid"],
+)
+def test_partitioner_ablation(graph_name, calibration):
+    if graph_name == "grid":
+        g = grid2d(64, 64)
+    else:
+        g = miami_like(4000, avg_degree=20, rng=RngStream(1))
+    sched = PhaseSchedule(K, N, N1, PhaseSchedule.bs_max(K, N, N1))
+    rows = []
+    times = {}
+    for method in sorted(PARTITIONERS):
+        p = make_partition(g, N1, method, rng=RngStream(2))
+        est = estimate_runtime(
+            PartitionStats.from_partition(p), sched, calibration, juliet().cost_model(N)
+        )
+        times[method] = est.total_seconds
+        rows.append(
+            [
+                method,
+                p.max_load,
+                p.max_degree,
+                p.edge_cut,
+                fmt(est.total_seconds),
+                f"{est.comm_fraction:.1%}",
+            ]
+        )
+    print_series(
+        f"Ablation: partitioner quality -> modeled runtime ({graph_name}, "
+        f"k={K}, N={N}, N1={N1})",
+        ["method", "MAXLOAD", "MAXDEG", "edge cut", "time [s]", "comm %"],
+        rows,
+    )
+    # locality-aware partitioning must not lose to the naive scheme on
+    # spatial graphs (and normally wins)
+    assert times["greedy"] <= times["random"] * 1.02
+    assert times["bfs"] <= times["random"] * 1.05
+
+
+def test_maxdeg_drives_comm_term(calibration):
+    """Directly verify Theorem 2: halving MAXDEG ~halves the bandwidth part
+    of the comm term (at batched N2 where bandwidth dominates latency)."""
+    sched = PhaseSchedule(K, N, N1, PhaseSchedule.bs_max(K, N, N1))
+    base = PartitionStats(n=100_000, m=1_000_000, n1=N1, max_load=6_300,
+                          max_deg=120_000, n_peers_max=15)
+    half = PartitionStats(n=100_000, m=1_000_000, n1=N1, max_load=6_300,
+                          max_deg=60_000, n_peers_max=15)
+    cm = juliet().cost_model(N)
+    e1 = estimate_runtime(base, sched, calibration, cm)
+    e2 = estimate_runtime(half, sched, calibration, cm)
+    assert e1.compute_seconds == e2.compute_seconds
+    assert e2.comm_seconds < e1.comm_seconds
+    ratio = (e1.comm_seconds - e1.reduce_seconds * e1.rounds) / max(
+        e2.comm_seconds - e2.reduce_seconds * e2.rounds, 1e-12
+    )
+    assert 1.6 < ratio < 2.2
+
+
+@pytest.mark.benchmark(group="ablation-partitioners")
+@pytest.mark.parametrize("method", sorted(PARTITIONERS))
+def test_partitioner_speed(benchmark, method):
+    g = miami_like(2000, avg_degree=16, rng=RngStream(3))
+    benchmark(lambda: make_partition(g, 8, method, rng=RngStream(4)))

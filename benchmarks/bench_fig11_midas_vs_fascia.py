@@ -1,0 +1,149 @@
+"""Figure 11: MIDAS vs FASCIA runtime for growing subgraph size k.
+
+The paper's headline comparison on random-1e6: FASCIA's color coding pays
+``2^k e^k``-ish time and ``2^k`` memory per vertex, so it slows
+super-exponentially and dies past k = 12; MIDAS pays ``2^k`` time and
+``O(k)`` memory, scaling to k = 18 with >= two orders of magnitude
+advantage.
+
+Three levels of evidence:
+
+1. modeled curves at paper scale (calibrated constants) — the printed
+   Fig 11 series with the k=13 FASCIA wall;
+2. a *real* head-to-head at laptop scale: our actual color-coding
+   implementation vs the actual MIDAS detection on the same graphs;
+3. the memory mechanism: per-vertex state of 2^k words vs k words.
+"""
+
+import time
+
+import pytest
+
+from _bench_utils import fmt, print_series
+from repro.baselines.colorcoding import color_coding_detect
+from repro.baselines.fascia import FasciaModel
+from repro.core.midas import detect_path
+from repro.core.model import PartitionStats, estimate_runtime
+from repro.core.schedule import PhaseSchedule
+from repro.graph.datasets import DATASETS
+from repro.graph.generators import plant_path
+from repro.graph.templates import TreeTemplate
+from repro.runtime.cluster import juliet
+from repro.util.rng import RngStream
+
+N, N1 = 512, 32
+K_SWEEP = tuple(range(4, 19))
+
+
+def test_fig11_modeled_series(calibration):
+    spec = DATASETS["random-1e6"]
+    n, m = spec.paper_nodes, spec.paper_edges
+    fascia = FasciaModel()
+    rows = []
+    midas_t = {}
+    fascia_t = {}
+    # pick N2 at the measured cache sweet spot, capped by BSMax — the
+    # paper's own practice ("we've kept N2 < 1024" for the same reason)
+    tab = calibration.as_table()
+    best_n2 = min(tab, key=tab.get)
+    for k in K_SWEEP:
+        n2 = min(PhaseSchedule.bs_max(k, N, N1), best_n2)
+        while (1 << k) % n2:
+            n2 -= 1
+        sched = PhaseSchedule(k, N, N1, n2)
+        midas_t[k] = estimate_runtime(
+            PartitionStats.random_model(n, m, N1), sched, calibration,
+            juliet().cost_model(N),
+        ).total_seconds
+        r = fascia.run(n=n, m=m, k=k, n_processors=N)
+        fascia_t[k] = r.seconds if r.feasible else float("inf")
+        rows.append(
+            [
+                k,
+                fmt(midas_t[k]),
+                fmt(fascia_t[k]) if r.feasible else "FAIL (memory)",
+                fmt(fascia_t[k] / midas_t[k], 3) if r.feasible else "-",
+            ]
+        )
+    print_series(
+        f"Fig 11: runtime vs subgraph size k, random-1e6, N={N}",
+        ["k", "MIDAS [s]", "FASCIA [s]", "FASCIA/MIDAS"],
+        rows,
+    )
+
+    # --- the paper's claims, as assertions --------------------------------
+    # (1) FASCIA cannot go beyond k=12; MIDAS runs through k=18
+    assert fascia_t[12] < float("inf")
+    assert fascia_t[13] == float("inf")
+    assert all(midas_t[k] < float("inf") for k in K_SWEEP)
+    # (2) two-orders-of-magnitude advantage where both run (by k ~ 10+)
+    assert fascia_t[12] / midas_t[12] > 100
+    # (3) MIDAS grows ~2x per k increment (Section VI-C)
+    for k in range(10, 18):
+        ratio = midas_t[k + 1] / midas_t[k]
+        assert 1.5 < ratio < 3.0
+
+
+def test_real_head_to_head_small_scale():
+    """Actually run both algorithms on the same planted instances."""
+    rng = RngStream(77)
+    from repro.graph.generators import erdos_renyi
+
+    g = erdos_renyi(600, m=1500, rng=rng.child("g"))
+    rows = []
+    for k in (4, 6, 8):
+        g2, _ = plant_path(g, k, rng=rng.child(f"plant{k}"))
+        t0 = time.perf_counter()
+        found_midas = detect_path(g2, k, eps=0.1, rng=rng.child(f"m{k}")).found
+        t_midas = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        found_cc = color_coding_detect(g2, TreeTemplate.path(k), eps=0.1,
+                                       rng=rng.child(f"c{k}"))
+        t_cc = time.perf_counter() - t0
+        rows.append([k, found_midas, f"{t_midas:.3f}", found_cc, f"{t_cc:.3f}",
+                     f"{t_cc / t_midas:.1f}x"])
+        assert found_midas and found_cc
+    print_series(
+        "Fig 11 (live, laptop scale): real MIDAS vs real color coding",
+        ["k", "MIDAS found", "MIDAS [s]", "CC found", "CC [s]", "CC/MIDAS"],
+        rows,
+    )
+
+
+def test_memory_mechanism():
+    """The O(k) vs O(2^k) per-vertex footprint behind the k=13 wall."""
+    spec = DATASETS["random-1e6"]
+    fascia = FasciaModel()
+    rows = []
+    for k in (8, 10, 12, 13, 14, 18):
+        fascia_gib = fascia.memory_bytes_per_node(
+            spec.paper_nodes, spec.paper_edges, k, N
+        ) / 2**30
+        # MIDAS per-vertex state: k levels x N2 iterations x 1 byte
+        n2 = PhaseSchedule.bs_max(k, N, N1)
+        midas_gib = (spec.paper_nodes / N1) * k * n2 * 1 / 2**30
+        rows.append([k, f"{midas_gib:.3f}", f"{fascia_gib:.1f}",
+                     "yes" if fascia_gib <= 0.85 * 128 else "NO"])
+    print_series(
+        "Fig 11 mechanism: per-node memory, MIDAS vs FASCIA (128 GiB nodes)",
+        ["k", "MIDAS [GiB]", "FASCIA [GiB]", "FASCIA fits?"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="fig11-kernels")
+def test_midas_round_kernel(benchmark, bench_datasets):
+    g = bench_datasets["random-1e6"]
+    benchmark(
+        lambda: detect_path(g, 8, eps=0.5, rng=RngStream(5), early_exit=False)
+    )
+
+
+@pytest.mark.benchmark(group="fig11-kernels")
+def test_colorcoding_iteration_kernel(benchmark, bench_datasets):
+    from repro.baselines.colorcoding import colorful_count_one_coloring
+
+    g = bench_datasets["random-1e6"]
+    colors = RngStream(6).integers(0, 8, size=g.n)
+    tmpl = TreeTemplate.path(8)
+    benchmark(lambda: colorful_count_one_coloring(g, tmpl, colors))

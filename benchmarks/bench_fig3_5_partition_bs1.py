@@ -1,0 +1,81 @@
+"""Figures 3-5: k-path total runtime vs N1 with N2 = 1 (BS1).
+
+The paper sweeps the partition size N1 for several processor counts N on
+random-1e6, com-Orkut, and miami, with no iteration batching.  The
+signature shape: runtime falls as N1 grows (more processors engaged per
+phase, since 2^k < N means iteration parallelism alone cannot use them
+all), reaches an interior minimum, then rises as per-phase communication
+dominates.
+
+Modeled series use the live kernel calibration on partition stats from
+the actually-generated stand-ins, scaled to paper size.
+"""
+
+import pytest
+
+from _bench_utils import fmt, print_series
+from repro.core.model import PartitionStats, estimate_runtime
+from repro.core.schedule import PhaseSchedule
+from repro.graph.datasets import DATASETS
+from repro.runtime.cluster import juliet
+
+K = 6  # the paper's worked example (Section VI-B) uses k=6
+N_VALUES = (128, 256, 512)
+N1_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def _modeled_curve(n, m, N, calibration, n2_of=lambda n1, N: 1):
+    curve = {}
+    for n1 in N1_SWEEP:
+        if n1 > N or N % n1:
+            continue
+        n2 = n2_of(n1, N)
+        sched = PhaseSchedule(K, N, n1, n2)
+        est = estimate_runtime(
+            PartitionStats.random_model(n, m, n1), sched, calibration,
+            juliet().cost_model(N),
+        )
+        curve[n1] = est.total_seconds
+    return curve
+
+
+DATASET_FIGS = [
+    ("random-1e6", "Fig 3"),
+    ("com-Orkut", "Fig 4"),
+    ("miami", "Fig 5"),
+]
+
+
+@pytest.mark.parametrize("name,fig", DATASET_FIGS, ids=[d[0] for d in DATASET_FIGS])
+def test_fig_series_bs1(name, fig, calibration):
+    spec = DATASETS[name]
+    n, m = spec.paper_nodes, spec.paper_edges
+    curves = {N: _modeled_curve(n, m, N, calibration) for N in N_VALUES}
+    header = ["N1"] + [f"N={N} [s]" for N in N_VALUES]
+    rows = []
+    for n1 in N1_SWEEP:
+        row = [n1] + [fmt(curves[N][n1]) if n1 in curves[N] else "-" for N in N_VALUES]
+        rows.append(row)
+    print_series(f"{fig}: k-path runtime vs N1, {name} (paper scale), BS1 (N2=1)", header, rows)
+
+    for N, curve in curves.items():
+        best = min(curve, key=curve.get)
+        # the paper's observation: an interior optimum between the extremes
+        assert best > 1, f"{name} N={N}: optimum at pure iteration parallelism"
+        assert best < N, f"{name} N={N}: optimum at pure vertex parallelism"
+        # the dip is real, not noise (the high-N1 end is shallower for the
+        # denser datasets, so its margin is looser)
+        assert curve[best] < 0.9 * curve[1]
+        assert curve[best] < 0.97 * curve[max(k for k in curve)]
+
+
+@pytest.mark.benchmark(group="fig3-5-phase-kernel")
+def test_phase_kernel_bs1(benchmark, bench_datasets):
+    """The real per-phase kernel at N2=1 on the random-1e6 stand-in."""
+    from repro.core.evaluator_path import path_phase_value
+    from repro.ff.fingerprint import Fingerprint
+    from repro.util.rng import RngStream
+
+    g = bench_datasets["random-1e6"]
+    fp = Fingerprint.draw(g.n, K, RngStream(5))
+    benchmark(lambda: path_phase_value(g, fp, 0, 1))

@@ -1,0 +1,98 @@
+"""Prior-work comparison: MIDAS scan statistics vs the Giraph version [19].
+
+Section I of the paper makes two claims about the earlier GraphX/Giraph
+implementation of algebraic-fingerprint scan statistics:
+
+1. "none of these scaled beyond networks with 40 million edges";
+2. MIDAS "improves on the Giraph based implementation by over an order of
+   magnitude, and it scales to significantly larger networks".
+
+Both are regenerated here from the mechanistic Giraph model (per-vertex
+state for the whole 2^k iteration space in boxed JVM objects, per-
+superstep sync overhead, serialized messages) against the calibrated
+MIDAS model.
+"""
+
+import pytest
+
+from _bench_utils import fmt, print_series
+from repro.baselines.giraph_model import GiraphModel
+from repro.core.model import PartitionStats, estimate_runtime
+from repro.core.schedule import PhaseSchedule
+from repro.runtime.cluster import juliet
+
+K = 10  # the anomaly-detection sizes [19] targets; its heap wall bites here
+Z_AXIS = K + 1
+
+
+def midas_seconds(n, m, N, n1, calibration):
+    # N2 at the measured cache sweet spot, capped by BSMax (same tuned
+    # configuration policy as the Fig 11 bench)
+    tab = calibration.as_table()
+    n2 = min(PhaseSchedule.bs_max(K, N, n1), min(tab, key=tab.get))
+    while (1 << K) % n2:
+        n2 -= 1
+    sched = PhaseSchedule(K, N, n1, n2)
+    return estimate_runtime(
+        PartitionStats.random_model(n, m, n1), sched, calibration,
+        juliet().cost_model(N), problem="scanstat", z_axis=Z_AXIS,
+    ).total_seconds
+
+
+def test_order_of_magnitude_and_scale_wall(calibration):
+    # express the JVM DP penalty relative to THIS machine's measured kernel
+    # floor (x20, see GiraphModel docs) so the comparison is load-invariant
+    floor = min(calibration.as_table().values())
+    gm = GiraphModel(c1_jvm=20.0 * floor)
+    N, n1 = 256, 32
+    # graph sizes sweeping through and past the Giraph wall
+    sizes = [
+        (500_000, 7_000_000),
+        (1_000_000, 13_800_000),
+        (2_000_000, 29_000_000),
+        (4_000_000, 60_000_000),
+        (10_000_000, 161_800_000),
+    ]
+    rows = []
+    ratios = []
+    for n, m in sizes:
+        g = gm.run_seconds(n, m, K, z_axis=Z_AXIS)
+        mt = midas_seconds(n, m, N, n1, calibration)
+        rows.append([
+            f"{n/1e6:g}M", f"{m/1e6:g}M", fmt(mt),
+            fmt(g) if g != float("inf") else "FAIL (heap)",
+            f"{g/mt:.0f}x" if g != float("inf") else "-",
+        ])
+        if g != float("inf"):
+            ratios.append(g / mt)
+    print_series(
+        f"Section I claim: scan statistics, MIDAS vs Giraph [19] (k={K})",
+        ["nodes", "edges", "MIDAS [s]", "Giraph [s]", "Giraph/MIDAS"],
+        rows,
+    )
+    # (1) Giraph dies in the tens-of-millions-of-edges band; MIDAS doesn't
+    assert gm.run_seconds(10_000_000, 161_800_000, K, z_axis=Z_AXIS) == float("inf")
+    assert midas_seconds(10_000_000, 161_800_000, N, n1, calibration) < float("inf")
+    # (2) over an order of magnitude wherever Giraph runs at all
+    assert ratios and min(ratios) > 10
+
+
+def test_wall_location_in_paper_band():
+    """The Giraph edge cap must sit in the tens of millions at scan-stat k."""
+    gm = GiraphModel()
+    cap = gm.max_edges(K)
+    print(f"\nGiraph modeled edge cap at k={K}: {cap / 1e6:.0f}M edges")
+    assert 1e7 < cap < 3e8
+
+
+@pytest.mark.benchmark(group="giraph-comparison")
+def test_midas_scan_kernel_reference(benchmark, bench_datasets):
+    """The real MIDAS scan kernel the model's constants descend from."""
+    from repro.core.evaluator_scanstat import scanstat_phase_value
+    from repro.ff.fingerprint import Fingerprint
+    from repro.util.rng import RngStream
+
+    g = bench_datasets["random-1e6"]
+    w = RngStream(1).integers(0, 2, size=g.n)
+    fp = Fingerprint.draw(g.n, 4, RngStream(2), levels=5)
+    benchmark(lambda: scanstat_phase_value(g, w, fp, 4, 0, 8))

@@ -1,0 +1,83 @@
+"""Table II: the evaluation datasets.
+
+Prints the paper's published sizes next to the generated stand-ins' actual
+sizes at bench scale, and benchmarks generator throughput.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import BENCH_SCALE, print_series
+from repro.graph.datasets import DATASETS, table2_rows
+from repro.graph.generators import erdos_renyi
+from repro.util.rng import RngStream
+
+
+def test_table2_report():
+    rows = []
+    for r in table2_rows(scale=BENCH_SCALE, rng=RngStream(1)):
+        rows.append(
+            [
+                r["dataset"],
+                f"{r['paper_nodes_x1e6']:g}M",
+                f"{r['paper_edges_x1e6']:g}M",
+                r["generated_nodes"],
+                r["generated_edges"],
+                f"{r['generated_avg_degree']:.1f}",
+            ]
+        )
+    print_series(
+        f"Table II: datasets (stand-ins generated at scale={BENCH_SCALE})",
+        ["dataset", "paper n", "paper m", "gen n", "gen m", "gen avg-deg"],
+        rows,
+    )
+    # shape assertions: the stand-ins preserve the paper's density ordering
+    dens = {
+        r["dataset"]: r["generated_avg_degree"]
+        for r in table2_rows(scale=BENCH_SCALE, rng=RngStream(1))
+    }
+    assert dens["com-Orkut"] > dens["miami"] > dens["random-1e6"]
+
+
+def test_random_dataset_matches_n_log_n():
+    """random-1e6/1e7 are exactly reproducible: m = n ln n."""
+    for name in ("random-1e6", "random-1e7"):
+        spec = DATASETS[name]
+        n = spec.paper_nodes
+        expected_m = n * np.log(n)
+        assert abs(spec.paper_edges - expected_m) / expected_m < 0.02
+
+
+def test_standin_structural_signatures():
+    """The stand-ins carry the right structure, not just the right sizes:
+    Orkut-like is heavy-tailed, miami-like is clustered, random is neither."""
+    from repro.graph.datasets import load_dataset
+    from repro.graph.metrics import clustering_coefficient, degree_stats
+
+    rng = RngStream(9)
+    orkut = load_dataset("com-Orkut", scale=0.0005, rng=rng.child("o"))
+    miami = load_dataset("miami", scale=0.001, rng=rng.child("m"))
+    rand = load_dataset("random-1e6", scale=0.002, rng=rng.child("r"))
+    rows = []
+    for name, g in [("com-Orkut", orkut), ("miami", miami), ("random-1e6", rand)]:
+        ds = degree_stats(g)
+        cc = clustering_coefficient(g, samples=200, rng=rng.child(f"cc-{name}"))
+        rows.append([name, f"{ds.mean:.1f}", ds.maximum, str(ds.heavy_tailed),
+                     f"{cc:.3f}"])
+    print_series(
+        "Table II stand-ins: structural signatures",
+        ["dataset", "avg deg", "max deg", "heavy tail?", "clustering"],
+        rows,
+    )
+    assert degree_stats(orkut).heavy_tailed
+    assert not degree_stats(rand).heavy_tailed
+    cc_m = clustering_coefficient(miami, samples=200, rng=RngStream(10))
+    cc_r = clustering_coefficient(rand, samples=200, rng=RngStream(11))
+    assert cc_m > 3 * cc_r
+
+
+@pytest.mark.benchmark(group="table2-generators")
+def test_er_generator_throughput(benchmark):
+    """Generator speed: a 2k-node, n ln n-edge ER graph."""
+    result = benchmark(lambda: erdos_renyi(2000, rng=RngStream(3)))
+    assert result.num_edges > 0

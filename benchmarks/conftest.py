@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  Each prints the series the paper
+plots — run with ``pytest benchmarks/ --benchmark-only -s`` to see them —
+and asserts the *qualitative shape* (who wins, where optima/crossovers
+sit).  Modeled timings use the calibrated performance model; kernel-level
+benchmarks (``benchmark`` fixture) measure the real vectorized kernels.
+
+Reporting helpers live in ``_bench_utils`` (not here) so imports stay
+unambiguous when tests and benchmarks are collected together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.runtime.costmodel import KernelCalibration
+from repro.util.rng import RngStream
+
+from _bench_utils import BENCH_SCALE  # re-exported for fixtures below
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    """One live kernel calibration shared by every modeled benchmark."""
+    return KernelCalibration.measure(sample_nodes=2048, avg_degree=14, k=10, min_time=0.02)
+
+
+@pytest.fixture(scope="session")
+def bench_datasets():
+    """Small materialized stand-ins of the Table II datasets."""
+    rng = RngStream(424242, name="bench-data")
+    return {
+        name: load_dataset(name, scale=BENCH_SCALE, rng=rng.child(name))
+        for name in ("miami", "com-Orkut", "random-1e6")
+    }

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Scaling study: reproduce the shape of the paper's Figures 3-10 locally.
+
+Sweeps the partition size N1 (at BS1 and BSMax batching) and the processor
+count N on a random-1e6 stand-in, using the calibrated performance model —
+and validates one configuration by actually running the SPMD decomposition
+on the simulator.
+
+Run:  python examples/kpath_scaling_study.py
+"""
+
+from repro import (
+    KernelCalibration,
+    MidasRuntime,
+    PartitionStats,
+    PhaseSchedule,
+    RngStream,
+    detect_path,
+    estimate_runtime,
+    juliet,
+    load_dataset,
+)
+
+
+def sweep_n1(n: int, m: int, k: int, N: int, calib, bs_max: bool) -> None:
+    label = "BSMax" if bs_max else "BS1"
+    print(f"\nk-path modeled runtime vs N1   (k={k}, N={N}, {label})")
+    print(f"{'N1':>6} {'N2':>6} {'batches':>8} {'time[s]':>12} {'comm%':>7}")
+    n1 = 1
+    best = (float("inf"), None)
+    while n1 <= N:
+        n2 = PhaseSchedule.bs_max(k, N, n1) if bs_max else 1
+        sched = PhaseSchedule(k, N, n1, n2)
+        est = estimate_runtime(
+            PartitionStats.random_model(n, m, n1), sched, calib, juliet().cost_model(N)
+        )
+        print(
+            f"{n1:>6} {n2:>6} {sched.n_batches:>8} {est.total_seconds:>12.4f} "
+            f"{est.comm_fraction:>6.1%}"
+        )
+        if est.total_seconds < best[0]:
+            best = (est.total_seconds, n1)
+        n1 *= 2
+    print(f"  -> optimal N1 = {best[1]} at {best[0]:.4f}s (interior optimum, paper Figs 3-8)")
+
+
+def strong_scaling(n: int, m: int, k: int, calib) -> None:
+    print(f"\nstrong scaling, N1=N (paper Fig 10), k={k}")
+    print(f"{'N':>6} {'time[s]':>12} {'speedup':>9}")
+    base = None
+    for N in (32, 64, 128, 256, 512):
+        sched = PhaseSchedule(k, N, N, PhaseSchedule.bs_max(k, N, N))
+        est = estimate_runtime(
+            PartitionStats.random_model(n, m, N), sched, calib, juliet().cost_model(N)
+        )
+        base = base or est.total_seconds
+        print(f"{N:>6} {est.total_seconds:>12.4f} {base / est.total_seconds:>9.2f}x")
+
+
+def validate_with_simulator() -> None:
+    print("\nvalidating the decomposition on the SPMD simulator (small instance)...")
+    g = load_dataset("random-1e6", scale=0.0005, rng=RngStream(7))
+    seq = detect_path(g, 6, eps=0.2, rng=RngStream(8), early_exit=False)
+    sim = detect_path(
+        g, 6, eps=0.2, rng=RngStream(8), early_exit=False,
+        runtime=MidasRuntime(n_processors=8, n1=4, n2=8, mode="simulated"),
+    )
+    match = [r.value for r in seq.rounds] == [r.value for r in sim.rounds]
+    print(f"  sequential round values: {[r.value for r in seq.rounds]}")
+    print(f"  simulated  round values: {[r.value for r in sim.rounds]}")
+    print(f"  bit-identical: {match}")
+    assert match
+
+
+def main() -> None:
+    print("calibrating the DP kernel from live measurements...")
+    calib = KernelCalibration.measure(sample_nodes=2048, avg_degree=14, k=10)
+    for n2, c1 in sorted(calib.as_table().items()):
+        print(f"  N2={n2:>5}: c1 = {c1 * 1e9:8.2f} ns per (vertex, iteration)")
+
+    n, m, k = 1_000_000, 13_800_000, 10  # random-1e6 at paper scale
+    sweep_n1(n, m, 6, 512, calib, bs_max=False)  # Figs 3-5 regime
+    sweep_n1(n, m, 6, 512, calib, bs_max=True)  # Figs 6-8 regime
+    strong_scaling(n, m, k, calib)
+    validate_with_simulator()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Temporal bio-surveillance: how fast does the scan catch an outbreak?
+
+Extends the epidemic example to the *temporal* setting the paper's
+bio-surveillance motivation implies: daily case counts stream in, the scan
+statistic runs every day, and the interesting number is the detection
+delay — days between outbreak seeding and the first alarm — versus the
+false-alarm behaviour on pre-outbreak days.
+
+Run:  python examples/outbreak_surveillance.py
+"""
+
+from repro import RngStream
+from repro.apps.epidemics import OutbreakStudy, SurveillanceRegion
+
+
+def main() -> None:
+    rng = RngStream(1918, name="surveillance")
+    region = SurveillanceRegion.synthetic(n_units=500, avg_degree=12,
+                                          rng=rng.child("region"))
+    print(f"surveillance region: {region.graph} "
+          f"(total baseline {region.populations.sum():.0f} cases/day)")
+
+    study = OutbreakStudy(
+        region, cluster_size=6, seed_day=3, n_days=8, growth=1.9,
+        alpha=0.01, k=6, eps=0.1,
+    )
+    report = study.run(rng=rng.child("run"), score_threshold=12.0)
+
+    print(f"\noutbreak seeded on day {study.seed_day} "
+          f"(cluster: {sorted(int(x) for x in report.cluster)})")
+    print(f"{'day':>4} {'phase':>10} {'best BJ score':>14} {'alarm':>6}")
+    for d, res in enumerate(report.daily):
+        phase = "endemic" if d < study.seed_day else "outbreak"
+        alarm = "YES" if res.best_score >= report.score_threshold else ""
+        print(f"{d:>4} {phase:>10} {res.best_score:>14.2f} {alarm:>6}")
+
+    if report.detected_on is not None:
+        print(f"\nfirst alarm on day {report.detected_on} -> detection delay "
+              f"{report.detection_delay} day(s) after seeding")
+        print(f"false alarm before seeding: {report.false_alarm}")
+    else:
+        print("\noutbreak was never detected (threshold too high?)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Maximum-weight k-paths: the Problem 1 variant on a toy supply chain.
+
+Section II-A1 notes the approach extends to "finding a maximum weight
+embedding in a weighted version of the graph".  Scenario: a logistics
+network where each depot has an integer profit score; we want the most
+profitable simple route visiting exactly k depots.
+
+Shows the weight-resolved MIDAS evaluation (`max_weight_path`), exact
+verification on the small instance, and the rounding workflow for
+real-valued profits.
+
+Run:  python examples/weighted_paths.py
+"""
+
+import numpy as np
+
+from repro import RngStream, erdos_renyi, max_weight_path
+from repro import exact
+from repro.scanstat.weights import round_weights
+
+
+def main() -> None:
+    rng = RngStream(77, name="routes")
+    g = erdos_renyi(60, m=120, rng=rng.child("network"))
+    profits = rng.child("profits").integers(0, 6, size=g.n)
+    k = 5
+    print(f"logistics network: {g}")
+    print(f"depot profits: integers in [0, 5], k = {k} stops")
+
+    best = max_weight_path(g, k, profits, eps=0.02, rng=rng.child("detect"))
+    truth = exact.max_weight_path(g, k, profits)
+    print(f"\nMIDAS max-weight {k}-path:  {best}")
+    print(f"exact (DFS) verification:  {truth}")
+    assert best == truth, "one-sided Monte Carlo matched the exact optimum"
+
+    # real-valued profits: round to 12 levels first (knapsack trick)
+    real_profits = rng.child("real").random(g.n) * 17.3
+    int_profits, scale = round_weights(real_profits, levels=12)
+    approx = max_weight_path(g, k, int_profits, eps=0.02, rng=rng.child("detect2"))
+    print(f"\nreal-valued profits rounded to 12 levels (scale {scale:.3f}):")
+    print(f"  best rounded total: {approx}  (~{approx * scale:.2f} in real units,")
+    print(f"  within {k} * {scale:.3f} = {k * scale:.2f} of the true optimum)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""MIDAS: Multilinear Detection at Scale — a Python reproduction.
+
+Reproduction of Ekanayake, Cadena, Wickramasinghe, and Vullikanti,
+*"MIDAS: Multilinear Detection at Scale"*, IPDPS 2018: distributed
+multilinear-term detection with applications to finding k-paths and
+k-trees and to network scan statistics, plus the FASCIA color-coding
+baseline and a simulated-MPI substrate for the scaling experiments.
+
+Quick taste::
+
+    from repro import detect_path, erdos_renyi, RngStream
+    g = erdos_renyi(10_000, rng=RngStream(1))
+    result = detect_path(g, k=12, eps=0.05, rng=RngStream(2))
+    print(result.summary())
+
+See README.md for the architecture tour and DESIGN.md / EXPERIMENTS.md for
+the paper-experiment mapping.
+"""
+
+from repro.core.midas import (
+    MidasRuntime,
+    detect_path,
+    detect_scan_cell,
+    detect_tree,
+    max_weight_path,
+    scan_grid,
+    sequential_detect_path,
+)
+from repro.core.model import PartitionStats, PerformanceEstimate, estimate_runtime
+from repro.core.result import DetectionResult, ScanGridResult
+from repro.core.schedule import PhaseSchedule, rounds_for_epsilon
+from repro.core.witness import extract_witness
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    grid2d,
+    miami_like,
+    orkut_like,
+    plant_cluster,
+    plant_path,
+    plant_tree,
+    watts_strogatz,
+)
+from repro.graph.partition import Partition, make_partition
+from repro.graph.templates import TreeTemplate
+from repro.runtime.cluster import VirtualCluster, juliet, laptop, shadowfax
+from repro.runtime.costmodel import KernelCalibration
+from repro.scanstat.detect import AnomalyDetector, AnomalyResult
+from repro.scanstat.statistics import (
+    BerkJones,
+    ElevatedMean,
+    ExpectationBasedPoisson,
+    HigherCriticism,
+    Kulldorff,
+)
+from repro.util.rng import RngStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MidasRuntime",
+    "detect_path",
+    "detect_scan_cell",
+    "detect_tree",
+    "max_weight_path",
+    "scan_grid",
+    "sequential_detect_path",
+    "PartitionStats",
+    "PerformanceEstimate",
+    "estimate_runtime",
+    "DetectionResult",
+    "ScanGridResult",
+    "PhaseSchedule",
+    "rounds_for_epsilon",
+    "extract_witness",
+    "CSRGraph",
+    "DATASETS",
+    "load_dataset",
+    "barabasi_albert",
+    "erdos_renyi",
+    "grid2d",
+    "miami_like",
+    "orkut_like",
+    "plant_cluster",
+    "plant_path",
+    "plant_tree",
+    "watts_strogatz",
+    "Partition",
+    "make_partition",
+    "TreeTemplate",
+    "VirtualCluster",
+    "juliet",
+    "laptop",
+    "shadowfax",
+    "KernelCalibration",
+    "AnomalyDetector",
+    "AnomalyResult",
+    "BerkJones",
+    "ElevatedMean",
+    "ExpectationBasedPoisson",
+    "HigherCriticism",
+    "Kulldorff",
+    "RngStream",
+    "__version__",
+]

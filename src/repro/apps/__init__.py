@@ -1,0 +1,18 @@
+"""Application case studies built on the library (paper Section VI-F +
+the bio-surveillance motivation of Section I)."""
+
+from repro.apps.epidemics import OutbreakReport, OutbreakStudy, SurveillanceRegion
+from repro.apps.roadnet import (
+    CongestionStudy,
+    HighwayNetwork,
+    build_highway_network,
+)
+
+__all__ = [
+    "OutbreakReport",
+    "OutbreakStudy",
+    "SurveillanceRegion",
+    "CongestionStudy",
+    "HighwayNetwork",
+    "build_highway_network",
+]

@@ -1,0 +1,183 @@
+"""Bio-surveillance case study: outbreak detection on a contact network.
+
+The paper's introduction motivates graph scan statistics with epidemiology
+and bio-surveillance (refs [3]-[7]); the miami dataset itself is a
+synthetic-population *contact network*.  This module packages that
+scenario the same way :mod:`repro.apps.roadnet` packages the traffic one:
+
+* :class:`SurveillanceRegion` — a spatial contact network whose nodes are
+  reporting units (census blocks / clinics) with baseline populations;
+* :class:`OutbreakStudy` — temporal Poisson case counts under the null
+  (endemic rate proportional to population) with an injected outbreak
+  growing over a connected neighbourhood, plus the detection pipeline:
+  counts → Poisson p-values → binary weights → MIDAS scan → cluster
+  extraction and day-of-detection analysis.
+
+The headline metric is *time to detection*: the first day the scan flags
+a significant cluster, versus the day the outbreak was seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.midas import MidasRuntime
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import miami_like, plant_cluster
+from repro.scanstat.detect import AnomalyDetector, AnomalyResult
+from repro.scanstat.events import inject_poisson_counts, pvalues_from_counts
+from repro.scanstat.statistics import BerkJones, ScanStatistic
+from repro.scanstat.weights import binary_weights_from_pvalues
+from repro.util.rng import as_stream
+
+
+@dataclass
+class SurveillanceRegion:
+    """A contact network of reporting units with baseline populations."""
+
+    graph: CSRGraph
+    populations: np.ndarray  # expected (baseline) case counts per unit
+
+    @property
+    def n_units(self) -> int:
+        return self.graph.n
+
+    @staticmethod
+    def synthetic(n_units: int = 900, avg_degree: float = 14.0, rng=None
+                  ) -> "SurveillanceRegion":
+        """A miami-like spatial region with log-normal-ish populations."""
+        rng = as_stream(rng, "region")
+        g = miami_like(n_units, avg_degree=avg_degree, rng=rng.child("net"))
+        pop = np.exp(rng.child("pop").normal(loc=1.6, scale=0.5, size=n_units))
+        return SurveillanceRegion(g, pop)
+
+
+@dataclass
+class OutbreakStudy:
+    """Temporal outbreak injection + the paper's detection pipeline.
+
+    Days ``0 .. seed_day-1`` are endemic; from ``seed_day`` the outbreak
+    cluster's rate grows by ``growth`` per day (so day ``d`` has elevation
+    ``growth^(d - seed_day + 1)``), mimicking early exponential spread.
+    """
+
+    region: SurveillanceRegion
+    cluster_size: int = 6
+    seed_day: int = 3
+    n_days: int = 8
+    growth: float = 1.6
+    alpha: float = 0.01
+    k: int = 6
+    eps: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.seed_day >= self.n_days:
+            raise ConfigurationError("seed_day must fall inside the study window")
+        if self.growth <= 1.0:
+            raise ConfigurationError("growth must exceed 1 (it is an outbreak)")
+        if not (1 <= self.cluster_size <= self.region.n_units):
+            raise ConfigurationError("cluster_size out of range")
+
+    # ------------------------------------------------------------- scenario
+    def synthesize(self, rng=None) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate the day x unit count matrix and the outbreak cluster."""
+        rng = as_stream(rng, "outbreak")
+        cluster = plant_cluster(self.region.graph, self.cluster_size,
+                                rng=rng.child("where"))
+        days = []
+        for d in range(self.n_days):
+            if d < self.seed_day:
+                lam = self.region.populations
+                counts = rng.child(f"day{d}").poisson(lam=lam)
+            else:
+                elevation = self.growth ** (d - self.seed_day + 1)
+                counts = inject_poisson_counts(
+                    self.region.populations, cluster, elevation=elevation,
+                    rng=rng.child(f"day{d}"),
+                )
+            days.append(np.asarray(counts, dtype=np.int64))
+        return np.stack(days), cluster
+
+    # ------------------------------------------------------------ detection
+    def detect_day(
+        self,
+        counts_day: np.ndarray,
+        rng=None,
+        statistic: Optional[ScanStatistic] = None,
+        runtime: Optional[MidasRuntime] = None,
+        extract: bool = False,
+    ) -> AnomalyResult:
+        """Run one day's counts through the pipeline."""
+        pvals = pvalues_from_counts(counts_day, self.region.populations)
+        w = binary_weights_from_pvalues(pvals, alpha=self.alpha)
+        stat = statistic if statistic is not None else BerkJones(alpha=self.alpha)
+        det = AnomalyDetector(self.region.graph, stat, self.k,
+                              runtime=runtime, eps=self.eps)
+        res = det.detect(w, rng=rng, extract=extract)
+        res.details["n_flagged_units"] = int(w.sum())
+        return res
+
+    def run(
+        self,
+        rng=None,
+        score_threshold: float = 10.0,
+        runtime: Optional[MidasRuntime] = None,
+    ) -> "OutbreakReport":
+        """Full surveillance run: scan every day, record first detection."""
+        rng = as_stream(rng, "study")
+        counts, cluster = self.synthesize(rng=rng.child("data"))
+        daily: List[AnomalyResult] = []
+        detected_on: Optional[int] = None
+        for d in range(self.n_days):
+            res = self.detect_day(counts[d], rng=rng.child(f"scan{d}"),
+                                  runtime=runtime)
+            daily.append(res)
+            if detected_on is None and res.best_score >= score_threshold:
+                detected_on = d
+        return OutbreakReport(
+            study=self, cluster=cluster, counts=counts, daily=daily,
+            detected_on=detected_on, score_threshold=score_threshold,
+        )
+
+
+@dataclass
+class OutbreakReport:
+    """Outcome of a full surveillance run."""
+
+    study: OutbreakStudy
+    cluster: np.ndarray
+    counts: np.ndarray
+    daily: List[AnomalyResult]
+    detected_on: Optional[int]
+    score_threshold: float
+
+    @property
+    def detection_delay(self) -> Optional[int]:
+        """Days from outbreak seeding to first alarm (None = missed)."""
+        if self.detected_on is None:
+            return None
+        return self.detected_on - self.study.seed_day
+
+    @property
+    def false_alarm(self) -> bool:
+        """Alarm raised before the outbreak existed."""
+        return self.detected_on is not None and self.detected_on < self.study.seed_day
+
+    def scores(self) -> List[float]:
+        return [r.best_score for r in self.daily]
+
+    def summary(self) -> str:
+        status = (
+            f"detected day {self.detected_on} (delay {self.detection_delay})"
+            if self.detected_on is not None
+            else "not detected"
+        )
+        return (
+            f"outbreak(size={self.study.cluster_size}, seeded day "
+            f"{self.study.seed_day}): {status}; daily scores "
+            f"{['%.1f' % s for s in self.scores()]}"
+        )

@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands map one-to-one to the library's top-level workflows:
+
+* ``datasets`` — print the Table II registry (optionally generating
+  stand-ins at a scale);
+* ``detect-path`` / ``detect-tree`` — run a detection on a generated or
+  edge-list graph;
+* ``scan`` — anomaly detection with a chosen statistic;
+* ``calibrate`` — measure and print the c1(N2) kernel calibration;
+* ``model`` — evaluate the Theorem-2 performance model for a
+  ``(dataset, k, N, N1, N2)`` configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_graph_args(p: argparse.ArgumentParser) -> None:
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=["miami", "com-Orkut", "random-1e6", "random-1e7"],
+                     help="generate a Table II stand-in")
+    src.add_argument("--edge-list", metavar="PATH", help="read a whitespace edge list")
+    src.add_argument("--er", metavar="N", type=int,
+                     help="generate an Erdos-Renyi graph with N nodes, m = N ln N")
+    p.add_argument("--scale", type=float, default=0.001,
+                   help="dataset scale (1.0 = paper size; default 0.001)")
+    p.add_argument("--seed", type=int, default=0, help="root random seed")
+
+
+def _load_graph(args):
+    from repro.graph.datasets import load_dataset
+    from repro.graph.generators import erdos_renyi
+    from repro.graph.io import read_edge_list
+    from repro.util.rng import RngStream
+
+    rng = RngStream(args.seed, name="cli")
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale, rng=rng.child("data")), rng
+    if args.edge_list:
+        return read_edge_list(args.edge_list), rng
+    return erdos_renyi(args.er, rng=rng.child("er")), rng
+
+
+def _add_runtime_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mode", choices=["sequential", "simulated", "modeled"],
+                   default="sequential")
+    p.add_argument("-N", "--processors", type=int, default=1)
+    p.add_argument("--n1", type=int, default=1, help="graph partition count N1")
+    p.add_argument("--n2", type=int, default=None, help="iteration batch size N2")
+    p.add_argument("--eps", type=float, default=0.1, help="failure probability bound")
+
+
+def _runtime(args):
+    from repro.core.midas import MidasRuntime
+
+    return MidasRuntime(
+        n_processors=args.processors, n1=args.n1, n2=args.n2, mode=args.mode
+    )
+
+
+def cmd_datasets(args) -> int:
+    from repro.graph.datasets import table2_rows
+    from repro.util.rng import RngStream
+
+    scale = args.scale if args.generate else None
+    print(f"{'dataset':>12} {'paper nodes':>12} {'paper edges':>12}"
+          + (f" {'gen nodes':>10} {'gen edges':>10}" if scale else ""))
+    for r in table2_rows(scale=scale, rng=RngStream(args.seed)):
+        line = (f"{r['dataset']:>12} {r['paper_nodes_x1e6']:>11g}M "
+                f"{r['paper_edges_x1e6']:>11g}M")
+        if scale:
+            line += f" {r['generated_nodes']:>10} {r['generated_edges']:>10}"
+        print(line)
+    return 0
+
+
+def cmd_detect_path(args) -> int:
+    from repro.core.midas import detect_path
+
+    g, rng = _load_graph(args)
+    print(f"graph: {g}")
+    res = detect_path(g, args.k, eps=args.eps, rng=rng.child("detect"),
+                      runtime=_runtime(args))
+    print(res.summary())
+    return 0 if res.found else 1
+
+
+def cmd_detect_tree(args) -> int:
+    from repro.core.midas import detect_tree
+    from repro.graph.templates import TreeTemplate
+
+    g, rng = _load_graph(args)
+    factories = {
+        "path": TreeTemplate.path,
+        "star": TreeTemplate.star,
+        "binary": TreeTemplate.binary,
+        "caterpillar": TreeTemplate.caterpillar,
+    }
+    tmpl = factories[args.template](args.k)
+    print(f"graph: {g}\ntemplate: {tmpl}")
+    res = detect_tree(g, tmpl, eps=args.eps, rng=rng.child("detect"),
+                      runtime=_runtime(args))
+    print(res.summary())
+    return 0 if res.found else 1
+
+
+def cmd_scan(args) -> int:
+    from repro.graph.generators import plant_cluster
+    from repro.scanstat.detect import AnomalyDetector
+    from repro.scanstat.statistics import BerkJones, ElevatedMean, HigherCriticism
+
+    g, rng = _load_graph(args)
+    print(f"graph: {g}")
+    stats = {
+        "berk-jones": lambda: BerkJones(alpha=args.alpha),
+        "higher-criticism": lambda: HigherCriticism(alpha=args.alpha),
+        "elevated-mean": lambda: ElevatedMean(baseline_per_node=args.alpha),
+    }
+    w = np.zeros(g.n, dtype=np.int64)
+    if args.plant:
+        hot = plant_cluster(g, args.plant, rng=rng.child("plant"))
+        w[hot] = 1
+        print(f"planted hot cluster: {sorted(hot.tolist())}")
+    det = AnomalyDetector(g, stats[args.statistic](), k=args.k,
+                          runtime=_runtime(args), eps=args.eps)
+    res = det.detect(w, rng=rng.child("scan"), extract=args.extract)
+    print(res.summary())
+    if res.cluster is not None:
+        print(f"cluster: {sorted(int(x) for x in res.cluster)}")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.runtime.costmodel import KernelCalibration
+
+    cal = KernelCalibration.measure(
+        sample_nodes=args.nodes, avg_degree=args.degree, k=args.k
+    )
+    print(f"{'N2':>6} {'c1 [ns/(vertex*iter)]':>22}")
+    for n2, c1 in sorted(cal.as_table().items()):
+        print(f"{n2:>6} {c1 * 1e9:>22.2f}")
+    best = min(cal.as_table(), key=cal.as_table().get)
+    print(f"best N2: {best}")
+    return 0
+
+
+def cmd_model(args) -> int:
+    from repro.core.model import PartitionStats, estimate_runtime
+    from repro.core.schedule import PhaseSchedule
+    from repro.graph.datasets import DATASETS
+    from repro.runtime.cluster import juliet
+    from repro.runtime.costmodel import KernelCalibration
+
+    spec = DATASETS[args.dataset]
+    n, m = spec.paper_nodes, spec.paper_edges
+    n2 = args.n2 if args.n2 else PhaseSchedule.bs_max(args.k, args.processors, args.n1)
+    sched = PhaseSchedule(args.k, args.processors, args.n1, n2)
+    cal = (KernelCalibration.measure() if args.measure
+           else KernelCalibration.synthetic())
+    est = estimate_runtime(
+        PartitionStats.random_model(n, m, args.n1), sched, cal,
+        juliet().cost_model(args.processors), eps=args.eps, problem=args.problem,
+    )
+    print(sched.describe())
+    print(f"modeled total:   {est.total_seconds:.4f}s "
+          f"(compute {est.compute_seconds:.4f}s, comm {est.comm_seconds:.4f}s, "
+          f"comm fraction {est.comm_fraction:.1%})")
+    print(f"memory per rank: {est.memory_bytes_per_rank / 2**20:.1f} MiB")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.experiments import FIGURES, figure_rows
+    from repro.runtime.costmodel import KernelCalibration
+
+    cal = KernelCalibration.measure() if args.measure else None
+    names = [args.name] if args.name else sorted(FIGURES)
+    for name in names:
+        rows = figure_rows(name, calibration=cal)
+        print(f"\n=== {name} ===")
+        header = list(rows[0].keys())
+        print("  ".join(f"{h:>16}" for h in header))
+        for r in rows:
+            cells = []
+            for h in header:
+                v = r[h]
+                if v is None:
+                    cells.append(f"{'-':>16}")
+                elif isinstance(v, float):
+                    cells.append(f"{v:>16.4g}")
+                else:
+                    cells.append(f"{str(v):>16}")
+            print("  ".join(cells))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="MIDAS: multilinear detection at scale (IPDPS 2018 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    d = sub.add_parser("datasets", help="print the Table II dataset registry")
+    d.add_argument("--generate", action="store_true", help="generate stand-ins")
+    d.add_argument("--scale", type=float, default=0.001)
+    d.add_argument("--seed", type=int, default=0)
+    d.set_defaults(fn=cmd_datasets)
+
+    dp = sub.add_parser("detect-path", help="decide whether a k-path exists")
+    _add_graph_args(dp)
+    _add_runtime_args(dp)
+    dp.add_argument("-k", type=int, required=True)
+    dp.set_defaults(fn=cmd_detect_path)
+
+    dt = sub.add_parser("detect-tree", help="decide whether a tree template embeds")
+    _add_graph_args(dt)
+    _add_runtime_args(dt)
+    dt.add_argument("-k", type=int, required=True)
+    dt.add_argument("--template", choices=["path", "star", "binary", "caterpillar"],
+                    default="binary")
+    dt.set_defaults(fn=cmd_detect_tree)
+
+    sc = sub.add_parser("scan", help="scan-statistics anomaly detection")
+    _add_graph_args(sc)
+    _add_runtime_args(sc)
+    sc.add_argument("-k", type=int, required=True)
+    sc.add_argument("--statistic", choices=["berk-jones", "higher-criticism",
+                                            "elevated-mean"], default="berk-jones")
+    sc.add_argument("--alpha", type=float, default=0.05)
+    sc.add_argument("--plant", type=int, default=0,
+                    help="plant a hot connected cluster of this size")
+    sc.add_argument("--extract", action="store_true",
+                    help="peel out the maximizing cluster")
+    sc.set_defaults(fn=cmd_scan)
+
+    ca = sub.add_parser("calibrate", help="measure the c1(N2) kernel calibration")
+    ca.add_argument("--nodes", type=int, default=4096)
+    ca.add_argument("--degree", type=int, default=16)
+    ca.add_argument("-k", type=int, default=8)
+    ca.set_defaults(fn=cmd_calibrate)
+
+    mo = sub.add_parser("model", help="evaluate the Theorem-2 performance model")
+    mo.add_argument("--dataset", choices=["miami", "com-Orkut", "random-1e6",
+                                          "random-1e7"], default="random-1e6")
+    mo.add_argument("-k", type=int, default=10)
+    mo.add_argument("-N", "--processors", type=int, default=512)
+    mo.add_argument("--n1", type=int, default=32)
+    mo.add_argument("--n2", type=int, default=None)
+    mo.add_argument("--eps", type=float, default=0.2)
+    mo.add_argument("--problem", choices=["path", "tree", "scanstat"], default="path")
+    mo.add_argument("--measure", action="store_true",
+                    help="calibrate live instead of using the synthetic curve")
+    mo.set_defaults(fn=cmd_model)
+
+    fg = sub.add_parser("figures", help="regenerate the paper's figure series")
+    fg.add_argument("name", nargs="?", default=None,
+                    help="figure id (fig3-5, fig6-8, fig9, fig10, fig11, fig12, "
+                         "giraph); all when omitted")
+    fg.add_argument("--measure", action="store_true",
+                    help="calibrate live instead of using the synthetic curve")
+    fg.set_defaults(fn=cmd_figures)
+
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

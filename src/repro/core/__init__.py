@@ -1,0 +1,60 @@
+"""MIDAS core: the paper's contribution.
+
+* :mod:`repro.core.schedule` — the round/batch/phase decomposition (Fig 1);
+* :mod:`repro.core.halo` — per-rank partitioned graph views with the
+  boundary send/recv lists that Algorithm 3's message pattern needs;
+* :mod:`repro.core.evaluator_path` — PAREVALUATEPOLYNOMIALPATH (Alg 3);
+* :mod:`repro.core.evaluator_tree` — PAREVALUATEPOLYNOMIALTREE (Alg 4);
+* :mod:`repro.core.evaluator_scanstat` — PAREVALUATEPOLYNOMIALSCANSTAT
+  (Alg 5);
+* :mod:`repro.core.midas` — the MIDAS driver (Alg 2) in three modes:
+  ``sequential`` (vectorized single-process), ``simulated`` (real SPMD
+  execution on the runtime simulator), ``modeled`` (sequential detection +
+  analytic virtual time for cluster-scale sweeps);
+* :mod:`repro.core.model` — the analytic performance model (Theorem 2 with
+  calibrated constants);
+* :mod:`repro.core.witness` — witness extraction by deletion peeling.
+"""
+
+from repro.core.halo import HaloView, build_halo_views
+from repro.core.mld import (
+    CircuitStep,
+    MLDCircuit,
+    algorithm1_reference,
+    detect_multilinear,
+)
+from repro.core.midas import (
+    MidasRuntime,
+    detect_path,
+    detect_scan_cell,
+    detect_tree,
+    max_weight_path,
+    scan_grid,
+    sequential_detect_path,
+)
+from repro.core.model import PerformanceEstimate, estimate_runtime
+from repro.core.result import DetectionResult, ScanGridResult
+from repro.core.schedule import PhaseSchedule
+from repro.core.witness import extract_witness
+
+__all__ = [
+    "HaloView",
+    "build_halo_views",
+    "CircuitStep",
+    "MLDCircuit",
+    "algorithm1_reference",
+    "detect_multilinear",
+    "MidasRuntime",
+    "detect_path",
+    "detect_scan_cell",
+    "detect_tree",
+    "max_weight_path",
+    "scan_grid",
+    "sequential_detect_path",
+    "PerformanceEstimate",
+    "estimate_runtime",
+    "DetectionResult",
+    "ScanGridResult",
+    "PhaseSchedule",
+    "extract_witness",
+]

@@ -1,0 +1,535 @@
+"""The MIDAS driver (paper Algorithm 2).
+
+One entry point per application:
+
+* :func:`detect_path` — is there a simple path on ``k`` vertices?
+* :func:`detect_tree` — does the template tree embed (non-induced)?
+* :func:`scan_grid` — which (size ``j <= k``, weight ``z``) connected
+  subgraphs exist? (feeds :mod:`repro.scanstat.detect`)
+
+Each runs ``ceil(log(1/eps)/log(5/4))`` amplification rounds; a round draws
+a fresh fingerprint and XORs the polynomial evaluation over all ``2^k``
+iterations, organized by the :class:`~repro.core.schedule.PhaseSchedule`.
+
+Execution modes (:class:`MidasRuntime`):
+
+``sequential``
+    Single-process vectorized evaluation (still batched ``N_2`` wide —
+    batching is a *compute* optimization too).
+``simulated``
+    The real SPMD decomposition: the graph is partitioned into ``N_1``
+    parts and every phase runs as ``N_1`` rank programs on the runtime
+    simulator, with halo messages and an XOR all-reduce.  Detection output
+    is bit-identical to ``sequential`` for the same seed (property-tested);
+    virtual time reflects the modeled network.
+``modeled``
+    Sequential detection plus the analytic Theorem-2 model
+    (:mod:`repro.core.model`) for virtual time — used for cluster-scale
+    sweeps where 512 simulated ranks would be pointlessly slow.
+
+Randomness is *round-scoped*: all modes draw identical fingerprints from
+the caller's stream, so answers never depend on ``(N, N1, N2)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.evaluator_path import (
+    make_path_phase_program,
+    make_path_phase_program_overlapped,
+    path_phase_value,
+)
+from repro.core.evaluator_scanstat import (
+    make_scanstat_phase_program,
+    make_scanstat_phase_program_overlapped,
+    scanstat_phase_value,
+)
+from repro.core.evaluator_tree import (
+    make_tree_phase_program,
+    make_tree_phase_program_overlapped,
+    tree_phase_value,
+)
+from repro.core.evaluator_wpath import (
+    make_weighted_path_phase_program,
+    weighted_path_phase_value,
+)
+from repro.core.halo import build_halo_views
+from repro.core.model import PartitionStats, estimate_runtime
+from repro.core.result import DetectionResult, RoundRecord, ScanGridResult
+from repro.core.schedule import PhaseSchedule, rounds_for_epsilon
+from repro.ff.fingerprint import Fingerprint
+from repro.ff.gf2m import default_field_for_k
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import make_partition
+from repro.graph.templates import TreeTemplate, decompose_template
+from repro.runtime.cluster import VirtualCluster, laptop
+from repro.runtime.costmodel import KernelCalibration
+from repro.runtime.scheduler import Simulator
+from repro.util.log import get_logger
+from repro.util.rng import RngStream, as_stream
+
+_LOG = get_logger(__name__)
+
+_MODES = ("sequential", "simulated", "modeled")
+
+
+@dataclass
+class MidasRuntime:
+    """Parallel execution configuration for the MIDAS driver.
+
+    ``n2=None`` picks a sensible default: the figures' BSMax
+    (``2^k N1 / N``) in parallel modes, a 64-wide batch sequentially.
+    ``overlap=True`` uses the communication-overlapping halo exchange
+    (Irecv/Wait with local/ghost-split reductions) in simulated runs of
+    all three evaluators; results are bit-identical either way.
+    """
+
+    n_processors: int = 1
+    n1: int = 1
+    n2: Optional[int] = None
+    mode: str = "sequential"
+    cluster: Optional[VirtualCluster] = None
+    partition_method: str = "random"
+    calibration: Optional[KernelCalibration] = None
+    measure_compute: bool = False
+    trace: bool = False
+    partition_seed: int = 7777
+    overlap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigurationError(f"mode must be one of {_MODES}, got {self.mode!r}")
+
+    def schedule_for(self, k: int) -> PhaseSchedule:
+        total = 1 << k
+        n2 = self.n2
+        if n2 is None:
+            if self.mode == "sequential":
+                n2 = min(total, 64)
+            else:
+                n2 = PhaseSchedule.bs_max(k, self.n_processors, self.n1)
+        n2 = min(n2, total)
+        while total % n2:
+            n2 -= 1
+        return PhaseSchedule(k, self.n_processors, self.n1, max(1, n2))
+
+    def get_cluster(self) -> VirtualCluster:
+        if self.cluster is not None:
+            return self.cluster
+        # a generously sized default so any (N, N1) fits
+        nodes = max(1, -(-self.n_processors // 8))
+        return laptop(nodes)
+
+    def get_calibration(self) -> KernelCalibration:
+        return self.calibration if self.calibration is not None else KernelCalibration.synthetic()
+
+
+def _prepare_parallel(graph: CSRGraph, rt: MidasRuntime):
+    partition = make_partition(
+        graph, rt.n1, rt.partition_method, rng=RngStream(rt.partition_seed, name="partition")
+    )
+    views = build_halo_views(graph, partition)
+    return partition, views
+
+
+def _reduce_cost(rt: MidasRuntime, nbytes: int) -> float:
+    cluster = rt.get_cluster()
+    return cluster.cost_model(min(rt.n_processors, cluster.total_cores)).collective(
+        "allreduce", rt.n_processors, nbytes
+    )
+
+
+def _run_scalar_detection(
+    problem: str,
+    graph: CSRGraph,
+    k: int,
+    eps: float,
+    rng,
+    rt: MidasRuntime,
+    levels: int,
+    seq_phase: Callable[[Fingerprint, int, int], int],
+    program_factory,  # (views, fp, q0, n2) -> rank program
+    early_exit: bool,
+    details: Optional[dict] = None,
+) -> DetectionResult:
+    if graph.n < 1:
+        raise ConfigurationError("graph must have at least one vertex")
+    if k > graph.n:
+        # more template vertices than graph vertices: trivially absent
+        return DetectionResult(problem, k, False, [], eps, mode=rt.mode,
+                               n_processors=rt.n_processors, n1=rt.n1, n2=rt.n2 or 0,
+                               details={"reason": "k exceeds |V|"})
+    sched = rt.schedule_for(k)
+    rounds = rounds_for_epsilon(eps)
+    rng = as_stream(rng, f"{problem}-detect")
+    fld = default_field_for_k(k)
+    wall0 = time.perf_counter()
+
+    partition = views = None
+    sim_cost_model = None
+    if rt.mode == "simulated":
+        partition, views = _prepare_parallel(graph, rt)
+        sim_cost_model = rt.get_cluster().cost_model(rt.n1)
+
+    estimate = None
+    if rt.mode == "modeled":
+        partition, _unused = (
+            make_partition(graph, rt.n1, rt.partition_method,
+                           rng=RngStream(rt.partition_seed, name="partition")),
+            None,
+        )
+        stats = PartitionStats.from_partition(partition)
+        estimate = estimate_runtime(
+            stats, sched, rt.get_calibration(),
+            rt.get_cluster().cost_model(min(rt.n_processors, rt.get_cluster().total_cores)),
+            eps=eps, problem=problem, levels=levels - 1,
+        )
+
+    records: List[RoundRecord] = []
+    virtual_total = 0.0
+    trace_compute = trace_comm = 0.0
+    for ell in range(rounds):
+        fp = Fingerprint.draw(graph.n, k, rng.child(f"round{ell}"), levels=levels, field=fld)
+        value = 0
+        round_virtual = 0.0
+        if rt.mode == "simulated":
+            for batch in sched.batches():
+                batch_time = 0.0
+                for t in batch:
+                    q0, _q1 = sched.phase_window(t)
+                    prog = program_factory(views, fp, q0, sched.n2)
+                    sim = Simulator(
+                        rt.n1, cost_model=sim_cost_model,
+                        measure_compute=rt.measure_compute, trace=rt.trace,
+                    )
+                    res = sim.run(prog)
+                    value ^= int(res.results[0])
+                    batch_time = max(batch_time, res.makespan)
+                    if rt.trace:
+                        trace_compute += res.summary.total_compute
+                        trace_comm += res.summary.total_comm
+                round_virtual += batch_time
+            round_virtual += _reduce_cost(rt, 8)
+        else:
+            for t in range(sched.n_phases):
+                q0, _q1 = sched.phase_window(t)
+                value ^= seq_phase(fp, q0, sched.n2)
+            if estimate is not None:
+                round_virtual = estimate.total_seconds / rounds
+        virtual_total += round_virtual
+        records.append(RoundRecord(ell, value, round_virtual))
+        _LOG.debug("%s k=%d round %d/%d: value=%d", problem, k, ell + 1, rounds, value)
+        if value != 0 and early_exit:
+            _LOG.info("%s k=%d: witness found in round %d", problem, k, ell + 1)
+            break
+
+    det = details.copy() if details else {}
+    if partition is not None:
+        det.setdefault("max_load", partition.max_load)
+        det.setdefault("max_deg", partition.max_degree)
+    if estimate is not None:
+        det.setdefault("estimate", estimate)
+    if rt.mode == "simulated" and rt.trace:
+        busy = trace_compute + trace_comm
+        det.setdefault("trace_compute_seconds", trace_compute)
+        det.setdefault("trace_comm_seconds", trace_comm)
+        det.setdefault("trace_comm_fraction", trace_comm / busy if busy > 0 else 0.0)
+    return DetectionResult(
+        problem=problem,
+        k=k,
+        found=any(r.hit for r in records),
+        rounds=records,
+        eps=eps,
+        mode=rt.mode,
+        n_processors=rt.n_processors,
+        n1=rt.n1,
+        n2=sched.n2,
+        virtual_seconds=virtual_total,
+        wall_seconds=time.perf_counter() - wall0,
+        details=det,
+    )
+
+
+def detect_path(
+    graph: CSRGraph,
+    k: int,
+    eps: float = 0.2,
+    rng=None,
+    runtime: Optional[MidasRuntime] = None,
+    early_exit: bool = True,
+) -> DetectionResult:
+    """Decide whether ``graph`` contains a simple path on ``k`` vertices.
+
+    One-sided Monte Carlo: "yes" answers are certificates; "no" answers are
+    wrong with probability at most ``eps``.
+    """
+    rt = runtime or MidasRuntime()
+    factory = (
+        make_path_phase_program_overlapped if rt.overlap else make_path_phase_program
+    )
+    return _run_scalar_detection(
+        "k-path", graph, k, eps, rng, rt, levels=k,
+        seq_phase=lambda fp, q0, n2: path_phase_value(graph, fp, q0, n2),
+        program_factory=factory,
+        early_exit=early_exit,
+    )
+
+
+def detect_tree(
+    graph: CSRGraph,
+    template: TreeTemplate,
+    eps: float = 0.2,
+    rng=None,
+    runtime: Optional[MidasRuntime] = None,
+    early_exit: bool = True,
+) -> DetectionResult:
+    """Decide whether the template tree has a non-induced embedding."""
+    rt = runtime or MidasRuntime()
+    specs = decompose_template(template)
+    tree_factory = (
+        make_tree_phase_program_overlapped if rt.overlap else make_tree_phase_program
+    )
+
+    return _run_scalar_detection(
+        "k-tree", graph, template.k, eps, rng, rt, levels=template.k,
+        seq_phase=lambda fp, q0, n2: tree_phase_value(graph, template, fp, q0, n2, specs),
+        program_factory=lambda views, fp, q0, n2: tree_factory(
+            views, template, fp, q0, n2, specs
+        ),
+        early_exit=early_exit,
+        details={"template": template.name, "n_subtrees": len(specs)},
+    )
+
+
+def sequential_detect_path(graph: CSRGraph, k: int, eps: float = 0.2, rng=None) -> bool:
+    """Paper Algorithm 1 as a convenience boolean (sequential mode)."""
+    return detect_path(graph, k, eps=eps, rng=rng).found
+
+
+def max_weight_path(
+    graph: CSRGraph,
+    k: int,
+    weights: np.ndarray,
+    eps: float = 0.2,
+    rng=None,
+    runtime: Optional[MidasRuntime] = None,
+    z_max: Optional[int] = None,
+) -> Optional[int]:
+    """Maximum total node weight of any simple k-path (Problem 1 variant).
+
+    ``weights`` are non-negative integers (use
+    :func:`repro.scanstat.weights.round_weights` for real weights).
+    Returns ``None`` when no k-path is detected at all.  One-sided per
+    weight cell: a returned value is certified achievable; the true
+    maximum exceeds it with probability at most ``eps``.
+    """
+    rt = runtime or MidasRuntime()
+    w = np.asarray(weights, dtype=np.int64)
+    if w.shape != (graph.n,):
+        raise ConfigurationError(f"weights must have shape ({graph.n},), got {w.shape}")
+    if np.any(w < 0):
+        raise ConfigurationError("weights must be non-negative")
+    if k < 1 or k > graph.n:
+        return None
+    if z_max is None:
+        z_max = int(np.sort(w)[-k:].sum())
+    rounds = rounds_for_epsilon(eps)
+    rng = as_stream(rng, "max-weight-path")
+    sched = rt.schedule_for(k)
+    fld = default_field_for_k(k)
+
+    views = sim_cost_model = None
+    if rt.mode == "simulated":
+        _partition, views = _prepare_parallel(graph, rt)
+        sim_cost_model = rt.get_cluster().cost_model(rt.n1)
+
+    hit = np.zeros(z_max + 1, dtype=bool)
+    for ell in range(rounds):
+        fp = Fingerprint.draw(graph.n, k, rng.child(f"round{ell}"), levels=k, field=fld)
+        acc = np.zeros(z_max + 1, dtype=fld.dtype)
+        if rt.mode == "simulated":
+            for batch in sched.batches():
+                for t in batch:
+                    q0, _ = sched.phase_window(t)
+                    prog = make_weighted_path_phase_program(
+                        views, w, fp, z_max, q0, sched.n2
+                    )
+                    sim = Simulator(
+                        rt.n1, cost_model=sim_cost_model,
+                        measure_compute=rt.measure_compute, trace=rt.trace,
+                    )
+                    acc ^= np.asarray(sim.run(prog).results[0], dtype=fld.dtype)
+        else:
+            for t in range(sched.n_phases):
+                q0, _ = sched.phase_window(t)
+                acc ^= weighted_path_phase_value(graph, w, fp, z_max, q0, sched.n2)
+        hit |= acc != 0
+    zs = np.nonzero(hit)[0]
+    return int(zs.max()) if len(zs) else None
+
+
+def detect_scan_cell(
+    graph: CSRGraph,
+    weights: np.ndarray,
+    size: int,
+    weight: int,
+    eps: float = 0.2,
+    rng=None,
+    runtime: Optional[MidasRuntime] = None,
+) -> bool:
+    """Decide one (size, weight) cell: is there a connected subgraph of
+    exactly ``size`` vertices and total weight ``weight``?
+
+    This is the cheap single-cell query used by cluster extraction — it
+    runs only the ``dim = size`` evaluation (``2^size`` iterations) instead
+    of the whole grid, and exits on the first hitting round.
+    """
+    rt = runtime or MidasRuntime()
+    w = np.asarray(weights, dtype=np.int64)
+    if w.shape != (graph.n,):
+        raise ConfigurationError(f"weights must have shape ({graph.n},), got {w.shape}")
+    if not (1 <= size <= graph.n) or weight < 0:
+        return False
+    rounds = rounds_for_epsilon(eps)
+    rng = as_stream(rng, "scan-cell")
+    sched = rt.schedule_for(size)
+    fld = default_field_for_k(max(size, 2))
+    for ell in range(rounds):
+        fp = Fingerprint.draw(graph.n, size, rng.child(f"round{ell}"), levels=size + 1,
+                              field=fld)
+        acc = np.zeros(weight + 1, dtype=fld.dtype)
+        for t in range(sched.n_phases):
+            q0, _ = sched.phase_window(t)
+            acc ^= scanstat_phase_value(graph, w, fp, weight, q0, sched.n2)
+        if acc[weight] != 0:
+            return True
+    return False
+
+
+def scan_grid(
+    graph: CSRGraph,
+    weights: np.ndarray,
+    k: int,
+    eps: float = 0.2,
+    rng=None,
+    runtime: Optional[MidasRuntime] = None,
+    z_max: Optional[int] = None,
+    sizes=None,
+) -> ScanGridResult:
+    """Detect all (size ``j <= k``, weight ``z``) connected subgraphs.
+
+    ``weights`` are non-negative integers (round real weights first with
+    :mod:`repro.scanstat.weights`).  Size row ``j`` is decided by its own
+    ``2^j``-iteration evaluation (see the note in
+    :mod:`repro.core.evaluator_scanstat`): the total work is dominated by
+    the ``j = k`` row, matching the paper's ``2^k`` complexity.
+
+    ``sizes`` optionally restricts which size rows are evaluated (default
+    ``1..k``); rows outside it stay undetected in the returned grid.
+    """
+    rt = runtime or MidasRuntime()
+    w = np.asarray(weights, dtype=np.int64)
+    if w.shape != (graph.n,):
+        raise ConfigurationError(f"weights must have shape ({graph.n},), got {w.shape}")
+    if np.any(w < 0):
+        raise ConfigurationError("weights must be non-negative")
+    if k < 1 or k > graph.n:
+        raise ConfigurationError(f"k must be in [1, {graph.n}], got {k}")
+    if z_max is None:
+        top = np.sort(w)[-k:]
+        z_max = int(top.sum())
+    rounds = rounds_for_epsilon(eps)
+    rng = as_stream(rng, "scan-grid")
+    wall0 = time.perf_counter()
+
+    partition = views = sim_cost_model = None
+    if rt.mode == "simulated":
+        partition, views = _prepare_parallel(graph, rt)
+        sim_cost_model = rt.get_cluster().cost_model(rt.n1)
+    elif rt.mode == "modeled":
+        partition = make_partition(
+            graph, rt.n1, rt.partition_method,
+            rng=RngStream(rt.partition_seed, name="partition"),
+        )
+
+    if sizes is None:
+        sizes = range(1, k + 1)
+    sizes = sorted({int(j) for j in sizes})
+    if sizes and (sizes[0] < 1 or sizes[-1] > k):
+        raise ConfigurationError(f"sizes must lie in [1, {k}], got {sizes}")
+
+    detected = np.zeros((k + 1, z_max + 1), dtype=bool)
+    virtual_total = 0.0
+    for j in sizes:
+        sub_rt = MidasRuntime(
+            n_processors=rt.n_processors, n1=rt.n1, n2=rt.n2, mode=rt.mode,
+            cluster=rt.cluster, partition_method=rt.partition_method,
+            calibration=rt.calibration, measure_compute=rt.measure_compute,
+            trace=rt.trace, partition_seed=rt.partition_seed,
+        )
+        sched = sub_rt.schedule_for(j)
+        fld = default_field_for_k(max(j, 2))
+        size_rng = rng.child(f"size{j}")
+        estimate = None
+        if rt.mode == "modeled":
+            stats = PartitionStats.from_partition(partition)
+            estimate = estimate_runtime(
+                stats, sched, rt.get_calibration(),
+                rt.get_cluster().cost_model(min(rt.n_processors, rt.get_cluster().total_cores)),
+                eps=eps, problem="scanstat", z_axis=z_max + 1,
+            )
+        for ell in range(rounds):
+            fp = Fingerprint.draw(
+                graph.n, j, size_rng.child(f"round{ell}"), levels=j + 1, field=fld
+            )
+            acc = np.zeros(z_max + 1, dtype=fld.dtype)
+            round_virtual = 0.0
+            if rt.mode == "simulated":
+                scan_factory = (
+                    make_scanstat_phase_program_overlapped
+                    if rt.overlap
+                    else make_scanstat_phase_program
+                )
+                for batch in sched.batches():
+                    batch_time = 0.0
+                    for t in batch:
+                        q0, _ = sched.phase_window(t)
+                        prog = scan_factory(views, w, fp, z_max, q0, sched.n2)
+                        sim = Simulator(
+                            rt.n1, cost_model=sim_cost_model,
+                            measure_compute=rt.measure_compute, trace=rt.trace,
+                        )
+                        res = sim.run(prog)
+                        acc ^= np.asarray(res.results[0], dtype=fld.dtype)
+                        batch_time = max(batch_time, res.makespan)
+                    round_virtual += batch_time
+                round_virtual += _reduce_cost(rt, 8 * (z_max + 1))
+            else:
+                for t in range(sched.n_phases):
+                    q0, _ = sched.phase_window(t)
+                    acc ^= scanstat_phase_value(graph, w, fp, z_max, q0, sched.n2)
+                if estimate is not None:
+                    round_virtual = estimate.total_seconds / rounds
+            detected[j] |= acc != 0
+            virtual_total += round_virtual
+
+    return ScanGridResult(
+        k=k,
+        z_max=z_max,
+        detected=detected,
+        rounds_run=rounds,
+        eps=eps,
+        mode=rt.mode,
+        n_processors=rt.n_processors,
+        n1=rt.n1,
+        n2=rt.n2 or 0,
+        virtual_seconds=virtual_total,
+        wall_seconds=time.perf_counter() - wall0,
+        details={"weights_total": int(w.sum())},
+    )

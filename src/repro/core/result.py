@@ -1,0 +1,111 @@
+"""Result dataclasses returned by the MIDAS drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class RoundRecord:
+    """Per-round transcript entry: the final field value and its timing."""
+
+    round_index: int
+    value: int  # GF(2^l) scalar; nonzero => witness found this round
+    virtual_seconds: float = 0.0
+
+    @property
+    def hit(self) -> bool:
+        return self.value != 0
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of a k-path / k-tree detection run.
+
+    ``found`` is the algorithm's answer.  One-sided error: ``found=True`` is
+    always correct (a nonzero evaluation certifies a multilinear term);
+    ``found=False`` is wrong with probability at most ``eps``.
+    """
+
+    problem: str
+    k: int
+    found: bool
+    rounds: List[RoundRecord]
+    eps: float
+    mode: str = "sequential"
+    n_processors: int = 1
+    n1: int = 1
+    n2: int = 1
+    virtual_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rounds_run(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def first_hit_round(self) -> Optional[int]:
+        for r in self.rounds:
+            if r.hit:
+                return r.round_index
+        return None
+
+    def summary(self) -> str:
+        verdict = "FOUND" if self.found else "not found"
+        return (
+            f"{self.problem}(k={self.k}): {verdict} after {self.rounds_run} round(s) "
+            f"[mode={self.mode}, N={self.n_processors}, N1={self.n1}, N2={self.n2}, "
+            f"virtual={self.virtual_seconds:.4f}s, wall={self.wall_seconds:.3f}s]"
+        )
+
+
+@dataclass
+class ScanGridResult:
+    """Outcome of the scan-statistics grid detection (Algorithm 5).
+
+    ``detected[j, z]`` is True when some connected subgraph of exactly
+    ``j`` vertices and total (rounded) weight ``z`` exists — with the same
+    one-sided error as :class:`DetectionResult` per cell.
+    """
+
+    k: int
+    z_max: int
+    detected: np.ndarray  # (k+1, z_max+1) bool; rows 0 unused
+    rounds_run: int
+    eps: float
+    mode: str = "sequential"
+    n_processors: int = 1
+    n1: int = 1
+    n2: int = 1
+    virtual_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def feasible_cells(self):
+        """Iterate detected (size j, weight z) pairs."""
+        js, zs = np.nonzero(self.detected)
+        return list(zip(js.tolist(), zs.tolist()))
+
+    def best_cell(self, score_fn):
+        """Maximize ``score_fn(weight=z, size=j)`` over detected cells.
+
+        Returns ``(best_score, j, z)`` or ``(-inf, None, None)`` when the
+        grid is empty.
+        """
+        best = (-np.inf, None, None)
+        for j, z in self.feasible_cells():
+            s = float(score_fn(z, j))
+            if s > best[0]:
+                best = (s, j, z)
+        return best
+
+    def summary(self) -> str:
+        return (
+            f"scan-grid(k={self.k}, z<={self.z_max}): {int(self.detected.sum())} feasible "
+            f"(size, weight) cells after {self.rounds_run} round(s) "
+            f"[mode={self.mode}, virtual={self.virtual_seconds:.4f}s]"
+        )

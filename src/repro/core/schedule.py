@@ -1,0 +1,140 @@
+"""The MIDAS iteration schedule (paper Fig 1 and Table I).
+
+The ``2^k`` independent iterations of the matrix representation are
+organized as:
+
+* **phase** — ``N_2`` consecutive iterations whose communication is batched
+  into single messages (the message-coalescing idea of Section IV);
+* **batch** — ``N / N_1`` phases executed simultaneously, each on its own
+  group of ``N_1`` processors;
+* **round** — all ``2^k`` iterations once; repeated
+  ``ceil(log(1/eps) / log(5/4))`` times to amplify the 1/5 per-round
+  success probability to ``1 - eps``.
+
+:class:`PhaseSchedule` validates a ``(k, N, N1, N2)`` combination eagerly
+and exposes every derived quantity the driver, the performance model, and
+the benchmarks need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_positive_int, check_probability
+
+
+def rounds_for_epsilon(eps: float) -> int:
+    """Number of amplification rounds: ``ceil(log(1/eps) / log(5/4))``.
+
+    Each round succeeds with probability >= 1/5 when a witness exists, so
+    after L rounds the failure probability is at most (4/5)^L <= eps.
+    """
+    eps = check_probability(eps, "eps")
+    return max(1, math.ceil(math.log(1.0 / eps) / math.log(5.0 / 4.0)))
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """A validated ``(k, N, N1, N2)`` decomposition of the iteration space.
+
+    Parameters (paper Table I)
+    --------------------------
+    k:
+        Subgraph size; the iteration space is ``2^k``.
+    n_processors:
+        ``N`` — total processors.
+    n1:
+        ``N_1`` — parts in the graph partition (processors per phase).
+    n2:
+        ``N_2`` — iterations per phase (communication batching factor).
+    """
+
+    k: int
+    n_processors: int
+    n1: int
+    n2: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.k, "k")
+        check_positive_int(self.n_processors, "n_processors")
+        check_positive_int(self.n1, "n1")
+        check_positive_int(self.n2, "n2")
+        if self.k > 30:
+            raise ConfigurationError(f"k={self.k} implies 2^{self.k} iterations; k <= 30 supported")
+        if self.n1 > self.n_processors:
+            raise ConfigurationError(
+                f"N1 (={self.n1}) cannot exceed N (={self.n_processors})"
+            )
+        if self.n_processors % self.n1:
+            raise ConfigurationError(
+                f"N1 (={self.n1}) must divide N (={self.n_processors}) so batches are integral"
+            )
+        if self.n2 > self.total_iterations:
+            raise ConfigurationError(
+                f"N2 (={self.n2}) cannot exceed the 2^k={self.total_iterations} iterations"
+            )
+        if self.total_iterations % self.n2:
+            raise ConfigurationError(
+                f"N2 (={self.n2}) must divide 2^k={self.total_iterations}"
+            )
+
+    # ------------------------------------------------------------- derived
+    @property
+    def total_iterations(self) -> int:
+        """``2^k`` — one per diagonal element of the matrix representation."""
+        return 1 << self.k
+
+    @property
+    def n_phases(self) -> int:
+        """``2^k / N2`` phases per round."""
+        return self.total_iterations // self.n2
+
+    @property
+    def concurrency(self) -> int:
+        """``N / N1`` phases running simultaneously (the batch width)."""
+        return self.n_processors // self.n1
+
+    @property
+    def n_batches(self) -> int:
+        """Batches per round: ``ceil(n_phases / concurrency)``."""
+        return -(-self.n_phases // self.concurrency)
+
+    def phase_window(self, t: int) -> Tuple[int, int]:
+        """Iteration window ``[q_start, q_end)`` of phase ``t``."""
+        if not (0 <= t < self.n_phases):
+            raise ConfigurationError(f"phase {t} out of range [0, {self.n_phases})")
+        return t * self.n2, (t + 1) * self.n2
+
+    def batches(self) -> Iterator[List[int]]:
+        """Yield the phase ids of each batch, in execution order."""
+        for b in range(self.n_batches):
+            lo = b * self.concurrency
+            hi = min((b + 1) * self.concurrency, self.n_phases)
+            yield list(range(lo, hi))
+
+    @staticmethod
+    def bs_max(k: int, n_processors: int, n1: int) -> int:
+        """The figures' "BSMax": ``N2 = 2^k N1 / N`` — one batch per round.
+
+        This is the largest batching factor that still uses all processors;
+        clamped to at least 1 and to divide 2^k.
+        """
+        total = 1 << k
+        conc = max(1, n_processors // n1)
+        n2 = max(1, total * n1 // n_processors) if n_processors <= total * n1 else 1
+        n2 = min(n2, total)
+        # ensure divisibility (N, N1 powers of two in all experiments)
+        while total % n2:
+            n2 -= 1
+        return max(1, n2)
+
+    def describe(self) -> str:
+        return (
+            f"PhaseSchedule(k={self.k}: 2^k={self.total_iterations} iterations; "
+            f"N={self.n_processors}, N1={self.n1}, N2={self.n2} -> "
+            f"{self.n_phases} phases, {self.concurrency} concurrent, "
+            f"{self.n_batches} batches/round)"
+        )

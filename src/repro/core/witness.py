@@ -1,0 +1,102 @@
+"""Witness extraction by deletion peeling.
+
+MIDAS answers *decision* questions; applications often want the vertices.
+Self-reduction recovers them: repeatedly try removing chunks of vertices —
+if the structure is still detected without them, they were not needed.
+Halving the chunk size on failure gives ``O(n_candidates)`` detector calls
+in the worst case but ``O(k log n)`` when deletions mostly succeed.
+
+Because the detector is one-sided Monte Carlo, each query is run at a
+small per-query ``eps``; a failed detection on the *full* graph aborts
+with :class:`~repro.errors.DetectionError` rather than peeling garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import DetectionError
+from repro.graph.csr import CSRGraph
+from repro.util.rng import as_stream
+
+DetectFn = Callable[[CSRGraph], bool]
+# signature: detect(subgraph) -> bool, on a graph with *original* ids kept
+# via the mask trick below (vertices are isolated, not renumbered).
+
+
+def _mask_graph(graph: CSRGraph, keep: np.ndarray) -> CSRGraph:
+    """Graph with all edges touching non-kept vertices removed (ids stable)."""
+    e = graph.edges()
+    ok = keep[e[:, 0]] & keep[e[:, 1]]
+    return CSRGraph.from_edges(graph.n, e[ok], name=f"{graph.name}|mask")
+
+
+def extract_witness(
+    graph: CSRGraph,
+    detect: DetectFn,
+    k: int,
+    rng=None,
+    max_queries: Optional[int] = None,
+) -> np.ndarray:
+    """Peel the graph down to a ``k``-vertex witness of ``detect``.
+
+    Parameters
+    ----------
+    graph:
+        Host graph; ``detect(masked_graph)`` must answer whether the target
+        structure survives among the still-active vertices.
+    detect:
+        Detection callable (e.g. a :func:`~repro.core.midas.detect_path`
+        wrapper with a fixed seed policy).
+    k:
+        Witness size; peeling stops once ``k`` active vertices remain.
+
+    Returns the sorted vertex ids of a witness.  Raises
+    :class:`~repro.errors.DetectionError` if the structure is not detected
+    on the full graph or the query budget is exhausted.
+    """
+    rng = as_stream(rng, "witness")
+    n = graph.n
+    keep = np.ones(n, dtype=bool)
+    if not detect(graph):
+        raise DetectionError("structure not detected on the full graph; nothing to extract")
+    budget = max_queries if max_queries is not None else 4 * n + 64
+    queries = 0
+
+    active = rng.permutation(n)
+    chunk = max(1, len(active) // 2)
+    pos = 0
+    progressed_this_pass = False
+    while keep.sum() > k:
+        if pos >= len(active):
+            # reshuffle the survivors and shrink the chunk
+            if chunk == 1 and not progressed_this_pass:
+                raise DetectionError(
+                    f"peeling stalled with {int(keep.sum())} active vertices (> k={k}); "
+                    "the detector may be answering inconsistently"
+                )
+            active = rng.permutation(np.nonzero(keep)[0])
+            pos = 0
+            progressed_this_pass = False
+            chunk = max(1, chunk // 2)
+        cand = np.array([v for v in active[pos : pos + chunk] if keep[v]], dtype=np.int64)
+        pos += chunk
+        if len(cand) == 0:
+            continue
+        if keep.sum() - len(cand) < k:
+            # would drop below k vertices; try a smaller bite
+            chunk = max(1, chunk // 2)
+            continue
+        trial = keep.copy()
+        trial[cand] = False
+        queries += 1
+        if queries > budget:
+            raise DetectionError(f"witness extraction exceeded {budget} detector queries")
+        if detect(_mask_graph(graph, trial)):
+            keep = trial
+            progressed_this_pass = True
+        elif chunk > 1:
+            chunk = max(1, chunk // 2)
+    return np.nonzero(keep)[0]

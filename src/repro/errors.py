@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration problems from runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination was supplied by the caller.
+
+    Raised eagerly, before any expensive work starts, so that a bad
+    ``(N, N1, N2, k)`` combination never produces a half-finished run.
+    """
+
+
+class FieldError(ReproError, ValueError):
+    """Invalid finite-field construction or operation."""
+
+
+class GraphError(ReproError, ValueError):
+    """Invalid graph construction or query."""
+
+
+class PartitionError(ReproError, ValueError):
+    """Invalid graph partition (empty parts, out-of-range labels, ...)."""
+
+
+class TemplateError(ReproError, ValueError):
+    """Invalid tree template (cycles, disconnected, too large, ...)."""
+
+
+class RuntimeSimulationError(ReproError, RuntimeError):
+    """The SPMD runtime simulator reached an illegal state."""
+
+
+class DeadlockError(RuntimeSimulationError):
+    """All live ranks are blocked on communication that can never complete."""
+
+
+class ResourceExhaustedError(ReproError, RuntimeError):
+    """A modeled resource limit (e.g. per-node memory) was exceeded.
+
+    Used by the FASCIA baseline model to reproduce the paper's observation
+    that color coding fails beyond subgraph size 12 on random-1e6.
+    """
+
+
+class DetectionError(ReproError, RuntimeError):
+    """A detection pipeline failed to produce a usable answer."""

@@ -1,0 +1,248 @@
+"""Exact (exponential-time) reference algorithms.
+
+Small-graph ground truth for every problem the library solves with Monte
+Carlo algebra: DFS path search/counting, backtracking tree-embedding
+counts, and connected-subgraph enumeration.  These are the oracles the
+test-suite validates against, exposed publicly so downstream users can do
+the same on their own small instances.
+
+Everything here is exponential — guard rails reject inputs that would
+clearly never finish.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.graph.templates import TreeTemplate
+
+_MAX_EXACT_N = 5000
+_MAX_ENUM_N = 40
+
+
+def _guard(graph: CSRGraph, k: int, limit: int = _MAX_EXACT_N) -> None:
+    if graph.n > limit:
+        raise ConfigurationError(
+            f"exact reference algorithms are for small graphs (n <= {limit}); "
+            f"got n = {graph.n} — use the Monte Carlo detectors instead"
+        )
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+
+
+def has_path(graph: CSRGraph, k: int) -> bool:
+    """Exact k-path decision by DFS with early exit."""
+    _guard(graph, k)
+    if k == 1:
+        return graph.n > 0
+    if k > graph.n:
+        return False
+
+    visited = [False] * graph.n
+
+    def dfs(v: int, depth: int) -> bool:
+        if depth == k:
+            return True
+        visited[v] = True
+        try:
+            for u in graph.neighbors(v):
+                u = int(u)
+                if not visited[u] and dfs(u, depth + 1):
+                    return True
+            return False
+        finally:
+            visited[v] = False
+
+    return any(dfs(s, 1) for s in range(graph.n))
+
+
+def count_path_mappings(graph: CSRGraph, k: int) -> int:
+    """Exact number of ordered simple k-paths (each counted per direction)."""
+    _guard(graph, k, limit=200)
+    if k == 1:
+        return graph.n
+    count = 0
+    visited = [False] * graph.n
+
+    def dfs(v: int, depth: int) -> None:
+        nonlocal count
+        if depth == k:
+            count += 1
+            return
+        visited[v] = True
+        for u in graph.neighbors(v):
+            u = int(u)
+            if not visited[u]:
+                dfs(u, depth + 1)
+        visited[v] = False
+
+    for s in range(graph.n):
+        dfs(s, 1)
+    return count
+
+
+def max_weight_path(graph: CSRGraph, k: int, weights: np.ndarray) -> Optional[int]:
+    """Exact maximum node-weight over simple k-paths; None when absent."""
+    _guard(graph, k, limit=200)
+    w = np.asarray(weights, dtype=np.int64)
+    if w.shape != (graph.n,):
+        raise ConfigurationError(f"weights must have shape ({graph.n},)")
+    best: Optional[int] = None
+    visited = [False] * graph.n
+
+    def dfs(v: int, depth: int, total: int) -> None:
+        nonlocal best
+        if depth == k:
+            best = total if best is None else max(best, total)
+            return
+        visited[v] = True
+        for u in graph.neighbors(v):
+            u = int(u)
+            if not visited[u]:
+                dfs(u, depth + 1, total + int(w[u]))
+        visited[v] = False
+
+    for s in range(graph.n):
+        dfs(s, 1, int(w[s]))
+    return best
+
+
+def count_tree_embeddings(graph: CSRGraph, template: TreeTemplate) -> int:
+    """Exact number of injective homomorphisms of ``template`` into ``graph``."""
+    _guard(graph, template.k, limit=200)
+    k = template.k
+    if k > graph.n:
+        return 0
+    # order template nodes so each attaches to an already-placed one
+    order = [template.root]
+    placed = {template.root}
+    attach = {}
+    while len(order) < k:
+        for a, b in template.edges:
+            if a in placed and b not in placed:
+                attach[b] = a
+                order.append(b)
+                placed.add(b)
+            elif b in placed and a not in placed:
+                attach[a] = b
+                order.append(a)
+                placed.add(a)
+    count = 0
+    mapping: dict = {}
+    used: Set[int] = set()
+
+    def rec(pos: int) -> None:
+        nonlocal count
+        if pos == k:
+            count += 1
+            return
+        t = order[pos]
+        host = mapping[attach[t]]
+        for u in graph.neighbors(host):
+            u = int(u)
+            if u not in used:
+                mapping[t] = u
+                used.add(u)
+                rec(pos + 1)
+                used.discard(u)
+
+    for v in range(graph.n):
+        mapping[template.root] = v
+        used = {v}
+        rec(1)
+    return count
+
+
+def has_tree(graph: CSRGraph, template: TreeTemplate) -> bool:
+    """Exact template-embedding decision (early-exit embedding search)."""
+    _guard(graph, template.k, limit=500)
+    # reuse the counting machinery with an early-exit exception
+    class _Found(Exception):
+        pass
+
+    k = template.k
+    if k > graph.n:
+        return False
+    order = [template.root]
+    placed = {template.root}
+    attach = {}
+    while len(order) < k:
+        for a, b in template.edges:
+            if a in placed and b not in placed:
+                attach[b] = a
+                order.append(b)
+                placed.add(b)
+            elif b in placed and a not in placed:
+                attach[a] = b
+                order.append(a)
+                placed.add(a)
+    mapping: dict = {}
+
+    def rec(pos: int, used: Set[int]) -> None:
+        if pos == k:
+            raise _Found
+        t = order[pos]
+        host = mapping[attach[t]]
+        for u in graph.neighbors(host):
+            u = int(u)
+            if u not in used:
+                mapping[t] = u
+                rec(pos + 1, used | {u})
+
+    try:
+        for v in range(graph.n):
+            mapping[template.root] = v
+            rec(1, {v})
+    except _Found:
+        return True
+    return False
+
+
+def connected_subgraphs(graph: CSRGraph, k: int) -> Iterator[Tuple[int, ...]]:
+    """Enumerate all connected vertex sets of size <= k (small graphs only).
+
+    Yields sorted tuples; uses the standard 'extend by boundary vertex
+    larger than the anchor' enumeration so each set appears exactly once.
+    """
+    _guard(graph, k, limit=_MAX_ENUM_N)
+
+    def extend(current: Tuple[int, ...], boundary: Set[int], forbidden: Set[int]):
+        yield current
+        if len(current) == k:
+            return
+        boundary = set(boundary)
+        while boundary:
+            v = min(boundary)
+            boundary.discard(v)
+            new_boundary = boundary | {
+                int(u) for u in graph.neighbors(v)
+                if int(u) not in current and int(u) not in forbidden and int(u) != v
+            }
+            new_boundary -= {v}
+            yield from extend(
+                tuple(sorted(current + (v,))),
+                new_boundary - forbidden - {v},
+                forbidden,
+            )
+            forbidden = forbidden | {v}
+
+    forbidden: Set[int] = set()
+    for v in range(graph.n):
+        nb = {int(u) for u in graph.neighbors(v)} - forbidden
+        yield from extend((v,), nb, set(forbidden))
+        forbidden.add(v)
+
+
+def scan_cells(graph: CSRGraph, weights: np.ndarray, k: int) -> Set[Tuple[int, int]]:
+    """All realizable (size, total weight) cells, by exact enumeration."""
+    w = np.asarray(weights, dtype=np.int64)
+    if w.shape != (graph.n,):
+        raise ConfigurationError(f"weights must have shape ({graph.n},)")
+    cells = set()
+    for s in connected_subgraphs(graph, k):
+        cells.add((len(s), int(w[list(s)].sum())))
+    return cells

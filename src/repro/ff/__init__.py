@@ -1,0 +1,44 @@
+"""Finite-field arithmetic substrate.
+
+MIDAS evaluates its polynomials over the group algebra
+``GF(2^l)[Z_2^k]`` with ``l = 3 + ceil(log2 k)``.  This subpackage provides:
+
+* :mod:`repro.ff.poly2` — polynomials over GF(2) packed into machine ints,
+  with an irreducibility test used to construct field moduli;
+* :mod:`repro.ff.gf2m` — vectorized ``GF(2^m)`` arithmetic (numpy log/antilog
+  and dense multiplication tables);
+* :mod:`repro.ff.group_algebra` — a dense reference implementation of the
+  group algebra, used as a correctness oracle for small ``k``;
+* :mod:`repro.ff.fingerprint` — the random assignments (vectors ``v_i`` in
+  ``Z_2^k`` and coefficients ``y`` in ``GF(2^l)``) that turn structure
+  detection into polynomial identity testing.
+"""
+
+from repro.ff.gf2m import GF2m, default_field_for_k
+from repro.ff.fingerprint import Fingerprint, base_indicator_block
+from repro.ff.group_algebra import GroupAlgebra, GroupAlgebraElement
+from repro.ff.poly2 import (
+    find_irreducible,
+    is_irreducible,
+    poly_degree,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+)
+
+__all__ = [
+    "GF2m",
+    "default_field_for_k",
+    "Fingerprint",
+    "base_indicator_block",
+    "GroupAlgebra",
+    "GroupAlgebraElement",
+    "find_irreducible",
+    "is_irreducible",
+    "poly_degree",
+    "poly_divmod",
+    "poly_gcd",
+    "poly_mod",
+    "poly_mul",
+]

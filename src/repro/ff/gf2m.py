@@ -1,0 +1,220 @@
+"""Vectorized arithmetic in ``GF(2^m)``.
+
+This is the single hottest substrate in the reproduction: every DP step of
+every evaluator multiplies arrays of field elements of shape
+``(local_nodes, N2)``.  The paper does this in C; we get within a usable
+factor in pure Python by doing the arithmetic on whole numpy arrays:
+
+* addition is ``XOR`` (characteristic 2) — a single vectorized op;
+* multiplication uses either log/antilog tables (``exp[(log a + log b)]``
+  with a sentinel trick that avoids both the modulo and the zero-masking
+  ``where``), or, for ``m <= 8``, one dense ``2^m x 2^m`` product table
+  indexed with ``table[a, b]`` — measured fastest for the uint8 fields MIDAS
+  actually uses (``m = 3 + ceil(log2 k) <= 8`` for ``k <= 18``; see the
+  ``bench_ablation_gf_kernels`` benchmark).
+
+Elements are numpy ``uint8`` (m <= 8) or ``uint16`` (m <= 16) whose integer
+value encodes the coefficient vector of the residue polynomial.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.ff.poly2 import find_irreducible, is_irreducible, poly_degree, poly_mulmod
+from repro.util.rng import RngStream
+
+_MAX_M = 16
+_TABLE_MAX_M = 8
+
+
+class GF2m:
+    """The finite field with ``2^m`` elements, with array-first operations.
+
+    Parameters
+    ----------
+    m:
+        Extension degree; ``1 <= m <= 16``.
+    modulus:
+        Packed irreducible polynomial of degree ``m`` (see
+        :mod:`repro.ff.poly2`).  Defaults to a known primitive polynomial.
+    mul_strategy:
+        ``"table"`` (dense product table, only for ``m <= 8``),
+        ``"logexp"``, or ``"auto"`` (table when possible).
+    """
+
+    def __init__(self, m: int, modulus: Optional[int] = None, mul_strategy: str = "auto") -> None:
+        if not (1 <= m <= _MAX_M):
+            raise FieldError(f"GF2m supports 1 <= m <= {_MAX_M}, got m={m}")
+        self.m = int(m)
+        self.order = 1 << self.m
+        self.dtype = np.uint8 if self.m <= 8 else np.uint16
+        self.modulus = find_irreducible(self.m) if modulus is None else int(modulus)
+        if poly_degree(self.modulus) != self.m or not is_irreducible(self.modulus):
+            raise FieldError(
+                f"modulus {bin(self.modulus)} is not an irreducible polynomial of degree {m}"
+            )
+        if mul_strategy not in ("auto", "table", "logexp"):
+            raise FieldError(f"unknown mul_strategy {mul_strategy!r}")
+        self._build_log_tables()
+        use_table = mul_strategy == "table" or (mul_strategy == "auto" and m <= _TABLE_MAX_M)
+        if mul_strategy == "table" and m > _TABLE_MAX_M:
+            raise FieldError(f"dense table strategy needs m <= {_TABLE_MAX_M}, got m={m}")
+        self.mul_strategy = "table" if use_table else "logexp"
+        self._mul_table = self._build_mul_table() if use_table else None
+
+    # ------------------------------------------------------------------ setup
+    def _build_log_tables(self) -> None:
+        q1 = self.order - 1
+        exp = np.zeros(q1, dtype=self.dtype)
+        log = np.zeros(self.order, dtype=np.int64)
+        x = 1
+        generator = 0b10 if self.m > 1 else 1
+        for i in range(q1):
+            exp[i] = x
+            log[x] = i
+            x = poly_mulmod(x, generator, self.modulus)
+        if x != 1 or len(set(exp.tolist())) != q1:
+            # x was not a generator for this modulus; fall back to searching one.
+            x = self._find_generator()
+            e = 1
+            for i in range(q1):
+                exp[i] = e
+                log[e] = i
+                e = poly_mulmod(e, x, self.modulus)
+        # Sentinel trick: log[0] = 2*q1 and an extended exp table that maps
+        # any index >= 2*q1 to 0, so mul needs no branch and no modulo.
+        log[0] = 2 * q1
+        exp_ext = np.zeros(4 * q1 + 1, dtype=self.dtype)
+        exp_ext[:q1] = exp
+        exp_ext[q1 : 2 * q1] = exp
+        self._exp = exp
+        self._log = log
+        self._exp_ext = exp_ext
+        self._q1 = q1
+
+    def _find_generator(self) -> int:
+        q1 = self.order - 1
+        for cand in range(2, self.order):
+            x, n = cand, 1
+            while True:
+                x = poly_mulmod(x, cand, self.modulus)
+                n += 1
+                if x == 1:
+                    break
+            if n == q1:
+                return cand
+        raise FieldError("no multiplicative generator found (impossible for a field)")
+
+    def _build_mul_table(self) -> np.ndarray:
+        a = np.arange(self.order, dtype=self.dtype)
+        la = self._log[a]
+        idx = la[:, None] + la[None, :]
+        return self._exp_ext[idx]
+
+    # ------------------------------------------------------------- operations
+    def add(self, a, b):
+        """Field addition (XOR); works elementwise on arrays or scalars."""
+        return np.bitwise_xor(np.asarray(a, self.dtype), np.asarray(b, self.dtype))
+
+    sub = add  # characteristic 2: subtraction is addition
+
+    def mul(self, a, b):
+        """Field multiplication, elementwise with broadcasting."""
+        a = np.asarray(a, self.dtype)
+        b = np.asarray(b, self.dtype)
+        if self._mul_table is not None:
+            return self._mul_table[a, b]
+        return self._exp_ext[self._log[a] + self._log[b]]
+
+    def inv(self, a):
+        """Multiplicative inverse; raises on any zero element."""
+        a = np.asarray(a, self.dtype)
+        if np.any(a == 0):
+            raise FieldError("zero has no multiplicative inverse")
+        return self._exp_ext[(self._q1 - self._log[a]) % self._q1]
+
+    def div(self, a, b):
+        """Field division ``a / b``; raises on any zero divisor."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a, e: int):
+        """Field power ``a^e`` for integer ``e >= 0``, elementwise."""
+        if e < 0:
+            raise FieldError(f"exponent must be non-negative, got {e}")
+        a = np.asarray(a, self.dtype)
+        if e == 0:
+            return np.ones_like(a)
+        le = (self._log[a] * e) % self._q1
+        out = self._exp[le]
+        return np.where(a == 0, self.dtype(0), out)
+
+    def xor_sum(self, a, axis=None):
+        """Field sum (XOR-reduce) along ``axis``."""
+        return np.bitwise_xor.reduce(np.asarray(a, self.dtype), axis=axis)
+
+    def mul_scalar(self, a, s: int):
+        """Multiply array ``a`` by the scalar field element ``s``."""
+        s = int(s)
+        if not (0 <= s < self.order):
+            raise FieldError(f"scalar {s} is not an element of GF(2^{self.m})")
+        if s == 0:
+            return np.zeros_like(np.asarray(a, self.dtype))
+        a = np.asarray(a, self.dtype)
+        return self._exp_ext[self._log[a] + self._log[s]]
+
+    # ------------------------------------------------------------------ draws
+    def random(self, rng: RngStream, size=None) -> np.ndarray:
+        """Uniform field elements (including 0)."""
+        return rng.integers(0, self.order, size=size, dtype=np.int64).astype(self.dtype)
+
+    def random_nonzero(self, rng: RngStream, size=None) -> np.ndarray:
+        """Uniform *nonzero* field elements (fingerprint coefficients)."""
+        return (rng.integers(0, self.order - 1, size=size, dtype=np.int64) + 1).astype(self.dtype)
+
+    # ------------------------------------------------------------------ misc
+    def element(self, value: int) -> int:
+        """Validate and return a scalar element."""
+        v = int(value)
+        if not (0 <= v < self.order):
+            raise FieldError(f"{value} is not an element of GF(2^{self.m})")
+        return v
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GF2m) and other.m == self.m and other.modulus == self.modulus
+        )
+
+    def __hash__(self) -> int:
+        return hash(("GF2m", self.m, self.modulus))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF2m(m={self.m}, modulus={bin(self.modulus)}, mul={self.mul_strategy})"
+
+
+def field_degree_for_k(k: int) -> int:
+    """The paper's field size rule: ``l = 3 + ceil(log2 k)`` (min 3)."""
+    if k < 1:
+        raise FieldError(f"k must be >= 1, got {k}")
+    return 3 + (math.ceil(math.log2(k)) if k > 1 else 0)
+
+
+def default_field_for_k(k: int, mul_strategy: str = "auto") -> GF2m:
+    """Construct ``GF(2^(3 + ceil(log2 k)))`` as used by Williams' refinement.
+
+    For every subgraph size the paper evaluates (``k <= 18``) this is at most
+    ``GF(2^8)``, so elements fit in a byte and the dense product table wins.
+    """
+    return GF2m(field_degree_for_k(k), mul_strategy=mul_strategy)

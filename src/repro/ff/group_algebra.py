@@ -1,0 +1,164 @@
+"""Dense reference implementation of the group algebra ``GF(2^l)[Z_2^k]``.
+
+An element is a table of ``2^k`` coefficients from ``GF(2^l)``, one per group
+element of ``Z_2^k`` (k-bit vectors under XOR).  Multiplication is the
+XOR-convolution
+
+    ``(a * b)[w] = sum_{u XOR v = w} a[u] * b[v]``.
+
+This is the algebra the sequential theory (Section III of the paper) is
+stated in.  It costs ``O(4^k)`` per product, so it is *not* the production
+evaluation path — the production path is the ``2^k``-iteration matrix
+representation in :mod:`repro.core`.  It exists as a small-``k`` oracle: the
+test-suite checks that evaluating a polynomial here (where the
+square-kills-itself identity ``(v0+v_i)^2 = 0`` is structural) agrees with
+the iteration-based evaluation used everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.ff.gf2m import GF2m
+
+
+class GroupAlgebra:
+    """The algebra ``GF(2^l)[Z_2^k]`` for a fixed field and dimension ``k``."""
+
+    def __init__(self, field: GF2m, k: int) -> None:
+        if k < 1:
+            raise FieldError(f"group dimension k must be >= 1, got {k}")
+        if k > 16:
+            raise FieldError(
+                f"dense group algebra is a small-k oracle; k={k} would allocate 2^{k} "
+                "coefficients per element — use the iteration-based evaluator instead"
+            )
+        self.field = field
+        self.k = int(k)
+        self.size = 1 << self.k
+
+    # ------------------------------------------------------------- factories
+    def zero(self) -> "GroupAlgebraElement":
+        return GroupAlgebraElement(self, np.zeros(self.size, dtype=self.field.dtype))
+
+    def one(self) -> "GroupAlgebraElement":
+        coeffs = np.zeros(self.size, dtype=self.field.dtype)
+        coeffs[0] = 1
+        return GroupAlgebraElement(self, coeffs)
+
+    def basis(self, v: int, coeff: int = 1) -> "GroupAlgebraElement":
+        """The element ``coeff * v`` for a single group element ``v``."""
+        if not (0 <= v < self.size):
+            raise FieldError(f"group element {v} out of range for Z_2^{self.k}")
+        coeffs = np.zeros(self.size, dtype=self.field.dtype)
+        coeffs[v] = self.field.element(coeff)
+        return GroupAlgebraElement(self, coeffs)
+
+    def variable(self, v: int, coeff: int = 1) -> "GroupAlgebraElement":
+        """The assignment ``x = coeff * (v0 + v)`` used by the detection scheme.
+
+        Squares of such elements vanish:
+        ``(v0+v)^2 = v0 + 2 v0 v + v0 = 0`` in characteristic 2.
+        """
+        e = self.basis(0, coeff) + self.basis(v, coeff)
+        return e
+
+    def from_coeffs(self, coeffs: Sequence[int]) -> "GroupAlgebraElement":
+        arr = np.asarray(coeffs, dtype=self.field.dtype)
+        if arr.shape != (self.size,):
+            raise FieldError(f"expected {self.size} coefficients, got shape {arr.shape}")
+        return GroupAlgebraElement(self, arr.copy())
+
+    def sum(self, elements: Iterable["GroupAlgebraElement"]) -> "GroupAlgebraElement":
+        acc = self.zero()
+        for e in elements:
+            acc = acc + e
+        return acc
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GroupAlgebra) and other.k == self.k and other.field == self.field
+        )
+
+    def __hash__(self) -> int:
+        return hash(("GroupAlgebra", self.k, self.field))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GroupAlgebra(GF(2^{self.field.m})[Z_2^{self.k}])"
+
+
+class GroupAlgebraElement:
+    """A dense element of a :class:`GroupAlgebra`; immutable by convention."""
+
+    __slots__ = ("algebra", "coeffs")
+
+    def __init__(self, algebra: GroupAlgebra, coeffs: np.ndarray) -> None:
+        self.algebra = algebra
+        self.coeffs = coeffs
+
+    def _check_same(self, other: "GroupAlgebraElement") -> None:
+        if self.algebra != other.algebra:
+            raise FieldError("cannot combine elements of different group algebras")
+
+    def __add__(self, other: "GroupAlgebraElement") -> "GroupAlgebraElement":
+        self._check_same(other)
+        return GroupAlgebraElement(self.algebra, np.bitwise_xor(self.coeffs, other.coeffs))
+
+    __sub__ = __add__  # characteristic 2
+
+    def __mul__(self, other: "GroupAlgebraElement") -> "GroupAlgebraElement":
+        self._check_same(other)
+        field = self.algebra.field
+        size = self.algebra.size
+        out = np.zeros(size, dtype=field.dtype)
+        a = self.coeffs
+        b = other.coeffs
+        nz = np.nonzero(a)[0]
+        group = np.arange(size, dtype=np.int64)
+        for u in nz:
+            # a[u] * b[v] lands on group element u XOR v for every v.
+            contrib = field.mul_scalar(b, int(a[u]))
+            np.bitwise_xor.at(out, group ^ int(u), contrib)
+        return GroupAlgebraElement(self.algebra, out)
+
+    def scale(self, s: int) -> "GroupAlgebraElement":
+        """Multiply by a scalar field element."""
+        return GroupAlgebraElement(
+            self.algebra, self.algebra.field.mul_scalar(self.coeffs, s)
+        )
+
+    def is_zero(self) -> bool:
+        return not np.any(self.coeffs)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GroupAlgebraElement)
+            and self.algebra == other.algebra
+            and np.array_equal(self.coeffs, other.coeffs)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.algebra, self.coeffs.tobytes()))
+
+    def __pow__(self, e: int) -> "GroupAlgebraElement":
+        if e < 0:
+            raise FieldError("group-algebra elements are not generally invertible")
+        result = self.algebra.one()
+        base = self
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nz = np.nonzero(self.coeffs)[0]
+        if len(nz) == 0:
+            return "GA<0>"
+        terms = " + ".join(f"{int(self.coeffs[v])}*[{v:0{self.algebra.k}b}]" for v in nz[:6])
+        more = "" if len(nz) <= 6 else f" + ... ({len(nz)} terms)"
+        return f"GA<{terms}{more}>"

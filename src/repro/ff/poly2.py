@@ -1,0 +1,169 @@
+"""Polynomials over GF(2), packed into Python integers.
+
+Bit ``j`` of the integer is the coefficient of ``x^j``; e.g. ``0b1011`` is
+``x^3 + x + 1``.  Python's arbitrary-precision ints make this representation
+exact for any degree, and XOR is polynomial addition.
+
+These routines exist to *construct* fields: :func:`find_irreducible` produces
+the modulus for ``GF(2^m)`` and :func:`is_irreducible` (Rabin's test)
+verifies it.  They are scalar code on ints — the hot path never touches
+them; the hot path uses the tables built once per field in
+:mod:`repro.ff.gf2m`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import FieldError
+
+
+def poly_degree(p: int) -> int:
+    """Degree of ``p``; the zero polynomial has degree -1 by convention."""
+    if p < 0:
+        raise FieldError(f"polynomials are encoded as non-negative ints, got {p}")
+    return p.bit_length() - 1
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Carry-less (GF(2)) product of two packed polynomials."""
+    if a < 0 or b < 0:
+        raise FieldError("polynomials are encoded as non-negative ints")
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_divmod(a: int, b: int) -> Tuple[int, int]:
+    """Quotient and remainder of ``a / b`` over GF(2)."""
+    if b == 0:
+        raise FieldError("division by the zero polynomial")
+    q = 0
+    db = poly_degree(b)
+    while poly_degree(a) >= db:
+        shift = poly_degree(a) - db
+        q ^= 1 << shift
+        a ^= b << shift
+    return q, a
+
+
+def poly_mod(a: int, b: int) -> int:
+    """Remainder of ``a / b`` over GF(2)."""
+    return poly_divmod(a, b)[1]
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor over GF(2) (monic by construction)."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def poly_mulmod(a: int, b: int, mod: int) -> int:
+    """``(a * b) mod m`` over GF(2) without forming the full product degree."""
+    if mod == 0:
+        raise FieldError("modulus must be nonzero")
+    a = poly_mod(a, mod)
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if poly_degree(a) >= poly_degree(mod):
+            a ^= mod << (poly_degree(a) - poly_degree(mod))
+    return result
+
+
+def poly_powmod(a: int, e: int, mod: int) -> int:
+    """``a^e mod m`` over GF(2) by square-and-multiply."""
+    if e < 0:
+        raise FieldError(f"exponent must be non-negative, got {e}")
+    result = 1
+    a = poly_mod(a, mod)
+    while e:
+        if e & 1:
+            result = poly_mulmod(result, a, mod)
+        a = poly_mulmod(a, a, mod)
+        e >>= 1
+    return result
+
+
+def _prime_factors(n: int) -> list:
+    out = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            out.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+def is_irreducible(f: int) -> bool:
+    """Rabin's irreducibility test for a packed GF(2) polynomial.
+
+    ``f`` of degree ``m`` is irreducible over GF(2) iff
+    ``x^(2^m) == x (mod f)`` and for every prime ``p | m``,
+    ``gcd(x^(2^(m/p)) - x, f) == 1``.
+    """
+    m = poly_degree(f)
+    if m <= 0:
+        return False
+    if m == 1:
+        return True  # x and x+1
+    x = 0b10
+    for p in _prime_factors(m):
+        h = poly_powmod(x, 1 << (m // p), f) ^ x
+        if poly_gcd(h, f) != 1:
+            return False
+    return poly_powmod(x, 1 << m, f) == x
+
+
+#: Known-good irreducible (indeed primitive) polynomials for small degrees,
+#: so field construction is instant for every modulus MIDAS ever needs
+#: (k <= 18 implies m <= 8; the table goes further for the test-suite).
+_PRIMITIVE = {
+    1: 0b11,  # x + 1
+    2: 0b111,  # x^2 + x + 1
+    3: 0b1011,  # x^3 + x + 1
+    4: 0b10011,  # x^4 + x + 1
+    5: 0b100101,  # x^5 + x^2 + 1
+    6: 0b1000011,  # x^6 + x + 1
+    7: 0b10000011,  # x^7 + x + 1
+    8: 0b100011011,  # x^8 + x^4 + x^3 + x + 1 (the AES polynomial)
+    9: 0b1000010001,  # x^9 + x^4 + 1
+    10: 0b10000001001,  # x^10 + x^3 + 1
+    11: 0b100000000101,  # x^11 + x^2 + 1
+    12: 0b1000001010011,  # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,  # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,  # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,  # x^15 + x + 1
+    16: 0b10001000000001011,  # x^16 + x^12 + x^3 + x + 1
+}
+
+
+def find_irreducible(m: int) -> int:
+    """An irreducible polynomial of degree ``m`` over GF(2).
+
+    Uses the precomputed primitive table when available, otherwise scans odd
+    polynomials of the right degree (there are ~2^m/m irreducibles, so the
+    scan terminates quickly).
+    """
+    if m < 1:
+        raise FieldError(f"field degree must be >= 1, got {m}")
+    if m in _PRIMITIVE:
+        return _PRIMITIVE[m]
+    base = 1 << m
+    for tail in range(1, base, 2):  # constant term must be 1
+        f = base | tail
+        if is_irreducible(f):
+            return f
+    raise FieldError(f"no irreducible polynomial of degree {m} found (impossible)")

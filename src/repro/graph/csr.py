@@ -1,0 +1,222 @@
+"""Immutable CSR (compressed sparse row) graph storage.
+
+The DP inner loop of every evaluator is "for each node, XOR-accumulate a
+field product over its neighbours".  With CSR storage that whole step is two
+vectorized operations: a fancy-indexed gather ``P[indices]`` followed by
+:func:`xor_segment_reduce` (a ``bitwise_xor.reduceat`` with empty-row
+repair).  No Python-level per-node loop ever runs.
+
+Graphs are simple and undirected: both ``(u, v)`` and ``(v, u)`` are stored,
+self-loops and duplicates are dropped at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+def xor_segment_reduce(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """XOR-reduce ``values`` over CSR segments defined by ``indptr``.
+
+    ``values`` has shape ``(nnz, ...)``; the result has shape
+    ``(len(indptr) - 1, ...)`` where row ``i`` is the XOR of
+    ``values[indptr[i]:indptr[i+1]]`` (zeros for empty segments).
+
+    This is GF(2^m) summation over each node's neighbourhood — the single
+    hottest reduction in the library.  ``np.bitwise_xor.reduceat`` computes
+    it in one pass; empty segments (isolated vertices) and a trailing
+    ``indptr`` entry equal to ``nnz`` need repair, handled here.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    n = len(indptr) - 1
+    nnz = values.shape[0]
+    out_shape = (n,) + values.shape[1:]
+    out = np.zeros(out_shape, dtype=values.dtype)
+    if n == 0 or nnz == 0:
+        return out
+    if indptr[-1] != nnz:
+        raise GraphError(
+            f"indptr[-1] (={indptr[-1]}) must equal len(values) (={nnz})"
+        )
+    starts = indptr[:-1]
+    nonempty = starts < indptr[1:]
+    if np.any(nonempty):
+        # reduceat over non-empty starts only: consecutive non-empty starts
+        # are exactly the segment boundaries (empty segments in between do
+        # not advance indptr), so each reduction covers one segment.
+        out[nonempty] = np.bitwise_xor.reduceat(values, starts[nonempty], axis=0)
+    return out
+
+
+class CSRGraph:
+    """A simple undirected graph in CSR form.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices (ids ``0..n-1``).
+    indptr:
+        int64 array of length ``n + 1``.
+    indices:
+        int64 array of neighbour ids, sorted within each row; length is
+        ``2m`` for ``m`` undirected edges.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "name")
+
+    def __init__(self, n: int, indptr: np.ndarray, indices: np.ndarray, name: str = "") -> None:
+        self.n = int(n)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {self.n}")
+        if self.indptr.shape != (self.n + 1,):
+            raise GraphError(
+                f"indptr must have length n+1={self.n + 1}, got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise GraphError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.n
+        ):
+            raise GraphError("neighbour ids out of range")
+
+    # ------------------------------------------------------------ factories
+    @staticmethod
+    def from_edges(
+        n: int, edges: "np.ndarray | Iterable[Tuple[int, int]]", name: str = ""
+    ) -> "CSRGraph":
+        """Build from an iterable/array of (u, v) pairs.
+
+        Self-loops and duplicate edges (in either orientation) are dropped.
+        """
+        e = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64)
+        if e.size == 0:
+            return CSRGraph(n, np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64), name)
+        if e.ndim != 2 or e.shape[1] != 2:
+            raise GraphError(f"edges must be (m, 2), got shape {e.shape}")
+        if e.min() < 0 or e.max() >= n:
+            raise GraphError("edge endpoint out of range")
+        u = np.minimum(e[:, 0], e[:, 1])
+        v = np.maximum(e[:, 0], e[:, 1])
+        keep = u != v  # drop self loops
+        u, v = u[keep], v[keep]
+        key = u * n + v
+        _, first = np.unique(key, return_index=True)
+        u, v = u[first], v[first]
+        src = np.concatenate([u, v])
+        dst = np.concatenate([v, u])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRGraph(n, indptr, dst, name)
+
+    @staticmethod
+    def from_networkx(g, name: str = "") -> "CSRGraph":
+        """Build from a networkx graph with integer-convertible node labels."""
+        import networkx as nx
+
+        nodes = list(g.nodes())
+        relabel = {u: i for i, u in enumerate(nodes)}
+        edges = np.array(
+            [(relabel[a], relabel[b]) for a, b in g.edges()], dtype=np.int64
+        ).reshape(-1, 2)
+        return CSRGraph.from_edges(len(nodes), edges, name=name or str(getattr(g, "name", "")))
+
+    # -------------------------------------------------------------- queries
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.indices) // 2
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex, as int64."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, i: int) -> np.ndarray:
+        """Sorted neighbour ids of vertex ``i`` (a view, do not mutate)."""
+        if not (0 <= i < self.n):
+            raise GraphError(f"vertex {i} out of range")
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nb = self.neighbors(u)
+        pos = np.searchsorted(nb, v)
+        return pos < len(nb) and nb[pos] == v
+
+    def edges(self) -> np.ndarray:
+        """All undirected edges as an (m, 2) array with u < v."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
+        mask = src < self.indices
+        return np.stack([src[mask], self.indices[mask]], axis=1)
+
+    # ---------------------------------------------------------- transforms
+    def subgraph(self, nodes: np.ndarray) -> Tuple["CSRGraph", np.ndarray]:
+        """Induced subgraph on ``nodes``; returns (graph, old_ids) where the
+        new graph's vertex ``i`` corresponds to ``old_ids[i]``."""
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        if len(nodes) and (nodes[0] < 0 or nodes[-1] >= self.n):
+            raise GraphError("subgraph nodes out of range")
+        relabel = -np.ones(self.n, dtype=np.int64)
+        relabel[nodes] = np.arange(len(nodes))
+        e = self.edges()
+        keep = (relabel[e[:, 0]] >= 0) & (relabel[e[:, 1]] >= 0)
+        new_edges = relabel[e[keep]]
+        return CSRGraph.from_edges(len(nodes), new_edges, name=f"{self.name}|sub"), nodes
+
+    def relabel(self, perm: np.ndarray) -> "CSRGraph":
+        """Relabel vertices: new id of old vertex ``i`` is ``perm[i]``."""
+        perm = np.asarray(perm, dtype=np.int64)
+        if sorted(perm.tolist()) != list(range(self.n)):
+            raise GraphError("perm must be a permutation of 0..n-1")
+        e = self.edges()
+        return CSRGraph.from_edges(self.n, perm[e], name=self.name)
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(map(tuple, self.edges()))
+        return g
+
+    # ----------------------------------------------------------- traversal
+    def connected_components(self) -> np.ndarray:
+        """Component label per vertex (BFS; labels are 0-based, dense)."""
+        labels = -np.ones(self.n, dtype=np.int64)
+        comp = 0
+        for start in range(self.n):
+            if labels[start] >= 0:
+                continue
+            frontier = np.array([start], dtype=np.int64)
+            labels[start] = comp
+            while len(frontier):
+                nxt = []
+                for u in frontier:
+                    nb = self.neighbors(int(u))
+                    fresh = nb[labels[nb] < 0]
+                    labels[fresh] = comp
+                    nxt.append(fresh)
+                frontier = np.concatenate(nxt) if nxt else np.zeros(0, dtype=np.int64)
+            comp += 1
+        return labels
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the CSR arrays (for the cost model)."""
+        return self.indptr.nbytes + self.indices.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"CSRGraph(n={self.n}, m={self.num_edges}{label})"

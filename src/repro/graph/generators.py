@@ -1,0 +1,319 @@
+"""Synthetic graph generators and structure planting.
+
+These produce the workloads of the paper's Table II at arbitrary scale:
+
+* :func:`erdos_renyi` — the paper's ``random-1e6`` / ``random-1e7`` family
+  (``G(n, m)`` with expected ``m = n ln n``);
+* :func:`miami_like` — a spatial proximity network standing in for the
+  ``miami`` synthetic-population contact network (2.1M nodes, 51.5M edges,
+  average degree ~49);
+* :func:`orkut_like` — a heavy-tailed Chung–Lu graph standing in for
+  ``com-Orkut`` (3.1M nodes, 234.3M edges, average degree ~151);
+
+plus planting utilities used by the correctness tests and the anomaly
+benchmarks (a detector must find exactly what was planted).
+
+All generators are vectorized: edges are drawn in bulk numpy batches and
+deduplicated once, so million-edge graphs build in seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.util.rng import as_stream
+
+
+def _dedupe_edges(n: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Canonicalize, drop self-loops/duplicates; return (m, 2) array."""
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    key = lo * n + hi
+    _, first = np.unique(key, return_index=True)
+    return np.stack([lo[first], hi[first]], axis=1)
+
+
+def erdos_renyi(n: int, m: Optional[int] = None, rng=None, name: str = "") -> CSRGraph:
+    """Uniform ``G(n, m)`` random graph (default ``m = round(n ln n)``).
+
+    Edges are drawn with replacement in 10%-oversampled batches and
+    deduplicated, giving a uniform sample of ``m`` distinct edges.
+    """
+    rng = as_stream(rng, "erdos_renyi")
+    if n < 2:
+        raise GraphError(f"erdos_renyi needs n >= 2, got {n}")
+    if m is None:
+        m = int(round(n * math.log(n)))
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise GraphError(f"requested m={m} exceeds max {max_m} for n={n}")
+    edges = np.zeros((0, 2), dtype=np.int64)
+    while len(edges) < m:
+        need = m - len(edges)
+        batch = int(need * 1.1) + 16
+        u = rng.integers(0, n, size=batch)
+        v = rng.integers(0, n, size=batch)
+        cand = _dedupe_edges(n, u, v)
+        edges = _dedupe_edges(
+            n, np.concatenate([edges[:, 0], cand[:, 0]]), np.concatenate([edges[:, 1], cand[:, 1]])
+        )
+    # uniform truncation back to exactly m
+    if len(edges) > m:
+        pick = rng.choice(len(edges), size=m, replace=False)
+        edges = edges[np.sort(pick)]
+    return CSRGraph.from_edges(n, edges, name=name or f"er(n={n},m={m})")
+
+
+def grid2d(rows: int, cols: int, periodic: bool = False, name: str = "") -> CSRGraph:
+    """A ``rows x cols`` lattice (optionally a torus)."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid2d needs rows, cols >= 1")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    eh: List[np.ndarray] = []
+    if cols > 1:
+        eh.append(np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1))
+    if rows > 1:
+        eh.append(np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1))
+    if periodic:
+        if cols > 2:
+            eh.append(np.stack([idx[:, -1].ravel(), idx[:, 0].ravel()], axis=1))
+        if rows > 2:
+            eh.append(np.stack([idx[-1, :].ravel(), idx[0, :].ravel()], axis=1))
+    edges = np.concatenate(eh, axis=0) if eh else np.zeros((0, 2), dtype=np.int64)
+    return CSRGraph.from_edges(rows * cols, edges, name=name or f"grid({rows}x{cols})")
+
+
+def barabasi_albert(n: int, m_attach: int, rng=None, name: str = "") -> CSRGraph:
+    """Preferential-attachment graph (each new node attaches to ``m_attach``).
+
+    Uses the classic repeated-endpoint list so degree-proportional sampling
+    is a uniform draw; per-node loop but with O(m_attach) numpy work inside.
+    """
+    rng = as_stream(rng, "ba")
+    if m_attach < 1 or n <= m_attach:
+        raise GraphError(f"barabasi_albert needs 1 <= m_attach < n, got {m_attach}, {n}")
+    repeated: List[int] = []
+    edges: List[Tuple[int, int]] = []
+    # seed: a star on the first m_attach + 1 nodes
+    for i in range(m_attach):
+        edges.append((i, m_attach))
+        repeated.extend([i, m_attach])
+    rep = np.array(repeated, dtype=np.int64)
+    rep_len = len(rep)
+    cap = max(4 * rep_len, 4 * n * m_attach)
+    buf = np.zeros(cap, dtype=np.int64)
+    buf[:rep_len] = rep
+    gen = rng.generator
+    for v in range(m_attach + 1, n):
+        targets = np.unique(buf[gen.integers(0, rep_len, size=3 * m_attach)])[:m_attach]
+        while len(targets) < m_attach:  # extremely rare for small m_attach
+            extra = buf[gen.integers(0, rep_len, size=3 * m_attach)]
+            targets = np.unique(np.concatenate([targets, extra]))[:m_attach]
+        for t in targets:
+            edges.append((v, int(t)))
+        new = np.empty(2 * len(targets), dtype=np.int64)
+        new[0::2] = targets
+        new[1::2] = v
+        buf[rep_len : rep_len + len(new)] = new
+        rep_len += len(new)
+    return CSRGraph.from_edges(n, np.array(edges, dtype=np.int64), name=name or f"ba(n={n})")
+
+
+def watts_strogatz(n: int, k_ring: int, beta: float, rng=None, name: str = "") -> CSRGraph:
+    """Small-world ring lattice with vectorized rewiring."""
+    rng = as_stream(rng, "ws")
+    if k_ring % 2 or k_ring < 2 or k_ring >= n:
+        raise GraphError(f"watts_strogatz needs even 2 <= k_ring < n, got {k_ring}")
+    if not (0.0 <= beta <= 1.0):
+        raise GraphError(f"beta must be in [0, 1], got {beta}")
+    src = np.repeat(np.arange(n, dtype=np.int64), k_ring // 2)
+    offs = np.tile(np.arange(1, k_ring // 2 + 1, dtype=np.int64), n)
+    dst = (src + offs) % n
+    rewire = rng.random(len(src)) < beta
+    dst = dst.copy()
+    dst[rewire] = rng.integers(0, n, size=int(rewire.sum()))
+    return CSRGraph.from_edges(
+        n, np.stack([src, dst], axis=1), name=name or f"ws(n={n},k={k_ring})"
+    )
+
+
+def chung_lu(n: int, weights: np.ndarray, m_target: int, rng=None, name: str = "") -> CSRGraph:
+    """Chung–Lu graph: endpoints drawn with probability proportional to weight.
+
+    Produces ``~m_target`` distinct edges with degree sequence following
+    ``weights`` in expectation — the stand-in mechanism for heavy-tailed
+    social graphs like com-Orkut.
+    """
+    rng = as_stream(rng, "cl")
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (n,) or np.any(w < 0) or w.sum() == 0:
+        raise GraphError("weights must be a non-negative length-n vector with positive sum")
+    p = w / w.sum()
+    cdf = np.cumsum(p)
+    edges = np.zeros((0, 2), dtype=np.int64)
+    attempts = 0
+    while len(edges) < m_target and attempts < 50:
+        need = m_target - len(edges)
+        batch = int(need * 1.3) + 16
+        u = np.searchsorted(cdf, rng.random(batch))
+        v = np.searchsorted(cdf, rng.random(batch))
+        cand = _dedupe_edges(n, u.astype(np.int64), v.astype(np.int64))
+        edges = _dedupe_edges(
+            n, np.concatenate([edges[:, 0], cand[:, 0]]), np.concatenate([edges[:, 1], cand[:, 1]])
+        )
+        attempts += 1
+    return CSRGraph.from_edges(n, edges[:m_target], name=name or f"cl(n={n})")
+
+
+def miami_like(n: int, avg_degree: float = 49.0, rng=None, name: str = "") -> CSRGraph:
+    """Spatial proximity network resembling the miami contact network.
+
+    Nodes get uniform 2D positions; each connects to its nearest neighbours
+    (plus a few random long-range contacts), matching the locally-dense,
+    low-diameter-cut structure of synthetic-population contact graphs.
+    """
+    rng = as_stream(rng, "miami")
+    if n < 8:
+        raise GraphError(f"miami_like needs n >= 8, got {n}")
+    from scipy.spatial import cKDTree
+
+    pos = rng.random((n, 2))
+    k_nn = max(2, int(round(avg_degree / 2.0)))
+    tree = cKDTree(pos)
+    _, nn = tree.query(pos, k=k_nn + 1)
+    src = np.repeat(np.arange(n, dtype=np.int64), k_nn)
+    dst = nn[:, 1:].astype(np.int64).ravel()
+    # ~2% long-range shortcuts give the small-world flavour of contact nets
+    n_far = max(1, int(0.02 * len(src)))
+    fu = rng.integers(0, n, size=n_far)
+    fv = rng.integers(0, n, size=n_far)
+    edges = np.stack([np.concatenate([src, fu]), np.concatenate([dst, fv])], axis=1)
+    return CSRGraph.from_edges(n, edges, name=name or f"miami_like(n={n})")
+
+
+def orkut_like(n: int, avg_degree: float = 151.0, exponent: float = 2.4, rng=None,
+               name: str = "") -> CSRGraph:
+    """Heavy-tailed Chung–Lu graph resembling com-Orkut's degree profile."""
+    rng = as_stream(rng, "orkut")
+    if n < 8:
+        raise GraphError(f"orkut_like needs n >= 8, got {n}")
+    # Pareto weights, capped at sqrt(expected total) to keep Chung-Lu valid
+    w = (1.0 - rng.random(n)) ** (-1.0 / (exponent - 1.0))
+    m_target = int(n * avg_degree / 2.0)
+    cap = math.sqrt(2.0 * m_target)
+    w = np.minimum(w, cap)
+    return chung_lu(n, w, m_target, rng=rng, name=name or f"orkut_like(n={n})")
+
+
+def random_tree_graph(n: int, rng=None, name: str = "") -> CSRGraph:
+    """A uniform random labelled tree via Prüfer sequences (test fixture)."""
+    rng = as_stream(rng, "tree")
+    if n < 1:
+        raise GraphError(f"random_tree_graph needs n >= 1, got {n}")
+    if n == 1:
+        return CSRGraph.from_edges(1, [], name=name or "tree(1)")
+    if n == 2:
+        return CSRGraph.from_edges(2, [(0, 1)], name=name or "tree(2)")
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    np.add.at(degree, prufer, 1)
+    edges = []
+    import heapq
+
+    leaves = [i for i in range(n) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for a in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, int(a)))
+        degree[a] -= 1
+        if degree[a] == 1:
+            heapq.heappush(leaves, int(a))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return CSRGraph.from_edges(n, np.array(edges, dtype=np.int64), name=name or f"tree({n})")
+
+
+# --------------------------------------------------------------- planting
+def _add_edges(g: CSRGraph, new_edges: np.ndarray, name: str) -> CSRGraph:
+    combined = np.concatenate([g.edges(), np.asarray(new_edges, dtype=np.int64)], axis=0)
+    return CSRGraph.from_edges(g.n, combined, name=name)
+
+
+def plant_path(g: CSRGraph, k: int, rng=None) -> Tuple[CSRGraph, np.ndarray]:
+    """Plant a simple path on ``k`` distinct random vertices.
+
+    Returns ``(new_graph, path_nodes)``; used by tests and benchmarks to
+    guarantee a k-path exists.
+    """
+    rng = as_stream(rng, "plant_path")
+    if k < 1 or k > g.n:
+        raise GraphError(f"cannot plant a path of {k} nodes in a graph with {g.n}")
+    nodes = rng.choice(g.n, size=k, replace=False).astype(np.int64)
+    if k == 1:
+        return g, nodes
+    new = np.stack([nodes[:-1], nodes[1:]], axis=1)
+    return _add_edges(g, new, f"{g.name}+path{k}"), nodes
+
+
+def plant_tree(g: CSRGraph, template, rng=None) -> Tuple[CSRGraph, np.ndarray]:
+    """Plant an embedding of a :class:`~repro.graph.templates.TreeTemplate`.
+
+    Returns ``(new_graph, mapping)`` with ``mapping[t]`` the graph vertex
+    hosting template node ``t``.
+    """
+    rng = as_stream(rng, "plant_tree")
+    k = template.k
+    if k > g.n:
+        raise GraphError(f"cannot plant a {k}-node tree in a graph with {g.n} nodes")
+    mapping = rng.choice(g.n, size=k, replace=False).astype(np.int64)
+    new = mapping[np.asarray(template.edges, dtype=np.int64)]
+    return _add_edges(g, new, f"{g.name}+tree{k}"), mapping
+
+
+def plant_clique(g: CSRGraph, size: int, rng=None) -> Tuple[CSRGraph, np.ndarray]:
+    """Plant a clique on ``size`` random vertices; returns (graph, nodes)."""
+    rng = as_stream(rng, "plant_clique")
+    if size > g.n:
+        raise GraphError(f"cannot plant a {size}-clique in a graph with {g.n} nodes")
+    nodes = rng.choice(g.n, size=size, replace=False).astype(np.int64)
+    iu, iv = np.triu_indices(size, k=1)
+    new = np.stack([nodes[iu], nodes[iv]], axis=1)
+    return _add_edges(g, new, f"{g.name}+clique{size}"), nodes
+
+
+def plant_cluster(g: CSRGraph, size: int, rng=None, max_tries: int = 64) -> np.ndarray:
+    """Pick a random *connected* vertex set of ``size`` nodes by BFS growth.
+
+    No edges are added — the cluster is carved out of the existing topology
+    (the anomaly-injection scenario: an existing neighbourhood lights up).
+    Raises :class:`GraphError` if the graph has no component that large.
+    """
+    rng = as_stream(rng, "plant_cluster")
+    if size < 1 or size > g.n:
+        raise GraphError(f"cluster size {size} out of range for n={g.n}")
+    for _ in range(max_tries):
+        start = int(rng.integers(0, g.n))
+        picked = [start]
+        seen = {start}
+        frontier = [start]
+        while frontier and len(picked) < size:
+            u = frontier.pop(int(rng.integers(0, len(frontier))))
+            nbrs = [int(x) for x in g.neighbors(u) if int(x) not in seen]
+            rng.generator.shuffle(nbrs)
+            for x in nbrs:
+                if len(picked) >= size:
+                    break
+                seen.add(x)
+                picked.append(x)
+                frontier.append(x)
+        if len(picked) == size:
+            return np.array(sorted(picked), dtype=np.int64)
+    raise GraphError(f"could not find a connected set of {size} nodes in {max_tries} tries")

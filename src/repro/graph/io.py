@@ -1,0 +1,62 @@
+"""Edge-list I/O for :class:`~repro.graph.csr.CSRGraph`.
+
+The on-disk format is the plain whitespace-separated edge list used by SNAP
+datasets (com-Orkut etc.): one ``u v`` pair per line, ``#`` comments
+allowed, optional gzip.  Node ids are compacted to ``0..n-1`` on read.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, Path]
+
+
+def _open(path: PathLike, mode: str):
+    p = Path(path)
+    if p.suffix == ".gz":
+        return gzip.open(p, mode + "t")
+    return open(p, mode)
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike, header: Optional[str] = None) -> None:
+    """Write ``graph`` as a ``u v`` edge list (gzip if path ends in .gz)."""
+    with _open(path, "w") as fh:
+        fh.write(f"# nodes: {graph.n} edges: {graph.num_edges}\n")
+        if header:
+            for line in header.splitlines():
+                fh.write(f"# {line}\n")
+        np.savetxt(fh, graph.edges(), fmt="%d")
+
+
+def read_edge_list(path: PathLike, n: Optional[int] = None, name: str = "") -> CSRGraph:
+    """Read a whitespace edge list; compacts ids unless ``n`` is given.
+
+    With ``n`` provided, ids must already be in ``0..n-1`` and are kept
+    verbatim (including isolated vertices).  Without it, ids are relabelled
+    densely in sorted order.
+    """
+    rows = []
+    with _open(path, "r") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{lineno}: expected 'u v', got {line!r}")
+            rows.append((int(parts[0]), int(parts[1])))
+    edges = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+    if n is None:
+        ids = np.unique(edges)
+        relabel = {int(v): i for i, v in enumerate(ids)}
+        edges = np.vectorize(relabel.__getitem__)(edges) if len(edges) else edges
+        n = len(ids)
+    return CSRGraph.from_edges(n, edges, name=name or Path(path).stem)

@@ -1,0 +1,230 @@
+"""Graph partitioning into ``N_1`` parts, with the paper's quality metrics.
+
+MIDAS's Theorem 2 bounds compute time by ``MAXLOAD`` (largest part, in
+vertices) and communication by ``MAXDEG`` (most cut edges incident to any
+one part).  The partitioners here trade those two off:
+
+* :func:`random_partition` — the paper's "naive partitioning scheme":
+  uniform owner per vertex.  Perfect load balance in expectation, but cuts
+  a ``(1 - 1/N_1)`` fraction of all edges.
+* :func:`block_partition` — contiguous vertex-id blocks; good for graphs
+  whose ids carry locality (grids, spatial nets).
+* :func:`bfs_partition` — grows parts breadth-first from random seeds;
+  cheap locality for arbitrary graphs.
+* :func:`greedy_partition` — linear deterministic greedy (LDG) streaming:
+  each vertex joins the part holding most of its already-placed neighbours,
+  damped by a capacity penalty.  The best cut quality of the four.
+
+The partition-quality ablation benchmark feeds all four into the MIDAS cost
+model to show how MAXDEG moves the optimal ``N_1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.util.rng import as_stream
+
+
+@dataclass
+class Partition:
+    """An assignment of every vertex to one of ``n_parts`` owners.
+
+    ``owner[i]`` is the part id of vertex ``i``.  All derived quantities are
+    computed once and cached (the arrays are treated as immutable).
+    """
+
+    graph: CSRGraph
+    owner: np.ndarray
+    n_parts: int
+    method: str = "custom"
+    _cache: Dict[str, object] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.owner = np.ascontiguousarray(self.owner, dtype=np.int64)
+        if self.owner.shape != (self.graph.n,):
+            raise PartitionError(
+                f"owner must have one entry per vertex ({self.graph.n}), got {self.owner.shape}"
+            )
+        if self.n_parts < 1:
+            raise PartitionError(f"n_parts must be >= 1, got {self.n_parts}")
+        if self.graph.n and (self.owner.min() < 0 or self.owner.max() >= self.n_parts):
+            raise PartitionError("owner labels out of range")
+
+    # ------------------------------------------------------------- derived
+    def part_nodes(self, j: int) -> np.ndarray:
+        """Sorted vertex ids owned by part ``j``."""
+        key = f"part{j}"
+        if key not in self._cache:
+            self._cache[key] = np.nonzero(self.owner == j)[0]
+        return self._cache[key]  # type: ignore[return-value]
+
+    def loads(self) -> np.ndarray:
+        """Vertices per part (the paper's per-part 'load')."""
+        if "loads" not in self._cache:
+            self._cache["loads"] = np.bincount(self.owner, minlength=self.n_parts)
+        return self._cache["loads"]  # type: ignore[return-value]
+
+    @property
+    def max_load(self) -> int:
+        """MAXLOAD = max_j |G^j| (Theorem 2's compute-side metric)."""
+        return int(self.loads().max()) if self.graph.n else 0
+
+    def degrees(self) -> np.ndarray:
+        """DEG(j) = number of cut edges incident to part ``j``, per part.
+
+        Counts each cut edge once for each of its two incident parts, as in
+        the paper's definition (edges from ``G^j`` to elsewhere).
+        """
+        if "degs" not in self._cache:
+            e = self.graph.edges()
+            ou, ov = self.owner[e[:, 0]], self.owner[e[:, 1]]
+            cut = ou != ov
+            degs = np.zeros(self.n_parts, dtype=np.int64)
+            np.add.at(degs, ou[cut], 1)
+            np.add.at(degs, ov[cut], 1)
+            self._cache["degs"] = degs
+        return self._cache["degs"]  # type: ignore[return-value]
+
+    @property
+    def max_degree(self) -> int:
+        """MAXDEG = max_j DEG(j) (Theorem 2's communication-side metric)."""
+        return int(self.degrees().max()) if self.graph.n else 0
+
+    @property
+    def edge_cut(self) -> int:
+        """Total number of edges with endpoints in different parts."""
+        return int(self.degrees().sum()) // 2
+
+    def imbalance(self) -> float:
+        """MAXLOAD / (n / n_parts); 1.0 is perfect balance."""
+        if self.graph.n == 0:
+            return 1.0
+        return self.max_load / (self.graph.n / self.n_parts)
+
+    def summary(self) -> str:
+        return (
+            f"Partition({self.method}, parts={self.n_parts}, maxload={self.max_load}, "
+            f"maxdeg={self.max_degree}, cut={self.edge_cut}, imbalance={self.imbalance():.3f})"
+        )
+
+
+# ----------------------------------------------------------- partitioners
+def random_partition(graph: CSRGraph, n_parts: int, rng=None) -> Partition:
+    """Uniform random owner per vertex (the paper's naive scheme)."""
+    rng = as_stream(rng, "random_partition")
+    if n_parts < 1:
+        raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
+    owner = rng.integers(0, n_parts, size=graph.n)
+    # guarantee no empty part when n >= n_parts (simplifies the runtime)
+    if graph.n >= n_parts:
+        counts = np.bincount(owner, minlength=n_parts)
+        for j in np.nonzero(counts == 0)[0]:
+            donor = int(np.argmax(np.bincount(owner, minlength=n_parts)))
+            victim = np.nonzero(owner == donor)[0][0]
+            owner[victim] = j
+    return Partition(graph, owner, n_parts, method="random")
+
+
+def block_partition(graph: CSRGraph, n_parts: int, rng=None) -> Partition:
+    """Contiguous equal blocks of vertex ids."""
+    if n_parts < 1:
+        raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
+    owner = (np.arange(graph.n, dtype=np.int64) * n_parts) // max(graph.n, 1)
+    return Partition(graph, owner, n_parts, method="block")
+
+
+def bfs_partition(graph: CSRGraph, n_parts: int, rng=None) -> Partition:
+    """Grow parts breadth-first from random seeds, capped at ceil(n/p) each."""
+    rng = as_stream(rng, "bfs_partition")
+    n = graph.n
+    if n_parts < 1:
+        raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
+    cap = -(-n // n_parts)
+    owner = -np.ones(n, dtype=np.int64)
+    order = rng.permutation(n)
+    load = np.zeros(n_parts, dtype=np.int64)
+    part = 0
+    from collections import deque
+
+    for seed in order:
+        if owner[seed] >= 0:
+            continue
+        if load[part] >= cap:
+            part = int(np.argmin(load))
+        q = deque([int(seed)])
+        owner[seed] = part
+        load[part] += 1
+        while q and load[part] < cap:
+            u = q.popleft()
+            for v in graph.neighbors(u):
+                v = int(v)
+                if owner[v] < 0 and load[part] < cap:
+                    owner[v] = part
+                    load[part] += 1
+                    q.append(v)
+        part = int(np.argmin(load))
+    return Partition(graph, owner, n_parts, method="bfs")
+
+
+def greedy_partition(graph: CSRGraph, n_parts: int, rng=None) -> Partition:
+    """Linear deterministic greedy (LDG) streaming partitioner.
+
+    Each vertex (in random stream order) is placed on
+    ``argmax_j |placed neighbours in j| * (1 - load_j / capacity)``.
+    """
+    rng = as_stream(rng, "greedy_partition")
+    n = graph.n
+    if n_parts < 1:
+        raise PartitionError(f"n_parts must be >= 1, got {n_parts}")
+    cap = max(1.0, n / n_parts) * 1.05
+    owner = -np.ones(n, dtype=np.int64)
+    load = np.zeros(n_parts, dtype=np.float64)
+    order = rng.permutation(n)
+    for u in order:
+        nbr_owner = owner[graph.neighbors(int(u))]
+        nbr_owner = nbr_owner[nbr_owner >= 0]
+        score = np.zeros(n_parts, dtype=np.float64)
+        if len(nbr_owner):
+            np.add.at(score, nbr_owner, 1.0)
+        score *= np.maximum(0.0, 1.0 - load / cap)
+        score -= 1e-9 * load  # tie-break toward lighter parts
+        full = load >= cap
+        if np.all(full):
+            j = int(np.argmin(load))
+        else:
+            score[full] = -np.inf
+            j = int(np.argmax(score))
+        owner[u] = j
+        load[j] += 1.0
+    return Partition(graph, owner, n_parts, method="greedy")
+
+
+def _multilevel(graph: CSRGraph, n_parts: int, rng=None) -> Partition:
+    # local import: multilevel builds on Partition, avoid a cycle
+    from repro.graph.multilevel import multilevel_partition
+
+    return multilevel_partition(graph, n_parts, rng=rng)
+
+
+PARTITIONERS: Dict[str, Callable[..., Partition]] = {
+    "random": random_partition,
+    "block": block_partition,
+    "bfs": bfs_partition,
+    "greedy": greedy_partition,
+    "multilevel": _multilevel,
+}
+
+
+def make_partition(graph: CSRGraph, n_parts: int, method: str = "random", rng=None) -> Partition:
+    """Dispatch to a named partitioner (``random``/``block``/``bfs``/``greedy``)."""
+    if method not in PARTITIONERS:
+        raise PartitionError(
+            f"unknown partitioner {method!r}; choose from {sorted(PARTITIONERS)}"
+        )
+    return PARTITIONERS[method](graph, n_parts, rng=rng)

@@ -1,0 +1,239 @@
+"""Tree templates and their recursive decomposition (paper Fig 2).
+
+A *template* is the tree ``H`` being searched for.  The k-tree evaluator
+needs ``H`` broken into the hierarchy of rooted subtrees the paper
+describes: every subtree ``H'`` with more than one node has two *children*
+obtained by deleting one edge at its root — ``H'_1`` keeps the root,
+``H'_2`` is rooted at the removed neighbour.  Recursing until single nodes
+yields at most ``2k - 1`` distinct subtrees; the DP evaluates them smallest
+first.
+
+:class:`SubtreeSpec` carries, for each subtree: its id, root *template*
+node, size, and child ids (``None`` for leaves).  The k-path is the special
+case of a path template, and :func:`decompose_template` on a path produces
+exactly the chain structure of Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import TemplateError
+from repro.util.rng import as_stream
+
+
+class TreeTemplate:
+    """A rooted tree on nodes ``0..k-1`` given by its edge list.
+
+    Parameters
+    ----------
+    k:
+        Number of template nodes.
+    edges:
+        ``k - 1`` undirected edges; must form a tree.
+    root:
+        Root template node (default 0).  The paper picks it arbitrarily.
+    name:
+        Label for reports.
+    """
+
+    def __init__(
+        self, k: int, edges: Sequence[Tuple[int, int]], root: int = 0, name: str = ""
+    ) -> None:
+        self.k = int(k)
+        self.edges = [(int(a), int(b)) for a, b in edges]
+        self.root = int(root)
+        self.name = name or f"tree(k={k})"
+        self._adj: Dict[int, List[int]] = {i: [] for i in range(self.k)}
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.k < 1:
+            raise TemplateError(f"template must have >= 1 node, got k={self.k}")
+        if len(self.edges) != self.k - 1:
+            raise TemplateError(
+                f"a tree on {self.k} nodes has {self.k - 1} edges, got {len(self.edges)}"
+            )
+        if not (0 <= self.root < self.k):
+            raise TemplateError(f"root {self.root} out of range")
+        seen = set()
+        for a, b in self.edges:
+            if not (0 <= a < self.k and 0 <= b < self.k):
+                raise TemplateError(f"edge ({a},{b}) out of range for k={self.k}")
+            if a == b:
+                raise TemplateError(f"self-loop ({a},{b}) in template")
+            key = (min(a, b), max(a, b))
+            if key in seen:
+                raise TemplateError(f"duplicate edge {key} in template")
+            seen.add(key)
+            self._adj[a].append(b)
+            self._adj[b].append(a)
+        # connectivity (k-1 distinct edges + connected == tree)
+        if self.k > 1:
+            stack = [self.root]
+            visited = {self.root}
+            while stack:
+                u = stack.pop()
+                for v in self._adj[u]:
+                    if v not in visited:
+                        visited.add(v)
+                        stack.append(v)
+            if len(visited) != self.k:
+                raise TemplateError("template edges do not form a connected tree")
+
+    def neighbors(self, t: int) -> List[int]:
+        return list(self._adj[t])
+
+    # ------------------------------------------------------------ factories
+    @staticmethod
+    def path(k: int) -> "TreeTemplate":
+        """The k-node path template (the k-Path problem)."""
+        return TreeTemplate(k, [(i, i + 1) for i in range(k - 1)], root=0, name=f"path{k}")
+
+    @staticmethod
+    def star(k: int) -> "TreeTemplate":
+        """A star: node 0 adjacent to all others."""
+        return TreeTemplate(k, [(0, i) for i in range(1, k)], root=0, name=f"star{k}")
+
+    @staticmethod
+    def binary(k: int) -> "TreeTemplate":
+        """A complete-as-possible binary tree on ``k`` nodes (heap order)."""
+        return TreeTemplate(
+            k, [((i - 1) // 2, i) for i in range(1, k)], root=0, name=f"binary{k}"
+        )
+
+    @staticmethod
+    def caterpillar(k: int, legs_every: int = 2) -> "TreeTemplate":
+        """A caterpillar: a spine with a leg at every ``legs_every``-th vertex."""
+        if k < 2:
+            return TreeTemplate.path(k)
+        edges = []
+        spine = [0]
+        nxt = 1
+        while nxt < k:
+            prev = spine[-1]
+            edges.append((prev, nxt))
+            spine.append(nxt)
+            nxt += 1
+            if nxt < k and (len(spine) % legs_every == 0):
+                edges.append((spine[-1], nxt))
+                nxt += 1
+        return TreeTemplate(k, edges, root=0, name=f"caterpillar{k}")
+
+    @staticmethod
+    def random(k: int, rng=None) -> "TreeTemplate":
+        """Uniform random labelled tree (random attachment for k <= 2)."""
+        rng = as_stream(rng, "template")
+        if k <= 2:
+            return TreeTemplate.path(k)
+        # Prüfer decoding
+        prufer = [int(x) for x in rng.integers(0, k, size=k - 2)]
+        degree = [1] * k
+        for a in prufer:
+            degree[a] += 1
+        import heapq
+
+        leaves = [i for i in range(k) if degree[i] == 1]
+        heapq.heapify(leaves)
+        edges = []
+        for a in prufer:
+            leaf = heapq.heappop(leaves)
+            edges.append((leaf, a))
+            degree[a] -= 1
+            if degree[a] == 1:
+                heapq.heappush(leaves, a)
+        edges.append((heapq.heappop(leaves), heapq.heappop(leaves)))
+        return TreeTemplate(k, edges, root=0, name=f"random_tree{k}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TreeTemplate({self.name}, k={self.k}, root={self.root})"
+
+
+@dataclass(frozen=True)
+class SubtreeSpec:
+    """One subtree in the recursive decomposition.
+
+    Attributes
+    ----------
+    sid:
+        Dense subtree id; specs are ordered so children precede parents.
+    root:
+        The *template* node at this subtree's root.
+    size:
+        Number of template nodes in the subtree.
+    nodes:
+        Frozen set of template nodes (for tests and display).
+    child_same, child_branch:
+        Ids of the two children — ``child_same`` keeps this root
+        (``H'_1`` in the paper), ``child_branch`` is rooted at the removed
+        neighbour (``H'_2``).  ``None`` for single-node subtrees.
+    """
+
+    sid: int
+    root: int
+    size: int
+    nodes: FrozenSet[int]
+    child_same: Optional[int]
+    child_branch: Optional[int]
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.child_same is None
+
+
+def decompose_template(template: TreeTemplate) -> List[SubtreeSpec]:
+    """Decompose ``template`` into evaluation-ordered :class:`SubtreeSpec`s.
+
+    The split rule is deterministic (always detach the smallest-id neighbour
+    of the root), so decompositions — and hence parallel/sequential
+    transcripts — are reproducible.  The returned list is topologically
+    sorted: every child appears before its parent, and the final spec is the
+    full template.
+    """
+    memo: Dict[Tuple[int, FrozenSet[int]], int] = {}
+    specs: List[SubtreeSpec] = []
+
+    def subtree_nodes(root: int, allowed: FrozenSet[int]) -> FrozenSet[int]:
+        stack = [root]
+        seen = {root}
+        while stack:
+            u = stack.pop()
+            for v in template.neighbors(u):
+                if v in allowed and v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return frozenset(seen)
+
+    def build(root: int, nodes: FrozenSet[int]) -> int:
+        key = (root, nodes)
+        if key in memo:
+            return memo[key]
+        if len(nodes) == 1:
+            sid = len(specs)
+            specs.append(SubtreeSpec(sid, root, 1, nodes, None, None))
+            memo[key] = sid
+            return sid
+        nbrs = sorted(v for v in template.neighbors(root) if v in nodes)
+        u = nbrs[0]  # deterministic split: smallest-id root neighbour
+        branch_nodes = subtree_nodes(u, nodes - {root})
+        same_nodes = nodes - branch_nodes
+        c_branch = build(u, branch_nodes)
+        c_same = build(root, same_nodes)
+        key_check = (root, nodes)
+        if key_check in memo:  # children may have created us? (they cannot)
+            return memo[key_check]
+        sid = len(specs)
+        specs.append(
+            SubtreeSpec(sid, root, len(nodes), nodes, c_same, c_branch)
+        )
+        memo[key] = sid
+        return sid
+
+    all_nodes = frozenset(range(template.k))
+    build(template.root, all_nodes)
+    # sanity: children precede parents by construction
+    for s in specs:
+        if not s.is_leaf:
+            assert s.child_same < s.sid and s.child_branch < s.sid
+    return specs

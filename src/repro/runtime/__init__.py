@@ -1,0 +1,54 @@
+"""Simulated SPMD (MPI-like) runtime substrate.
+
+The paper runs MIDAS as a C/MPI program on two Haswell clusters.  This
+subpackage substitutes an in-process simulator:
+
+* :mod:`repro.runtime.scheduler` executes ``N`` *rank programs* (Python
+  generators yielding communication ops) with deterministic round-robin
+  scheduling, real message delivery, and per-rank virtual clocks —
+  detection results are produced by actually running the SPMD decomposition.
+* :mod:`repro.runtime.costmodel` supplies alpha–beta communication costs and
+  *measured* compute rates (calibrated from the real vectorized kernels), so
+  virtual time reproduces the shape of the paper's scaling curves.
+* :mod:`repro.runtime.cluster` describes virtual machines (Juliet,
+  Shadowfax) with intra-/inter-node network tiers.
+* :mod:`repro.runtime.tracing` records timelines for the reports.
+"""
+
+from repro.runtime.comm import (
+    AllReduce,
+    Barrier,
+    Bcast,
+    Charge,
+    Gather,
+    Recv,
+    Reduce,
+    Send,
+)
+from repro.runtime.cluster import VirtualCluster, juliet, shadowfax, laptop
+from repro.runtime.costmodel import CostModel, KernelCalibration, MachineSpec
+from repro.runtime.scheduler import RankContext, SimResult, Simulator
+from repro.runtime.tracing import TraceRecorder, TraceSummary
+
+__all__ = [
+    "AllReduce",
+    "Barrier",
+    "Bcast",
+    "Charge",
+    "Gather",
+    "Recv",
+    "Reduce",
+    "Send",
+    "VirtualCluster",
+    "juliet",
+    "shadowfax",
+    "laptop",
+    "CostModel",
+    "KernelCalibration",
+    "MachineSpec",
+    "RankContext",
+    "SimResult",
+    "Simulator",
+    "TraceRecorder",
+    "TraceSummary",
+]

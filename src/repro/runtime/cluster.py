@@ -1,0 +1,83 @@
+"""Virtual cluster descriptions and rank placement.
+
+A :class:`VirtualCluster` is a number of identical nodes built from a
+:class:`~repro.runtime.costmodel.MachineSpec`, plus the rank→node placement
+used to decide whether a message crosses the interconnect.  Presets mirror
+the paper's experimental setup (Section VI-A): *Juliet* (32 nodes x 36
+cores) and *Shadowfax* (32 nodes x 32 cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.costmodel import (
+    CostModel,
+    JULIET_NODE,
+    LAPTOP_NODE,
+    MachineSpec,
+    SHADOWFAX_NODE,
+)
+
+
+@dataclass(frozen=True)
+class VirtualCluster:
+    """``nodes`` identical machines; ranks placed block-wise by default."""
+
+    spec: MachineSpec
+    nodes: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError(f"cluster needs >= 1 node, got {self.nodes}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.spec.cores_per_node
+
+    def placement(self, nranks: int, strategy: str = "block") -> np.ndarray:
+        """Map ranks to node ids.
+
+        ``block`` fills node 0 first (consecutive ranks share a node —
+        favourable for neighbour communication); ``cyclic`` round-robins.
+        """
+        if nranks < 1:
+            raise ConfigurationError(f"need >= 1 rank, got {nranks}")
+        if nranks > self.total_cores:
+            raise ConfigurationError(
+                f"{nranks} ranks exceed cluster capacity {self.total_cores} "
+                f"({self.nodes} nodes x {self.spec.cores_per_node} cores)"
+            )
+        r = np.arange(nranks, dtype=np.int64)
+        if strategy == "block":
+            return r // self.spec.cores_per_node
+        if strategy == "cyclic":
+            return r % self.nodes
+        raise ConfigurationError(f"unknown placement strategy {strategy!r}")
+
+    def cost_model(self, nranks: int, strategy: str = "block") -> CostModel:
+        """A :class:`CostModel` with this cluster's tiers and placement."""
+        return CostModel(self.spec, rank_node=self.placement(nranks, strategy))
+
+    def memory_per_rank(self, nranks: int) -> int:
+        """Bytes of node memory available to each rank (even split)."""
+        ranks_per_node = min(nranks, self.spec.cores_per_node)
+        return self.spec.mem_bytes_per_node // max(1, ranks_per_node)
+
+
+def juliet(nodes: int = 32) -> VirtualCluster:
+    """The paper's primary cluster: Intel Haswell, 36 cores/node, 56Gb IB."""
+    return VirtualCluster(JULIET_NODE, nodes, name=f"juliet[{nodes}]")
+
+
+def shadowfax(nodes: int = 32) -> VirtualCluster:
+    """The paper's secondary cluster: 32 cores/node, similar memory/network."""
+    return VirtualCluster(SHADOWFAX_NODE, nodes, name=f"shadowfax[{nodes}]")
+
+
+def laptop(nodes: int = 1) -> VirtualCluster:
+    """A small developer machine (used by the quickstart example)."""
+    return VirtualCluster(LAPTOP_NODE, nodes, name=f"laptop[{nodes}]")

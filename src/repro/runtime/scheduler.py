@@ -1,0 +1,357 @@
+"""Deterministic SPMD simulator.
+
+Runs ``N`` *rank programs* — generator functions over a :class:`RankContext`
+— with real message delivery and virtual clocks:
+
+* scheduling is deterministic round-robin: each rank runs until it blocks
+  (on a ``Recv`` with no matching message, or on a collective), so a given
+  program produces the same transcript on every run;
+* compute segments (the Python/numpy work between two yields) are measured
+  with ``perf_counter`` and charged to the rank's virtual clock scaled by
+  the machine's ``c_scale`` (programs can instead/additionally yield
+  :class:`~repro.runtime.comm.Charge` for fully modeled segments);
+* communication advances clocks per the :class:`~repro.runtime.costmodel.
+  CostModel`: eager sends cost the sender an injection overhead and arrive
+  at ``sender_clock + alpha + bytes*beta``; receives wait for the arrival
+  timestamp; collectives synchronize everyone to the max clock plus a
+  log-tree cost.
+
+Deadlocks (all live ranks blocked with nothing in flight) raise
+:class:`~repro.errors.DeadlockError` with a per-rank diagnosis instead of
+hanging the test-suite.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DeadlockError, RuntimeSimulationError
+from repro.runtime.comm import (
+    AllReduce,
+    Barrier,
+    Bcast,
+    Charge,
+    Gather,
+    Irecv,
+    Op,
+    Recv,
+    RecvRequest,
+    Reduce,
+    Send,
+    Wait,
+    resolve_reducer,
+)
+from repro.runtime.costmodel import CostModel, LAPTOP_NODE
+from repro.runtime.tracing import TraceRecorder, TraceSummary
+
+
+@dataclass(frozen=True)
+class RankContext:
+    """Read-only identity handed to each rank program."""
+
+    rank: int
+    nranks: int
+
+
+@dataclass
+class _Message:
+    payload: Any
+    arrive: float
+
+
+class _RankState:
+    __slots__ = (
+        "rank",
+        "gen",
+        "clock",
+        "finished",
+        "result",
+        "blocked_recv",
+        "pending_collective",
+        "collective_idx",
+        "resume_value",
+        "inbox",
+    )
+
+    def __init__(self, rank: int, gen: Generator) -> None:
+        self.rank = rank
+        self.gen = gen
+        self.clock = 0.0
+        self.finished = False
+        self.result: Any = None
+        self.blocked_recv: Optional[Recv] = None
+        self.pending_collective: Optional[Op] = None
+        self.collective_idx = 0
+        self.resume_value: Any = None
+        self.inbox: Dict[Tuple[int, Hashable], deque] = {}
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulated SPMD run."""
+
+    results: List[Any]
+    clocks: np.ndarray
+    summary: TraceSummary
+
+    @property
+    def makespan(self) -> float:
+        """Virtual seconds until the last rank finished."""
+        return float(self.clocks.max()) if len(self.clocks) else 0.0
+
+
+class Simulator:
+    """Execute rank programs on a virtual machine.
+
+    Parameters
+    ----------
+    nranks:
+        Communicator size.
+    cost_model:
+        Network/compute cost model; defaults to a single laptop node.
+    measure_compute:
+        Charge measured wall time (scaled by ``c_scale``) for compute
+        segments.  Disable for fully modeled timing via ``Charge`` ops.
+    copy_payloads:
+        Deep-copy message payloads on send (numpy arrays are copied).  The
+        safe default; engines that never mutate buffers can turn it off.
+    trace:
+        Record a timeline (on by default; cheap).
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        cost_model: Optional[CostModel] = None,
+        measure_compute: bool = True,
+        copy_payloads: bool = True,
+        trace: bool = True,
+    ) -> None:
+        if nranks < 1:
+            raise RuntimeSimulationError(f"need >= 1 rank, got {nranks}")
+        self.nranks = nranks
+        self.cost = cost_model if cost_model is not None else CostModel(LAPTOP_NODE)
+        self.measure_compute = measure_compute
+        self.copy_payloads = copy_payloads
+        self.trace = TraceRecorder(enabled=trace)
+
+    # ---------------------------------------------------------------- run
+    def run(self, program: Callable[[RankContext], Generator]) -> SimResult:
+        """Run ``program(ctx)`` on every rank to completion."""
+        states = [
+            _RankState(r, program(RankContext(r, self.nranks))) for r in range(self.nranks)
+        ]
+        unfinished = self.nranks
+        c_scale = self.cost.spec.c_scale
+
+        while unfinished > 0:
+            progressed = False
+            for st in states:
+                if st.finished or st.blocked_recv is not None or st.pending_collective is not None:
+                    continue
+                progressed = True
+                self._run_until_blocked(st, states, c_scale)
+            # complete a pending collective if everyone alive reached it
+            if self._try_complete_collective(states):
+                progressed = True
+            unfinished = sum(1 for st in states if not st.finished)
+            if not progressed and unfinished > 0:
+                runnable = [
+                    st
+                    for st in states
+                    if not st.finished
+                    and st.blocked_recv is None
+                    and st.pending_collective is None
+                ]
+                if not runnable:
+                    self._raise_deadlock(states)
+
+        clocks = np.array([st.clock for st in states])
+        return SimResult(
+            results=[st.result for st in states],
+            clocks=clocks,
+            summary=self.trace.summary(self.nranks),
+        )
+
+    # ------------------------------------------------------------ internals
+    def _run_until_blocked(self, st: _RankState, states: List[_RankState], c_scale: float) -> None:
+        while True:
+            resume = st.resume_value
+            st.resume_value = None
+            t0 = time.perf_counter()
+            try:
+                op = st.gen.send(resume)
+            except StopIteration as stop:
+                self._charge_compute(st, time.perf_counter() - t0, c_scale)
+                st.finished = True
+                st.result = getattr(stop, "value", None)
+                return
+            except Exception as exc:
+                # annotate which rank blew up; the traceback is preserved
+                exc.args = (f"[rank {st.rank}] {exc.args[0] if exc.args else exc}",) + tuple(
+                    exc.args[1:]
+                )
+                raise
+            self._charge_compute(st, time.perf_counter() - t0, c_scale)
+
+            if isinstance(op, Charge):
+                t = st.clock
+                st.clock += max(0.0, op.seconds)
+                self.trace.record(st.rank, "charge", t, st.clock)
+                continue
+            if isinstance(op, Send):
+                self._do_send(st, states, op)
+                continue
+            if isinstance(op, Irecv):
+                # posting is free; the matching message is claimed at Wait
+                st.resume_value = RecvRequest(op.src, op.tag)
+                continue
+            if isinstance(op, Wait):
+                as_recv = Recv(op.request.src, op.request.tag)
+                if self._try_recv(st, as_recv):
+                    continue
+                st.blocked_recv = as_recv
+                return
+            if isinstance(op, Recv):
+                if self._try_recv(st, op):
+                    continue
+                st.blocked_recv = op
+                return
+            if isinstance(op, (Barrier, AllReduce, Reduce, Bcast, Gather)):
+                st.pending_collective = op
+                return
+            raise RuntimeSimulationError(
+                f"rank {st.rank} yielded {op!r}, which is not a communication op"
+            )
+
+    def _charge_compute(self, st: _RankState, wall: float, c_scale: float) -> None:
+        if self.measure_compute and wall > 0:
+            t = st.clock
+            st.clock += wall * c_scale
+            self.trace.record(st.rank, "compute", t, st.clock)
+
+    def _do_send(self, st: _RankState, states: List[_RankState], op: Send) -> None:
+        if not (0 <= op.dst < self.nranks):
+            raise RuntimeSimulationError(f"rank {st.rank} sent to invalid rank {op.dst}")
+        nbytes = op.wire_bytes()
+        payload = op.payload
+        if self.copy_payloads and op.copy:
+            if isinstance(payload, np.ndarray):
+                payload = payload.copy()
+            else:
+                payload = _copy.deepcopy(payload)
+        arrive = st.clock + self.cost.pt2pt(st.rank, op.dst, nbytes)
+        t = st.clock
+        st.clock += self.cost.send_overhead(st.rank, op.dst, nbytes)
+        self.trace.record(st.rank, "send", t, st.clock, info=f"->{op.dst} {nbytes}B")
+        dst = states[op.dst]
+        dst.inbox.setdefault((st.rank, op.tag), deque()).append(_Message(payload, arrive))
+        # wake the receiver if it was blocked on exactly this message
+        if dst.blocked_recv is not None:
+            br = dst.blocked_recv
+            if br.src == st.rank and br.tag == op.tag:
+                if self._try_recv(dst, br):
+                    dst.blocked_recv = None
+
+    def _try_recv(self, st: _RankState, op: Recv) -> bool:
+        q = st.inbox.get((op.src, op.tag))
+        if not q:
+            return False
+        msg = q.popleft()
+        t = st.clock
+        if msg.arrive > st.clock:
+            self.trace.record(st.rank, "wait", t, msg.arrive, info=f"<-{op.src}")
+            st.clock = msg.arrive
+        self.trace.record(st.rank, "recv", st.clock, st.clock, info=f"<-{op.src}")
+        st.resume_value = msg.payload
+        return True
+
+    def _try_complete_collective(self, states: List[_RankState]) -> bool:
+        pend = [st for st in states if st.pending_collective is not None]
+        if len(pend) != self.nranks:
+            if pend and all(st.finished or st.pending_collective is not None for st in states):
+                # some ranks exited while others wait on a collective: hang
+                self._raise_deadlock(states)
+            return False
+        ops = [st.pending_collective for st in states]
+        idx0 = states[0].collective_idx
+        if any(st.collective_idx != idx0 for st in states):
+            raise RuntimeSimulationError("ranks disagree on collective call count")
+        kind = type(ops[0])
+        if any(type(o) is not kind for o in ops):
+            raise RuntimeSimulationError(
+                f"mismatched collective types at call #{idx0}: "
+                f"{sorted({type(o).__name__ for o in ops})}"
+            )
+        t_sync = max(st.clock for st in states)
+        nbytes = max((o.wire_bytes() for o in ops if hasattr(o, "wire_bytes")), default=0)
+
+        if kind is Barrier:
+            results = [None] * self.nranks
+            cost = self.cost.collective("barrier", self.nranks, 0)
+        elif kind is AllReduce or kind is Reduce:
+            reducer = resolve_reducer(ops[0].op)
+            acc = ops[0].value
+            for o in ops[1:]:
+                acc = reducer(acc, o.value)
+            if kind is AllReduce:
+                results = [
+                    acc.copy() if isinstance(acc, np.ndarray) else acc
+                    for _ in range(self.nranks)
+                ]
+                cost = self.cost.collective("allreduce", self.nranks, nbytes)
+            else:
+                root = ops[0].root
+                if any(o.root != root for o in ops):
+                    raise RuntimeSimulationError("mismatched reduce roots")
+                results = [acc if r == root else None for r in range(self.nranks)]
+                cost = self.cost.collective("reduce", self.nranks, nbytes)
+        elif kind is Bcast:
+            root = ops[0].root
+            if any(o.root != root for o in ops):
+                raise RuntimeSimulationError("mismatched bcast roots")
+            val = ops[root].value
+            results = [
+                val.copy() if isinstance(val, np.ndarray) else _copy.deepcopy(val)
+                for _ in range(self.nranks)
+            ]
+            cost = self.cost.collective("bcast", self.nranks, nbytes)
+        elif kind is Gather:
+            root = ops[0].root
+            if any(o.root != root for o in ops):
+                raise RuntimeSimulationError("mismatched gather roots")
+            gathered = [o.value for o in ops]
+            results = [gathered if r == root else None for r in range(self.nranks)]
+            cost = self.cost.collective("gather", self.nranks, nbytes)
+        else:  # pragma: no cover - unreachable
+            raise RuntimeSimulationError(f"unhandled collective {kind}")
+
+        for st, res in zip(states, results):
+            self.trace.record(
+                st.rank, "collective", st.clock, t_sync + cost, info=kind.__name__
+            )
+            st.clock = t_sync + cost
+            st.resume_value = res
+            st.pending_collective = None
+            st.collective_idx += 1
+        return True
+
+    def _raise_deadlock(self, states: List[_RankState]) -> None:
+        lines = []
+        for st in states:
+            if st.finished:
+                status = "finished"
+            elif st.blocked_recv is not None:
+                status = f"blocked on Recv(src={st.blocked_recv.src}, tag={st.blocked_recv.tag!r})"
+            elif st.pending_collective is not None:
+                status = f"waiting in {type(st.pending_collective).__name__}"
+            else:
+                status = "runnable(?)"
+            lines.append(f"  rank {st.rank}: {status}")
+        raise DeadlockError("simulated SPMD program deadlocked:\n" + "\n".join(lines))

@@ -1,0 +1,97 @@
+"""Timeline recording for simulated runs.
+
+Every scheduler event (compute segment, send, recv wait, collective) is
+appended as a :class:`TraceEvent`; :class:`TraceSummary` aggregates them
+into the per-rank compute/communication/idle split that the paper's
+discussion of compute-vs-communication balance refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    rank: int
+    kind: str  # "compute" | "send" | "recv" | "wait" | "collective" | "charge"
+    t_start: float
+    t_end: float
+    info: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent`s; cheap to disable."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(self, rank: int, kind: str, t_start: float, t_end: float, info: str = "") -> None:
+        if self.enabled and t_end >= t_start:
+            self.events.append(TraceEvent(rank, kind, t_start, t_end, info))
+
+    def summary(self, nranks: int) -> "TraceSummary":
+        return TraceSummary.from_events(self.events, nranks)
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate per-rank time split and overall makespan."""
+
+    nranks: int
+    compute: np.ndarray
+    comm: np.ndarray
+    idle: np.ndarray
+    makespan: float
+
+    @staticmethod
+    def from_events(events: List[TraceEvent], nranks: int) -> "TraceSummary":
+        compute = np.zeros(nranks)
+        comm = np.zeros(nranks)
+        idle = np.zeros(nranks)
+        makespan = 0.0
+        for e in events:
+            makespan = max(makespan, e.t_end)
+            if e.rank < 0 or e.rank >= nranks:
+                continue
+            if e.kind in ("compute", "charge"):
+                compute[e.rank] += e.duration
+            elif e.kind in ("send", "recv", "collective"):
+                comm[e.rank] += e.duration
+            elif e.kind == "wait":
+                idle[e.rank] += e.duration
+        return TraceSummary(nranks, compute, comm, idle, makespan)
+
+    @property
+    def total_compute(self) -> float:
+        return float(self.compute.sum())
+
+    @property
+    def total_comm(self) -> float:
+        return float(self.comm.sum())
+
+    @property
+    def comm_fraction(self) -> float:
+        busy = self.total_compute + self.total_comm
+        return self.total_comm / busy if busy > 0 else 0.0
+
+    def report(self) -> str:
+        lines = [
+            f"makespan: {self.makespan:.6f}s  "
+            f"(compute {self.total_compute:.6f}s, comm {self.total_comm:.6f}s, "
+            f"comm-frac {self.comm_fraction:.1%})"
+        ]
+        for r in range(self.nranks):
+            lines.append(
+                f"  rank {r:4d}: compute {self.compute[r]:.6f}s  "
+                f"comm {self.comm[r]:.6f}s  idle {self.idle[r]:.6f}s"
+            )
+        return "\n".join(lines)

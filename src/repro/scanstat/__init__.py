@@ -1,0 +1,52 @@
+"""Graph scan statistics: anomaly detection on networks (paper Problem 2).
+
+The pipeline is: node observations -> p-values / counts ->
+integer weights (:mod:`repro.scanstat.weights`) -> MIDAS scan grid
+(:func:`repro.core.midas.scan_grid`) -> maximize a scan statistic
+(:mod:`repro.scanstat.statistics`) over feasible (size, weight) cells ->
+optionally extract the anomalous cluster
+(:class:`repro.scanstat.detect.AnomalyDetector`).
+"""
+
+from repro.scanstat.baseline_grid import BaselineGridResult, baseline_scan_grid
+from repro.scanstat.detect import AnomalyDetector, AnomalyResult, extract_cluster
+from repro.scanstat.events import (
+    inject_poisson_counts,
+    null_poisson_counts,
+    pvalues_from_counts,
+)
+from repro.scanstat.statistics import (
+    BerkJones,
+    ElevatedMean,
+    ExpectationBasedPoisson,
+    HigherCriticism,
+    Kulldorff,
+    KulldorffTwoAxis,
+    ScanStatistic,
+)
+from repro.scanstat.weights import (
+    binary_weights_from_pvalues,
+    normal_lower_pvalues,
+    round_weights,
+)
+
+__all__ = [
+    "BaselineGridResult",
+    "baseline_scan_grid",
+    "AnomalyDetector",
+    "AnomalyResult",
+    "extract_cluster",
+    "inject_poisson_counts",
+    "null_poisson_counts",
+    "pvalues_from_counts",
+    "BerkJones",
+    "ElevatedMean",
+    "ExpectationBasedPoisson",
+    "HigherCriticism",
+    "Kulldorff",
+    "KulldorffTwoAxis",
+    "ScanStatistic",
+    "binary_weights_from_pvalues",
+    "normal_lower_pvalues",
+    "round_weights",
+]

@@ -1,0 +1,188 @@
+"""JSON (de)serialization of result objects.
+
+Experiment campaigns want to persist detection outcomes and modeled
+estimates next to their configuration; these helpers give every result
+type a stable, versioned JSON form:
+
+    from repro.serialization import dump_result, load_result
+    dump_result(result, "runs/kpath_k12.json")
+    later = load_result("runs/kpath_k12.json")
+
+Only plain data is stored (no pickles); numpy arrays become nested lists.
+A ``"type"`` tag plus ``"schema_version"`` keeps files self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.model import PerformanceEstimate
+from repro.core.result import DetectionResult, RoundRecord, ScanGridResult
+from repro.core.schedule import PhaseSchedule
+
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(obj: Any) -> Any:
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, PerformanceEstimate):
+        return {"type": "PerformanceEstimate", **_jsonable(_estimate_dict(obj))}
+    return repr(obj)  # last resort: readable, not round-trippable
+
+
+def _estimate_dict(est: PerformanceEstimate) -> Dict[str, Any]:
+    return {
+        "total_seconds": est.total_seconds,
+        "compute_seconds": est.compute_seconds,
+        "comm_seconds": est.comm_seconds,
+        "phase_seconds": est.phase_seconds,
+        "reduce_seconds": est.reduce_seconds,
+        "rounds": est.rounds,
+        "memory_bytes_per_rank": est.memory_bytes_per_rank,
+        "schedule": {
+            "k": est.schedule.k,
+            "n_processors": est.schedule.n_processors,
+            "n1": est.schedule.n1,
+            "n2": est.schedule.n2,
+        },
+    }
+
+
+def result_to_dict(result) -> Dict[str, Any]:
+    """Convert a result object to its JSON-ready dict form."""
+    if isinstance(result, DetectionResult):
+        return {
+            "type": "DetectionResult",
+            "schema_version": SCHEMA_VERSION,
+            "problem": result.problem,
+            "k": result.k,
+            "found": result.found,
+            "eps": result.eps,
+            "mode": result.mode,
+            "n_processors": result.n_processors,
+            "n1": result.n1,
+            "n2": result.n2,
+            "virtual_seconds": result.virtual_seconds,
+            "wall_seconds": result.wall_seconds,
+            "rounds": [
+                {"round_index": r.round_index, "value": r.value,
+                 "virtual_seconds": r.virtual_seconds}
+                for r in result.rounds
+            ],
+            "details": _jsonable(result.details),
+        }
+    if isinstance(result, ScanGridResult):
+        return {
+            "type": "ScanGridResult",
+            "schema_version": SCHEMA_VERSION,
+            "k": result.k,
+            "z_max": result.z_max,
+            "detected": result.detected.tolist(),
+            "rounds_run": result.rounds_run,
+            "eps": result.eps,
+            "mode": result.mode,
+            "n_processors": result.n_processors,
+            "n1": result.n1,
+            "n2": result.n2,
+            "virtual_seconds": result.virtual_seconds,
+            "wall_seconds": result.wall_seconds,
+            "details": _jsonable(result.details),
+        }
+    if isinstance(result, PerformanceEstimate):
+        return {
+            "type": "PerformanceEstimate",
+            "schema_version": SCHEMA_VERSION,
+            **_estimate_dict(result),
+        }
+    raise ConfigurationError(
+        f"cannot serialize {type(result).__name__}; supported: DetectionResult, "
+        "ScanGridResult, PerformanceEstimate"
+    )
+
+
+def result_from_dict(data: Dict[str, Any]):
+    """Inverse of :func:`result_to_dict`."""
+    if not isinstance(data, dict) or "type" not in data:
+        raise ConfigurationError("not a serialized repro result (missing 'type')")
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported schema_version {version!r} (this build reads {SCHEMA_VERSION})"
+        )
+    t = data["type"]
+    if t == "DetectionResult":
+        return DetectionResult(
+            problem=data["problem"],
+            k=data["k"],
+            found=data["found"],
+            rounds=[
+                RoundRecord(r["round_index"], r["value"], r.get("virtual_seconds", 0.0))
+                for r in data["rounds"]
+            ],
+            eps=data["eps"],
+            mode=data["mode"],
+            n_processors=data["n_processors"],
+            n1=data["n1"],
+            n2=data["n2"],
+            virtual_seconds=data["virtual_seconds"],
+            wall_seconds=data["wall_seconds"],
+            details=data.get("details", {}),
+        )
+    if t == "ScanGridResult":
+        return ScanGridResult(
+            k=data["k"],
+            z_max=data["z_max"],
+            detected=np.asarray(data["detected"], dtype=bool),
+            rounds_run=data["rounds_run"],
+            eps=data["eps"],
+            mode=data["mode"],
+            n_processors=data["n_processors"],
+            n1=data["n1"],
+            n2=data["n2"],
+            virtual_seconds=data["virtual_seconds"],
+            wall_seconds=data["wall_seconds"],
+            details=data.get("details", {}),
+        )
+    if t == "PerformanceEstimate":
+        sched = data["schedule"]
+        return PerformanceEstimate(
+            total_seconds=data["total_seconds"],
+            compute_seconds=data["compute_seconds"],
+            comm_seconds=data["comm_seconds"],
+            phase_seconds=data["phase_seconds"],
+            reduce_seconds=data["reduce_seconds"],
+            rounds=data["rounds"],
+            schedule=PhaseSchedule(
+                sched["k"], sched["n_processors"], sched["n1"], sched["n2"]
+            ),
+            memory_bytes_per_rank=data["memory_bytes_per_rank"],
+        )
+    raise ConfigurationError(f"unknown serialized type {t!r}")
+
+
+def dump_result(result, path: PathLike) -> None:
+    """Write a result object as JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: PathLike):
+    """Read a result object back from JSON."""
+    return result_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,42 @@
+"""Library logging setup.
+
+All modules log through the ``repro`` logger hierarchy
+(``repro.core.midas``, ``repro.runtime.scheduler``, ...).  By default the
+library stays silent (a ``NullHandler`` on the root ``repro`` logger, per
+library best practice); applications opt in with :func:`enable_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT = "repro"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy; pass ``__name__``."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def enable_logging(level: int = logging.INFO, stream=None,
+                   fmt: Optional[str] = None) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` logger; returns it so the
+    caller can remove it again (``disable_logging(handler)``)."""
+    logger = logging.getLogger(_ROOT)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(
+        fmt or "%(asctime)s %(name)s %(levelname)s: %(message)s"
+    ))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler
+
+
+def disable_logging(handler: logging.Handler) -> None:
+    """Detach a handler previously returned by :func:`enable_logging`."""
+    logging.getLogger(_ROOT).removeHandler(handler)

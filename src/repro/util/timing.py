@@ -1,0 +1,75 @@
+"""Wall-clock measurement helpers used by the calibration microbenchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class Stopwatch:
+    """Accumulating stopwatch around ``time.perf_counter``.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            kernel()
+        sw.elapsed   # seconds spent inside all ``with`` blocks so far
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.calls = 0
+        self._t0: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._t0 is not None, "Stopwatch exited without entering"
+        self.elapsed += time.perf_counter() - self._t0
+        self.calls += 1
+        self._t0 = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.calls = 0
+        self._t0 = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per ``with`` block (0.0 before the first block)."""
+        return self.elapsed / self.calls if self.calls else 0.0
+
+
+def time_call(fn: Callable[[], object], min_time: float = 0.05, max_reps: int = 10_000) -> float:
+    """Return the best-of mean seconds per call of ``fn``.
+
+    Repeats ``fn`` until at least ``min_time`` seconds have been spent (or
+    ``max_reps`` calls), then returns total/reps.  Used to calibrate the cost
+    model's compute rates from the real vectorized kernels.
+    """
+    reps = 0
+    total = 0.0
+    while total < min_time and reps < max_reps:
+        t0 = time.perf_counter()
+        fn()
+        total += time.perf_counter() - t0
+        reps += 1
+    return total / max(reps, 1)
+
+
+def format_seconds(s: float) -> str:
+    """Render a duration with a sensible unit (ns/us/ms/s/min)."""
+    if s < 0:
+        return "-" + format_seconds(-s)
+    if s < 1e-6:
+        return f"{s * 1e9:.1f}ns"
+    if s < 1e-3:
+        return f"{s * 1e6:.1f}us"
+    if s < 1.0:
+        return f"{s * 1e3:.1f}ms"
+    if s < 120.0:
+        return f"{s:.2f}s"
+    return f"{s / 60.0:.1f}min"

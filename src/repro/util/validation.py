@@ -1,0 +1,60 @@
+"""Eager argument validation helpers.
+
+Every public entry point validates its parameters before doing any work, so
+that a bad ``(N, N1, N2, k)`` combination fails with a clear message instead
+of a cryptic numpy broadcast error three layers down.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def check_positive_int(value, name: str) -> int:
+    """Require ``value`` to be an integer >= 1; return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+        if ivalue != value:
+            raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+        value = ivalue
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_in_range(value, name: str, low, high) -> None:
+    """Require ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def check_probability(value, name: str, inclusive: bool = False) -> float:
+    """Require ``value`` in (0, 1) — or [0, 1] when ``inclusive``."""
+    v = float(value)
+    if inclusive:
+        if not (0.0 <= v <= 1.0):
+            raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not (0.0 < v < 1.0):
+            raise ConfigurationError(f"{name} must be in (0, 1), got {value}")
+    return v
+
+
+def check_power_of_two(value, name: str) -> int:
+    """Require ``value`` to be a positive power of two; return it as int."""
+    v = check_positive_int(value, name)
+    if v & (v - 1):
+        raise ConfigurationError(f"{name} must be a power of two, got {v}")
+    return v
+
+
+def check_divides(a: int, b: int, name_a: str, name_b: str) -> None:
+    """Require ``a`` to divide ``b`` (the paper assumes 2^k/N2 and N/N1 integral)."""
+    if b % a:
+        raise ConfigurationError(
+            f"{name_a} (={a}) must divide {name_b} (={b}); "
+            f"the MIDAS schedule assumes integral phase/batch counts"
+        )

@@ -1,0 +1,29 @@
+"""Brute-force oracles shared by the test-suite (import-name-safe module).
+
+Thin wrappers kept for test-code stability; the underlying reference
+implementations are the public :mod:`repro.exact` module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import exact
+from repro.graph.csr import CSRGraph
+
+
+def count_path_mappings(graph: CSRGraph, k: int) -> int:
+    """Number of ordered simple paths on k vertices."""
+    return exact.count_path_mappings(graph, k)
+
+
+def has_k_path(graph: CSRGraph, k: int) -> bool:
+    return exact.has_path(graph, k)
+
+
+def count_tree_mappings(graph: CSRGraph, template) -> int:
+    return exact.count_tree_embeddings(graph, template)
+
+
+def connected_subgraph_cells(graph: CSRGraph, weights: np.ndarray, k: int):
+    return exact.scan_cells(graph, np.asarray(weights), k)

@@ -1,0 +1,100 @@
+"""Tests for the two-axis (weight, baseline) scan grid."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid2d
+from repro.scanstat.baseline_grid import BaselineGridResult, baseline_scan_grid
+from repro.scanstat.statistics import Kulldorff
+from repro.util.rng import RngStream
+
+
+def brute_cells(graph, w, b, k):
+    import networkx as nx
+
+    nxg = graph.to_networkx()
+    cells = set()
+    for size in range(1, k + 1):
+        for combo in itertools.combinations(range(graph.n), size):
+            if nx.is_connected(nxg.subgraph(combo)):
+                cells.add(
+                    (size, int(w[list(combo)].sum()), int(b[list(combo)].sum()))
+                )
+    return cells
+
+
+class TestBaselineGridExactness:
+    def test_matches_enumeration(self):
+        g = grid2d(2, 3)
+        w = np.array([1, 0, 2, 0, 1, 0], dtype=np.int64)
+        b = np.array([1, 2, 1, 1, 2, 1], dtype=np.int64)
+        res = baseline_scan_grid(g, w, b, k=3, eps=0.02, rng=RngStream(0))
+        truth = brute_cells(g, w, b, 3)
+        got = {
+            (j, zw, zb)
+            for (j, zw, zb) in res.feasible_cells()
+        }
+        assert got <= truth  # one-sided
+        missing = truth - got
+        assert len(missing) <= 1  # eps=0.02 slack
+
+    def test_single_node_cells(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        w = np.array([4, 0, 2], dtype=np.int64)
+        b = np.array([1, 3, 2], dtype=np.int64)
+        res = baseline_scan_grid(g, w, b, k=1, eps=0.02, rng=RngStream(1))
+        got = set(res.feasible_cells())
+        assert got == {(1, 4, 1), (1, 0, 3), (1, 2, 2)}
+
+
+class TestBudgetConstraint:
+    def test_b_max_truncates(self):
+        """Cells whose baseline exceeds b_max never appear (Problem 2's
+        B(S) <= k budget)."""
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        w = np.array([1, 1], dtype=np.int64)
+        b = np.array([3, 3], dtype=np.int64)
+        res = baseline_scan_grid(g, w, b, k=2, b_max=4, eps=0.05, rng=RngStream(2))
+        # the pair has baseline 6 > 4: only singles (baseline 3) fit
+        for j, zw, zb in res.feasible_cells():
+            assert zb <= 4
+            assert j == 1
+
+
+class TestKulldorffOnGrid:
+    def test_heterogeneous_baselines_change_the_winner(self):
+        """With uniform baselines the heaviest-weight cluster wins; with a
+        big baseline under it, a lighter low-baseline cluster should win
+        Kulldorff — the case the 1-axis grid cannot express."""
+        # two disjoint edges: {0,1} heavy weight, heavy baseline;
+        #                     {2,3} lighter weight, tiny baseline
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        w = np.array([5, 5, 3, 3], dtype=np.int64)
+        b = np.array([8, 8, 1, 1], dtype=np.int64)
+        res = baseline_scan_grid(g, w, b, k=2, eps=0.02, rng=RngStream(3))
+        from repro.scanstat.statistics import KulldorffTwoAxis
+
+        score = KulldorffTwoAxis(total_weight=float(w.sum()),
+                                 total_baseline=float(b.sum()))
+        _, j, zw, zb = res.best_cell(score)
+        # the low-baseline pair (weight 6, baseline 2) must beat the
+        # heavy pair (weight 10, baseline 16)
+        assert (zw, zb) == (6, 2)
+
+
+class TestValidation:
+    def test_bad_axes(self):
+        g = grid2d(2, 2)
+        with pytest.raises(ConfigurationError):
+            baseline_scan_grid(g, np.ones(3, dtype=np.int64),
+                               np.ones(4, dtype=np.int64), k=2)
+        with pytest.raises(ConfigurationError):
+            baseline_scan_grid(g, -np.ones(4, dtype=np.int64),
+                               np.ones(4, dtype=np.int64), k=2)
+        with pytest.raises(ConfigurationError):
+            baseline_scan_grid(g, np.ones(4, dtype=np.int64),
+                               np.ones(4, dtype=np.int64), k=0)

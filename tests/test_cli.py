@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import erdos_renyi, plant_path
+from repro.graph.io import write_edge_list
+from repro.util.rng import RngStream
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_graph_source_is_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["detect-path", "-k", "4", "--er", "100", "--dataset", "miami"]
+            )
+
+
+class TestDatasets:
+    def test_lists_registry(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("miami", "com-Orkut", "random-1e6", "random-1e7"):
+            assert name in out
+
+    def test_generate(self, capsys):
+        assert main(["datasets", "--generate", "--scale", "0.0005"]) == 0
+        out = capsys.readouterr().out
+        assert "gen nodes" in out
+
+
+class TestDetectPath:
+    def test_er_found(self, capsys):
+        rc = main(["detect-path", "--er", "300", "-k", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FOUND" in out
+
+    def test_exit_code_when_absent(self, capsys):
+        # k larger than the graph: certain "not found", exit code 1
+        rc = main(["detect-path", "--er", "20", "-k", "25", "--seed", "2"])
+        assert rc == 1
+
+    def test_edge_list_input(self, tmp_path, capsys):
+        g, _ = plant_path(erdos_renyi(40, m=30, rng=RngStream(3)), 5, rng=RngStream(4))
+        p = tmp_path / "g.txt"
+        write_edge_list(g, p)
+        rc = main(["detect-path", "--edge-list", str(p), "-k", "5", "--seed", "5",
+                   "--eps", "0.02"])
+        assert rc == 0
+
+    def test_simulated_mode(self, capsys):
+        rc = main(["detect-path", "--er", "200", "-k", "4", "--seed", "6",
+                   "--mode", "simulated", "-N", "4", "--n1", "2", "--n2", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mode=simulated" in out
+
+
+class TestDetectTree:
+    def test_star_template(self, capsys):
+        rc = main(["detect-tree", "--er", "300", "-k", "5", "--template", "star",
+                   "--seed", "7"])
+        out = capsys.readouterr().out
+        assert "star5" in out
+        assert rc in (0, 1)
+
+
+class TestScan:
+    def test_planted_cluster(self, capsys):
+        rc = main(["scan", "--er", "120", "-k", "4", "--plant", "4", "--seed", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "score" in out
+
+    def test_statistic_choice(self, capsys):
+        rc = main(["scan", "--er", "100", "-k", "3", "--plant", "3",
+                   "--statistic", "higher-criticism", "--seed", "9"])
+        assert rc == 0
+
+
+class TestFigures:
+    def test_single_figure(self, capsys):
+        rc = main(["figures", "fig11"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig11" in out
+        assert "fascia" in out
+
+    def test_unknown_figure(self, capsys):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["figures", "fig99"])
+
+
+class TestCalibrateAndModel:
+    def test_calibrate(self, capsys):
+        rc = main(["calibrate", "--nodes", "256", "--degree", "6", "-k", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best N2" in out
+
+    def test_model(self, capsys):
+        rc = main(["model", "--dataset", "random-1e6", "-k", "10",
+                   "-N", "512", "--n1", "32"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "modeled total" in out
+        assert "memory per rank" in out
+
+    def test_model_scanstat(self, capsys):
+        rc = main(["model", "--dataset", "miami", "-k", "8", "-N", "128",
+                   "--n1", "16", "--problem", "scanstat"])
+        assert rc == 0

@@ -1,0 +1,110 @@
+"""Tests for the color-coding (FASCIA) baseline: unbiasedness, detection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.colorcoding import (
+    _submasks_of_size,
+    color_coding_count,
+    color_coding_detect,
+    colorful_count_one_coloring,
+)
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, grid2d, plant_tree
+from repro.graph.templates import TreeTemplate
+from repro.util.rng import RngStream
+
+from _test_oracles import count_path_mappings, count_tree_mappings
+
+
+class TestSubmasks:
+    def test_enumeration(self):
+        got = sorted(_submasks_of_size(0b1011, 2))
+        assert got == [0b0011, 0b1001, 0b1010]
+
+    def test_full_and_empty(self):
+        assert _submasks_of_size(0b101, 0) == [0]
+        assert _submasks_of_size(0b101, 2) == [0b101]
+
+
+class TestColorfulCount:
+    def test_rainbow_coloring_counts_everything(self):
+        """If a k-path's vertices happen to have k distinct colors, it is
+        counted; a fully rainbow assignment on a path graph counts all."""
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        tmpl = TreeTemplate.path(3)
+        colors = np.array([0, 1, 2])
+        # exactly 2 mappings: 0-1-2 and 2-1-0
+        assert colorful_count_one_coloring(g, tmpl, colors) == 2
+
+    def test_monochrome_counts_nothing(self):
+        g = grid2d(3, 3)
+        tmpl = TreeTemplate.path(3)
+        assert colorful_count_one_coloring(g, tmpl, np.zeros(9, dtype=np.int64)) == 0
+
+    def test_star_template(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        tmpl = TreeTemplate.star(4)
+        colors = np.array([0, 1, 2, 3])
+        # center must map to 0; leaves permute: 3! mappings
+        assert colorful_count_one_coloring(g, tmpl, colors) == 6
+
+    def test_invalid_colors(self):
+        g = grid2d(2, 2)
+        tmpl = TreeTemplate.path(3)
+        with pytest.raises(ConfigurationError):
+            colorful_count_one_coloring(g, tmpl, np.array([0, 1, 5, 0]))
+        with pytest.raises(ConfigurationError):
+            colorful_count_one_coloring(g, tmpl, np.zeros(3, dtype=np.int64))
+
+
+class TestUnbiasedEstimation:
+    def test_path_count_grid(self):
+        g = grid2d(3, 3)
+        truth = count_path_mappings(g, 3)
+        est = color_coding_count(g, TreeTemplate.path(3), n_iterations=2500, rng=RngStream(1))
+        assert est == pytest.approx(truth, rel=0.12)
+
+    def test_tree_count_small_er(self):
+        g = erdos_renyi(14, m=25, rng=RngStream(2))
+        tmpl = TreeTemplate.star(4)
+        truth = count_tree_mappings(g, tmpl)
+        est = color_coding_count(g, tmpl, n_iterations=2500, rng=RngStream(3))
+        if truth == 0:
+            assert est == 0
+        else:
+            assert est == pytest.approx(truth, rel=0.15)
+
+    def test_zero_when_absent(self):
+        # no 4-star in a path graph
+        g = CSRGraph.from_edges(6, [(i, i + 1) for i in range(5)])
+        est = color_coding_count(g, TreeTemplate.star(5), n_iterations=50, rng=RngStream(4))
+        assert est == 0.0
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            color_coding_count(grid2d(2, 2), TreeTemplate.path(2), n_iterations=0)
+
+
+class TestDetection:
+    def test_planted_tree_detected(self):
+        tmpl = TreeTemplate.binary(5)
+        g, _ = plant_tree(erdos_renyi(25, m=30, rng=RngStream(5)), tmpl, rng=RngStream(6))
+        assert color_coding_detect(g, tmpl, eps=0.05, rng=RngStream(7))
+
+    def test_no_false_positives(self):
+        g = CSRGraph.from_edges(8, [(i, i + 1) for i in range(7)])
+        assert not color_coding_detect(g, TreeTemplate.star(4), eps=0.3, rng=RngStream(8))
+
+    def test_agrees_with_midas(self):
+        """Color coding and MIDAS must agree on clear instances."""
+        from repro.core.midas import detect_tree
+
+        tmpl = TreeTemplate.caterpillar(5)
+        g, _ = plant_tree(erdos_renyi(30, m=35, rng=RngStream(9)), tmpl, rng=RngStream(10))
+        cc = color_coding_detect(g, tmpl, eps=0.02, rng=RngStream(11))
+        midas = detect_tree(g, tmpl, eps=0.02, rng=RngStream(12)).found
+        assert cc and midas

@@ -1,0 +1,87 @@
+"""Tests for the bio-surveillance case study."""
+
+import numpy as np
+import pytest
+
+from repro.apps.epidemics import OutbreakReport, OutbreakStudy, SurveillanceRegion
+from repro.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def region():
+    return SurveillanceRegion.synthetic(n_units=300, avg_degree=10,
+                                        rng=RngStream(7))
+
+
+class TestRegion:
+    def test_synthetic_shape(self, region):
+        assert region.n_units == 300
+        assert region.populations.shape == (300,)
+        assert np.all(region.populations > 0)
+
+
+class TestStudyValidation:
+    def test_seed_inside_window(self, region):
+        with pytest.raises(ConfigurationError):
+            OutbreakStudy(region, seed_day=9, n_days=8)
+
+    def test_growth_must_grow(self, region):
+        with pytest.raises(ConfigurationError):
+            OutbreakStudy(region, growth=0.9)
+
+    def test_cluster_size_range(self, region):
+        with pytest.raises(ConfigurationError):
+            OutbreakStudy(region, cluster_size=0)
+
+
+class TestSynthesis:
+    def test_counts_matrix(self, region):
+        study = OutbreakStudy(region, cluster_size=5, seed_day=2, n_days=5)
+        counts, cluster = study.synthesize(rng=RngStream(1))
+        assert counts.shape == (5, region.n_units)
+        assert len(cluster) == 5
+        assert np.all(counts >= 0)
+
+    def test_outbreak_grows_in_cluster(self, region):
+        study = OutbreakStudy(region, cluster_size=6, seed_day=1, n_days=6,
+                              growth=2.0)
+        counts, cluster = study.synthesize(rng=RngStream(2))
+        base = region.populations[cluster].sum()
+        # by the last day the cluster counts are far above baseline
+        assert counts[-1, cluster].sum() > 4 * base
+        # pre-seed days are endemic
+        assert counts[0, cluster].sum() < 3 * base
+
+
+class TestDetection:
+    def test_outbreak_detected_after_seeding(self, region):
+        study = OutbreakStudy(region, cluster_size=6, seed_day=3, n_days=7,
+                              growth=2.2, k=6, eps=0.1)
+        report = study.run(rng=RngStream(3), score_threshold=10.0)
+        print(report.summary())
+        assert report.detected_on is not None
+        assert not report.false_alarm
+        assert report.detection_delay is not None
+        assert 0 <= report.detection_delay <= 3
+
+    def test_scores_rise_with_outbreak(self, region):
+        study = OutbreakStudy(region, cluster_size=6, seed_day=2, n_days=6,
+                              growth=2.2, k=6, eps=0.1)
+        report = study.run(rng=RngStream(4), score_threshold=1e9)  # no alarm
+        scores = report.scores()
+        # late-outbreak days must dominate pre-seed days
+        assert max(scores[3:]) > max(scores[:2]) + 5
+
+    def test_no_outbreak_low_scores(self, region):
+        """Growth ~1 = endemic everywhere: scores stay near the noise floor."""
+        study = OutbreakStudy(region, cluster_size=6, seed_day=3, n_days=5,
+                              growth=1.0001, k=6, eps=0.1, alpha=0.005)
+        report = study.run(rng=RngStream(5), score_threshold=10.0)
+        assert report.detected_on is None or report.false_alarm is False
+
+    def test_report_summary(self, region):
+        study = OutbreakStudy(region, cluster_size=5, seed_day=2, n_days=4,
+                              growth=2.0, k=5)
+        report = study.run(rng=RngStream(6))
+        assert "outbreak" in report.summary()

@@ -1,0 +1,113 @@
+"""Tests for the programmatic figure-regeneration API."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    FIGURES,
+    fig3_8_series,
+    fig9_series,
+    fig10_series,
+    fig11_series,
+    figure_rows,
+    giraph_series,
+    modeled_runtime,
+    optimal_n1,
+)
+from repro.runtime.costmodel import KernelCalibration
+
+
+@pytest.fixture(scope="module")
+def cal():
+    return KernelCalibration.synthetic()
+
+
+class TestModeledRuntime:
+    def test_positive(self, cal):
+        t = modeled_runtime("random-1e6", 10, 512, 32, calibration=cal)
+        assert t > 0
+
+    def test_unknown_dataset(self, cal):
+        with pytest.raises(ConfigurationError):
+            modeled_runtime("twitter", 8, 64, 8, calibration=cal)
+
+    def test_scanstat_costlier(self, cal):
+        p = modeled_runtime("random-1e6", 8, 256, 32, calibration=cal)
+        s = modeled_runtime("random-1e6", 8, 256, 32, problem="scanstat",
+                            z_axis=9, calibration=cal)
+        assert s > p
+
+
+class TestFig38:
+    def test_structure_and_interior_optimum(self, cal):
+        rows = fig3_8_series(k=6, calibration=cal)
+        assert {r["n1"] for r in rows} == {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+        best = optimal_n1(rows, "N=512")
+        assert best is not None and 1 < best < 512
+
+    def test_invalid_combos_none(self, cal):
+        rows = fig3_8_series(k=6, n_processors=(128,), calibration=cal)
+        r512 = next(r for r in rows if r["n1"] == 512)
+        assert r512["N=128"] is None
+
+    def test_bsmax_beats_bs1_at_best(self, cal):
+        bs1 = fig3_8_series(k=6, bs_max=False, calibration=cal)
+        bsm = fig3_8_series(k=6, bs_max=True, calibration=cal)
+        col = "N=512"
+        best_bs1 = min(r[col] for r in bs1 if r[col] is not None)
+        best_bsm = min(r[col] for r in bsm if r[col] is not None)
+        assert best_bsm <= best_bs1
+
+
+class TestFig9And10:
+    def test_fig9_speedups_monotone(self, cal):
+        rows = fig9_series(calibration=cal)
+        series = [r["N1=32"] for r in rows if r["N1=32"] is not None]
+        assert series[0] == pytest.approx(1.0)
+        assert all(b >= a * 0.999 for a, b in zip(series, series[1:]))
+
+    def test_fig10_speedups_band(self, cal):
+        rows = fig10_series(calibration=cal)
+        last = rows[-1]
+        for d in ("random-1e6", "com-Orkut", "miami"):
+            assert 2.0 < last[f"{d} speedup"] <= 16.0
+
+
+class TestFig11:
+    def test_wall_and_ratio(self, cal):
+        rows = fig11_series(calibration=cal)
+        by_k = {r["k"]: r for r in rows}
+        assert by_k[12]["fascia_feasible"]
+        assert not by_k[13]["fascia_feasible"]
+        assert by_k[12]["ratio"] > 100
+
+
+class TestGiraph:
+    def test_wall_and_ratio(self, cal):
+        rows = giraph_series(calibration=cal)
+        feas = [r for r in rows if r["giraph_feasible"]]
+        infeas = [r for r in rows if not r["giraph_feasible"]]
+        assert feas and infeas
+        assert all(r["giraph_s"] > 10 * r["midas_s"] for r in feas)
+
+
+class TestOverlapSeries:
+    def test_headroom_grows_with_n1(self, cal):
+        from repro.experiments import overlap_series
+
+        rows = overlap_series(calibration=cal)
+        by_n1 = {r["n1"]: r["saving"] for r in rows}
+        assert all(0.0 <= s < 0.6 for s in by_n1.values())
+        assert by_n1[512] > by_n1[2]
+        assert all(r["overlapped_s"] <= r["sync_s"] for r in rows)
+
+
+class TestRegistry:
+    def test_all_figures_regenerate(self, cal):
+        for name in FIGURES:
+            rows = figure_rows(name, calibration=cal)
+            assert rows and isinstance(rows[0], dict)
+
+    def test_unknown_figure(self):
+        with pytest.raises(ConfigurationError):
+            figure_rows("fig99")

@@ -1,0 +1,179 @@
+"""Tests for synthetic graph generators and structure planting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    erdos_renyi,
+    grid2d,
+    miami_like,
+    orkut_like,
+    plant_clique,
+    plant_cluster,
+    plant_path,
+    plant_tree,
+    random_tree_graph,
+    watts_strogatz,
+)
+from repro.graph.templates import TreeTemplate
+from repro.util.rng import RngStream
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(100, m=321, rng=RngStream(0))
+        assert g.n == 100 and g.num_edges == 321
+
+    def test_default_density_n_log_n(self):
+        n = 400
+        g = erdos_renyi(n, rng=RngStream(1))
+        assert abs(g.num_edges - n * np.log(n)) / (n * np.log(n)) < 0.01
+
+    def test_deterministic(self):
+        a = erdos_renyi(50, m=80, rng=RngStream(7))
+        b = erdos_renyi(50, m=80, rng=RngStream(7))
+        assert np.array_equal(a.edges(), b.edges())
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(4, m=100, rng=RngStream(0))
+
+    def test_tiny_n_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(1, m=0)
+
+
+class TestGrid:
+    def test_dimensions(self):
+        g = grid2d(4, 5)
+        assert g.n == 20
+        assert g.num_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+
+    def test_periodic_adds_wrap_edges(self):
+        g = grid2d(4, 4, periodic=True)
+        assert g.num_edges == grid2d(4, 4).num_edges + 8
+
+    def test_degenerate(self):
+        assert grid2d(1, 1).num_edges == 0
+        assert grid2d(1, 5).num_edges == 4
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity(self):
+        g = barabasi_albert(200, 3, rng=RngStream(2))
+        assert g.n == 200
+        assert g.num_edges >= 3 * (200 - 4)
+        assert len(set(g.connected_components().tolist())) == 1
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(400, 2, rng=RngStream(3))
+        deg = g.degrees()
+        assert deg.max() > 4 * deg.mean()
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 5)
+        with pytest.raises(GraphError):
+            barabasi_albert(10, 0)
+
+
+class TestWattsStrogatz:
+    def test_edge_count_close_to_lattice(self):
+        g = watts_strogatz(100, 6, 0.1, rng=RngStream(4))
+        assert g.n == 100
+        # rewiring only removes edges via collision/self-loop dedup
+        assert g.num_edges <= 300
+        assert g.num_edges > 270
+
+    def test_beta_zero_is_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, rng=RngStream(5))
+        assert g.num_edges == 40
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(GraphError):
+            watts_strogatz(10, 4, 1.5)
+
+
+class TestChungLuFamilies:
+    def test_chung_lu_degree_bias(self):
+        n = 300
+        w = np.ones(n)
+        w[:10] = 50.0
+        g = chung_lu(n, w, 1500, rng=RngStream(6))
+        deg = g.degrees()
+        assert deg[:10].mean() > 5 * deg[10:].mean()
+
+    def test_chung_lu_invalid_weights(self):
+        with pytest.raises(GraphError):
+            chung_lu(3, np.array([1.0, -1.0, 2.0]), 2)
+
+    def test_orkut_like_avg_degree(self):
+        g = orkut_like(800, avg_degree=40, rng=RngStream(7))
+        assert abs(2 * g.num_edges / g.n - 40) < 4
+
+    def test_miami_like_spatial(self):
+        g = miami_like(500, avg_degree=20, rng=RngStream(8))
+        assert g.n == 500
+        assert 10 < 2 * g.num_edges / g.n < 30
+
+    def test_miami_needs_minimum_size(self):
+        with pytest.raises(GraphError):
+            miami_like(4)
+
+
+class TestRandomTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 50])
+    def test_is_tree(self, n):
+        g = random_tree_graph(n, rng=RngStream(9))
+        assert g.n == n
+        assert g.num_edges == n - 1 if n > 1 else g.num_edges == 0
+        assert len(set(g.connected_components().tolist())) == 1
+
+
+class TestPlanting:
+    def test_plant_path_edges_exist(self):
+        g = erdos_renyi(50, m=30, rng=RngStream(10))
+        g2, path = plant_path(g, 8, rng=RngStream(11))
+        assert len(path) == 8
+        assert len(set(path.tolist())) == 8
+        for a, b in zip(path[:-1], path[1:]):
+            assert g2.has_edge(int(a), int(b))
+
+    def test_plant_path_too_big(self):
+        g = grid2d(2, 2)
+        with pytest.raises(GraphError):
+            plant_path(g, 10)
+
+    def test_plant_tree_mapping_valid(self):
+        tmpl = TreeTemplate.binary(7)
+        g = erdos_renyi(60, m=40, rng=RngStream(12))
+        g2, mapping = plant_tree(g, tmpl, rng=RngStream(13))
+        assert len(set(mapping.tolist())) == 7
+        for a, b in tmpl.edges:
+            assert g2.has_edge(int(mapping[a]), int(mapping[b]))
+
+    def test_plant_clique(self):
+        g = erdos_renyi(30, m=20, rng=RngStream(14))
+        g2, nodes = plant_clique(g, 5, rng=RngStream(15))
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert g2.has_edge(int(nodes[i]), int(nodes[j]))
+
+    def test_plant_cluster_connected(self):
+        g = grid2d(10, 10)
+        cl = plant_cluster(g, 12, rng=RngStream(16))
+        assert len(cl) == 12
+        sub, _ = g.subgraph(cl)
+        assert len(set(sub.connected_components().tolist())) == 1
+
+    def test_plant_cluster_impossible(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (2, 3)])  # max component = 2
+        with pytest.raises(GraphError):
+            plant_cluster(g, 5, rng=RngStream(17), max_tries=4)

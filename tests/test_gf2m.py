@@ -1,0 +1,171 @@
+"""Field-axiom and kernel tests for vectorized GF(2^m)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.ff.gf2m import GF2m, default_field_for_k, field_degree_for_k
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def gf8():
+    return GF2m(3)
+
+
+@pytest.fixture(scope="module")
+def gf256():
+    return GF2m(8)
+
+
+def elements(field, max_value=None):
+    hi = (field.order - 1) if max_value is None else max_value
+    return st.integers(min_value=0, max_value=hi)
+
+
+class TestConstruction:
+    def test_field_size_rule(self):
+        assert field_degree_for_k(1) == 3
+        assert field_degree_for_k(2) == 4
+        assert field_degree_for_k(10) == 7
+        assert field_degree_for_k(18) == 8
+
+    def test_default_field_dtype_is_byte_for_paper_range(self):
+        for k in (2, 5, 10, 18):
+            assert default_field_for_k(k).dtype == np.uint8
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(FieldError):
+            GF2m(0)
+        with pytest.raises(FieldError):
+            GF2m(17)
+
+    def test_reducible_modulus_rejected(self):
+        with pytest.raises(FieldError):
+            GF2m(2, modulus=0b101)  # (x+1)^2
+
+    def test_table_strategy_limited(self):
+        with pytest.raises(FieldError):
+            GF2m(9, mul_strategy="table")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(FieldError):
+            GF2m(4, mul_strategy="nonsense")
+
+
+class TestAxiomsExhaustiveGF8:
+    """GF(2^3) is small enough to verify the full field axioms exhaustively."""
+
+    def test_associativity_commutativity_distributivity(self, gf8):
+        xs = np.arange(8, dtype=np.uint8)
+        a = xs[:, None, None]
+        b = xs[None, :, None]
+        c = xs[None, None, :]
+        assert np.array_equal(gf8.mul(gf8.mul(a, b), c), gf8.mul(a, gf8.mul(b, c)))
+        assert np.array_equal(gf8.mul(a, b)[..., 0], gf8.mul(b, a)[..., 0])
+        assert np.array_equal(
+            gf8.mul(a, gf8.add(b, c)), gf8.add(gf8.mul(a, b), gf8.mul(a, c))
+        )
+
+    def test_identity_and_inverse(self, gf8):
+        xs = np.arange(8, dtype=np.uint8)
+        assert np.array_equal(gf8.mul(xs, np.uint8(1)), xs)
+        nz = xs[1:]
+        assert np.all(gf8.mul(nz, gf8.inv(nz)) == 1)
+
+    def test_no_zero_divisors(self, gf8):
+        xs = np.arange(1, 8, dtype=np.uint8)
+        prod = gf8.mul(xs[:, None], xs[None, :])
+        assert np.all(prod != 0)
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("m", [2, 4, 6, 8])
+    def test_table_vs_logexp(self, m):
+        ft = GF2m(m, mul_strategy="table")
+        fl = GF2m(m, mul_strategy="logexp")
+        xs = np.arange(ft.order, dtype=ft.dtype)
+        assert np.array_equal(
+            ft.mul(xs[:, None], xs[None, :]), fl.mul(xs[:, None], xs[None, :])
+        )
+
+
+class TestGF256Properties:
+    @given(elements(GF2m(8)), elements(GF2m(8)), elements(GF2m(8)))
+    @settings(max_examples=60)
+    def test_axioms_sampled(self, a, b, c):
+        f = GF2m(8)
+        assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+        assert f.mul(a, b) == f.mul(b, a)
+        assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+    @given(st.integers(min_value=1, max_value=255), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=40)
+    def test_pow_matches_repeated_mul(self, a, e):
+        f = GF2m(8)
+        expected = 1
+        for _ in range(e):
+            expected = int(f.mul(expected, a))
+        assert int(f.pow(a, e)) == expected
+
+    def test_pow_of_zero(self, gf256):
+        assert int(gf256.pow(0, 0)) == 1
+        assert int(gf256.pow(0, 3)) == 0
+
+    def test_frobenius_is_additive(self, gf256):
+        # squaring is a field automorphism in characteristic 2
+        xs = np.arange(256, dtype=np.uint8)
+        sq = gf256.pow(xs, 2)
+        a = xs[:, None]
+        b = xs[None, :]
+        assert np.array_equal(gf256.pow(gf256.add(a, b), 2), gf256.add(sq[:, None], sq[None, :]))
+
+
+class TestLargeField:
+    def test_gf2_16_inverses(self):
+        f = GF2m(12)
+        xs = np.arange(1, f.order, dtype=f.dtype)
+        assert np.all(f.mul(xs, f.inv(xs)) == 1)
+
+
+class TestHelpers:
+    def test_inv_zero_rejected(self, gf8):
+        with pytest.raises(FieldError):
+            gf8.inv(np.array([1, 0], dtype=np.uint8))
+
+    def test_div(self, gf8):
+        xs = np.arange(1, 8, dtype=np.uint8)
+        assert np.all(gf8.div(gf8.mul(xs, 5), 5) == xs)
+
+    def test_xor_sum(self, gf256):
+        arr = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        assert gf256.xor_sum(arr, axis=0).tolist() == [2, 6]
+        assert int(gf256.xor_sum(arr)) == 1 ^ 2 ^ 3 ^ 4
+
+    def test_mul_scalar(self, gf8):
+        xs = np.arange(8, dtype=np.uint8)
+        assert np.array_equal(gf8.mul_scalar(xs, 3), gf8.mul(xs, np.uint8(3)))
+        assert np.all(gf8.mul_scalar(xs, 0) == 0)
+        with pytest.raises(FieldError):
+            gf8.mul_scalar(xs, 8)
+
+    def test_random_nonzero_never_zero(self, gf8):
+        draws = gf8.random_nonzero(RngStream(1), size=4096)
+        assert np.all(draws != 0)
+        assert draws.max() <= 7
+
+    def test_random_covers_field(self, gf8):
+        draws = gf8.random(RngStream(2), size=4096)
+        assert set(np.unique(draws).tolist()) == set(range(8))
+
+    def test_element_validation(self, gf8):
+        assert gf8.element(7) == 7
+        with pytest.raises(FieldError):
+            gf8.element(8)
+
+    def test_equality_and_hash(self):
+        assert GF2m(4) == GF2m(4)
+        assert GF2m(4) != GF2m(5)
+        assert hash(GF2m(4)) == hash(GF2m(4))

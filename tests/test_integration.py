@@ -1,0 +1,141 @@
+"""Cross-module integration tests: full workflows end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AnomalyDetector,
+    BerkJones,
+    KernelCalibration,
+    MidasRuntime,
+    PartitionStats,
+    PhaseSchedule,
+    RngStream,
+    TreeTemplate,
+    detect_path,
+    detect_tree,
+    erdos_renyi,
+    estimate_runtime,
+    extract_witness,
+    juliet,
+    load_dataset,
+    make_partition,
+    plant_cluster,
+    plant_path,
+    plant_tree,
+    scan_grid,
+)
+from repro.baselines import FasciaModel, color_coding_detect
+
+
+class TestPublicApi:
+    def test_version_and_exports(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+        missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+        assert not missing
+
+
+class TestPathWorkflow:
+    def test_detect_then_extract(self):
+        """The README quickstart flow: detect a path, extract a witness."""
+        g = erdos_renyi(60, m=70, rng=RngStream(0))
+        g2, planted = plant_path(g, 6, rng=RngStream(1))
+        res = detect_path(g2, 6, eps=0.02, rng=RngStream(2))
+        assert res.found
+
+        def oracle(masked):
+            return detect_path(masked, 6, eps=0.02, rng=RngStream(3)).found
+
+        witness = extract_witness(g2, oracle, 6, rng=RngStream(4))
+        from _test_oracles import has_k_path
+
+        sub, _ = g2.subgraph(witness)
+        assert has_k_path(sub, 6)
+
+    def test_dataset_to_parallel_detection(self):
+        """Table II stand-in -> partition -> simulated cluster detection."""
+        g = load_dataset("random-1e6", scale=0.0003, rng=RngStream(5))
+        rt = MidasRuntime(n_processors=8, n1=4, n2=8, mode="simulated")
+        res = detect_path(g, 5, eps=0.1, rng=RngStream(6), runtime=rt)
+        assert res.mode == "simulated"
+        assert res.virtual_seconds > 0
+        # cross-check against sequential
+        seq = detect_path(g, 5, eps=0.1, rng=RngStream(6), early_exit=False)
+        par = detect_path(g, 5, eps=0.1, rng=RngStream(6), early_exit=False, runtime=rt)
+        assert [r.value for r in seq.rounds] == [r.value for r in par.rounds]
+
+
+class TestTreeWorkflowAgainstBaseline:
+    def test_midas_and_colorcoding_agree_on_planted(self):
+        tmpl = TreeTemplate.binary(6)
+        g, _ = plant_tree(erdos_renyi(40, m=50, rng=RngStream(7)), tmpl, rng=RngStream(8))
+        assert detect_tree(g, tmpl, eps=0.02, rng=RngStream(9)).found
+        assert color_coding_detect(g, tmpl, eps=0.02, rng=RngStream(10))
+
+    def test_fig11_shape_midas_beats_fascia(self):
+        """Fig 11's qualitative content at model level: MIDAS faster than
+        FASCIA at every k, gap widening, FASCIA dead past 12."""
+        calib = KernelCalibration.synthetic()
+        fascia = FasciaModel()
+        n, m, N, n1 = 1_000_000, 13_800_000, 512, 32
+        ratios = []
+        for k in (8, 10, 12):
+            sched = PhaseSchedule(k, N, n1, PhaseSchedule.bs_max(k, N, n1))
+            midas_t = estimate_runtime(
+                PartitionStats.random_model(n, m, n1), sched, calib,
+                juliet().cost_model(N),
+            ).total_seconds
+            fascia_t = fascia.run(n=n, m=m, k=k, n_processors=N).seconds
+            ratios.append(fascia_t / midas_t)
+        assert ratios[0] > 1
+        assert ratios[1] > ratios[0]
+        assert ratios[2] > 100  # two orders of magnitude by k=12
+        assert not fascia.run(n=n, m=m, k=13, n_processors=N).feasible
+
+
+class TestScanWorkflow:
+    def test_epidemic_style_detection(self):
+        """Poisson counts with an injected cluster -> p-values -> detector."""
+        from repro.scanstat.events import inject_poisson_counts, pvalues_from_counts
+        from repro.scanstat.weights import binary_weights_from_pvalues
+
+        g = erdos_renyi(120, m=260, rng=RngStream(11))
+        cluster = plant_cluster(g, 6, rng=RngStream(12))
+        base = np.full(g.n, 8.0)
+        counts = inject_poisson_counts(base, cluster, elevation=6.0, rng=RngStream(13))
+        pvals = pvalues_from_counts(counts, base)
+        w = binary_weights_from_pvalues(pvals, alpha=0.01)
+        det = AnomalyDetector(g, BerkJones(alpha=0.01), k=6, eps=0.05)
+        res = det.detect(w, rng=RngStream(14))
+        assert res.best_score > 0
+        assert res.best_size >= 3  # a sizeable hot connected set exists
+
+    def test_scan_grid_respects_partitioned_runtime(self):
+        g = erdos_renyi(25, m=60, rng=RngStream(15))
+        w = RngStream(16).integers(0, 2, size=g.n)
+        seq = scan_grid(g, w, k=3, eps=0.1, rng=RngStream(17))
+        par = scan_grid(
+            g, w, k=3, eps=0.1, rng=RngStream(17),
+            runtime=MidasRuntime(n_processors=4, n1=2, n2=2, mode="simulated"),
+        )
+        assert np.array_equal(seq.detected, par.detected)
+
+
+class TestModeledScaling:
+    def test_strong_scaling_monotone(self):
+        """Fig 10 shape: more processors, less modeled time (N1=N)."""
+        calib = KernelCalibration.synthetic()
+        n, m, k = 1_000_000, 13_800_000, 10
+        times = []
+        for N in (32, 64, 128, 256, 512):
+            sched = PhaseSchedule(k, N, N, PhaseSchedule.bs_max(k, N, N))
+            est = estimate_runtime(
+                PartitionStats.random_model(n, m, N), sched, calib,
+                juliet().cost_model(N),
+            )
+            times.append(est.total_seconds)
+        assert all(b < a for a, b in zip(times, times[1:]))
+        # sublinear speedup (communication): 16x processors < 16x faster
+        assert times[0] / times[-1] < 16

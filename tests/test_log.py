@@ -1,0 +1,51 @@
+"""Tests for the library logging setup."""
+
+import io
+import logging
+
+from repro.util.log import disable_logging, enable_logging, get_logger
+
+
+class TestLoggerHierarchy:
+    def test_namespaced(self):
+        lg = get_logger("repro.core.midas")
+        assert lg.name == "repro.core.midas"
+
+    def test_foreign_name_wrapped(self):
+        lg = get_logger("myapp")
+        assert lg.name == "repro.myapp"
+
+    def test_silent_by_default(self):
+        stream = io.StringIO()
+        root = logging.getLogger("repro")
+        # no handler attached by us -> nothing propagates to our stream
+        get_logger("repro.test").info("hello")
+        assert stream.getvalue() == ""
+
+    def test_enable_disable(self):
+        stream = io.StringIO()
+        handler = enable_logging(level=logging.INFO, stream=stream)
+        try:
+            get_logger("repro.test").info("visible message")
+        finally:
+            disable_logging(handler)
+        assert "visible message" in stream.getvalue()
+        # after disabling, nothing new is written
+        before = stream.getvalue()
+        get_logger("repro.test").info("hidden")
+        assert stream.getvalue() == before
+
+    def test_detection_emits_info(self):
+        from repro.core.midas import detect_path
+        from repro.graph.generators import erdos_renyi, plant_path
+        from repro.util.rng import RngStream
+
+        stream = io.StringIO()
+        handler = enable_logging(level=logging.DEBUG, stream=stream)
+        try:
+            g, _ = plant_path(erdos_renyi(30, m=40, rng=RngStream(0)), 4,
+                              rng=RngStream(1))
+            detect_path(g, 4, eps=0.1, rng=RngStream(2))
+        finally:
+            disable_logging(handler)
+        assert "k-path" in stream.getvalue()

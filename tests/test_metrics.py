@@ -1,0 +1,102 @@
+"""Tests for structural graph metrics and stand-in validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, grid2d, orkut_like, watts_strogatz
+from repro.graph.metrics import (
+    clustering_coefficient,
+    degree_assortativity,
+    degree_stats,
+    sampled_eccentricity,
+)
+from repro.util.rng import RngStream
+
+
+class TestDegreeStats:
+    def test_regular_graph(self):
+        g = grid2d(10, 10, periodic=True)
+        s = degree_stats(g)
+        assert s.mean == pytest.approx(4.0)
+        assert s.std == pytest.approx(0.0)
+        assert s.maximum == 4
+        assert not s.heavy_tailed
+
+    def test_er_not_heavy_tailed(self):
+        g = erdos_renyi(2000, m=14000, rng=RngStream(0))
+        assert not degree_stats(g).heavy_tailed
+
+    def test_powerlaw_heavy_tailed(self):
+        g = orkut_like(2000, avg_degree=30, exponent=2.2, rng=RngStream(1))
+        assert degree_stats(g).heavy_tailed
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            degree_stats(CSRGraph.from_edges(0, []))
+
+
+class TestClustering:
+    def test_triangle(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert clustering_coefficient(g, rng=RngStream(2)) == pytest.approx(1.0)
+
+    def test_star_zero(self):
+        g = CSRGraph.from_edges(6, [(0, i) for i in range(1, 6)])
+        assert clustering_coefficient(g, rng=RngStream(3)) == pytest.approx(0.0)
+
+    def test_small_world_beats_er(self):
+        ws = watts_strogatz(600, 8, 0.05, rng=RngStream(4))
+        er = erdos_renyi(600, m=ws.num_edges, rng=RngStream(5))
+        c_ws = clustering_coefficient(ws, samples=300, rng=RngStream(6))
+        c_er = clustering_coefficient(er, samples=300, rng=RngStream(7))
+        assert c_ws > 3 * c_er
+
+
+class TestEccentricity:
+    def test_path_graph(self):
+        g = CSRGraph.from_edges(10, [(i, i + 1) for i in range(9)])
+        ecc = sampled_eccentricity(g, samples=10, rng=RngStream(8))
+        assert 5 <= ecc <= 9
+
+    def test_small_world_shrinks_diameter(self):
+        ring = watts_strogatz(400, 4, 0.0, rng=RngStream(9))
+        sw = watts_strogatz(400, 4, 0.2, rng=RngStream(10))
+        assert sampled_eccentricity(sw, rng=RngStream(11)) < sampled_eccentricity(
+            ring, rng=RngStream(12)
+        )
+
+
+class TestAssortativity:
+    def test_star_disassortative(self):
+        g = CSRGraph.from_edges(8, [(0, i) for i in range(1, 8)])
+        assert degree_assortativity(g) <= 0.0
+
+    def test_regular_graph_degenerate(self):
+        g = grid2d(6, 6, periodic=True)
+        assert degree_assortativity(g) == pytest.approx(0.0)
+
+    def test_tiny(self):
+        assert degree_assortativity(CSRGraph.from_edges(2, [(0, 1)])) == 0.0
+
+
+class TestStandInValidation:
+    """The Table II stand-ins must have the right structural signatures."""
+
+    def test_orkut_vs_random_tails(self):
+        from repro.graph.datasets import load_dataset
+
+        orkut = load_dataset("com-Orkut", scale=0.0005, rng=RngStream(13))
+        rand = load_dataset("random-1e6", scale=0.002, rng=RngStream(14))
+        assert degree_stats(orkut).heavy_tailed
+        assert not degree_stats(rand).heavy_tailed
+
+    def test_miami_spatial_clustering(self):
+        from repro.graph.datasets import load_dataset
+
+        miami = load_dataset("miami", scale=0.001, rng=RngStream(15))
+        rand = load_dataset("random-1e6", scale=0.002, rng=RngStream(16))
+        c_m = clustering_coefficient(miami, samples=200, rng=RngStream(17))
+        c_r = clustering_coefficient(rand, samples=200, rng=RngStream(18))
+        assert c_m > 3 * c_r  # spatial contact nets are strongly clustered

@@ -1,0 +1,163 @@
+"""Tests for the analytic performance model and witness extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.midas import detect_path
+from repro.core.model import PartitionStats, PerformanceEstimate, estimate_runtime
+from repro.core.schedule import PhaseSchedule
+from repro.core.witness import extract_witness
+from repro.errors import ConfigurationError, DetectionError
+from repro.graph.generators import erdos_renyi, plant_path
+from repro.graph.partition import random_partition
+from repro.runtime.cluster import juliet
+from repro.runtime.costmodel import KernelCalibration
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def calib():
+    return KernelCalibration.synthetic()
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return juliet().cost_model(512)
+
+
+class TestPartitionStats:
+    def test_from_partition(self):
+        g = erdos_renyi(60, m=150, rng=RngStream(0))
+        p = random_partition(g, 4, rng=RngStream(1))
+        s = PartitionStats.from_partition(p)
+        assert s.n == 60 and s.m == 150 and s.n1 == 4
+        assert s.max_load == p.max_load
+        assert s.max_deg == p.max_degree
+
+    def test_random_model_close_to_actual(self):
+        g = erdos_renyi(2000, m=20000, rng=RngStream(2))
+        p = random_partition(g, 8, rng=RngStream(3))
+        model = PartitionStats.random_model(2000, 20000, 8)
+        actual = PartitionStats.from_partition(p)
+        assert abs(model.max_load - actual.max_load) / actual.max_load < 0.15
+        assert abs(model.max_deg - actual.max_deg) / actual.max_deg < 0.15
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            PartitionStats.random_model(4, 10, 8)
+        with pytest.raises(ConfigurationError):
+            PartitionStats(0, 1, 1, 1, 1, 1)
+
+
+class TestEstimateRuntime:
+    def _estimate(self, calib, cm, n=100_000, m=1_400_000, k=10, N=512, n1=32, n2=None):
+        if n2 is None:
+            n2 = PhaseSchedule.bs_max(k, N, n1)
+        sched = PhaseSchedule(k, N, n1, n2)
+        stats = PartitionStats.random_model(n, m, n1)
+        return estimate_runtime(stats, sched, calib, cm)
+
+    def test_positive_and_decomposed(self, calib, cm):
+        est = self._estimate(calib, cm)
+        assert est.total_seconds > 0
+        assert est.total_seconds == pytest.approx(
+            est.compute_seconds + est.comm_seconds, rel=1e-9
+        )
+        assert 0 <= est.comm_fraction <= 1
+        assert est.memory_bytes_per_rank > 0
+
+    def test_runtime_doubles_with_k_increment(self, calib, cm):
+        """Section VI: running time grows as 2^k (at a fixed batch width —
+        BSMax grows with k and its amortization would mask the doubling)."""
+        t = [self._estimate(calib, cm, k=k, n2=16).total_seconds for k in (8, 9, 10)]
+        assert 1.6 < t[1] / t[0] < 2.8
+        assert 1.6 < t[2] / t[1] < 2.8
+
+    def test_runtime_linear_in_graph_size(self, calib, cm):
+        t1 = self._estimate(calib, cm, n=50_000, m=700_000).total_seconds
+        t2 = self._estimate(calib, cm, n=100_000, m=1_400_000).total_seconds
+        assert 1.5 < t2 / t1 < 2.6
+
+    def test_interior_optimal_n1_exists(self, calib, cm):
+        """The paper's central observation (Figs 3-8): the best N1 is
+        strictly between pure iteration parallelism (N1=1) and pure vertex
+        parallelism (N1=N).  The regime is 2^k < N — the paper's worked
+        example is k=6 with N=128..512 — where N1=1 cannot engage all
+        processors (too few iterations) and N1=N drowns in communication."""
+        k, N = 6, 512
+        times = {}
+        for n1 in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512):
+            times[n1] = self._estimate(calib, cm, k=k, N=N, n1=n1, n2=1).total_seconds
+        best = min(times, key=times.get)
+        assert 1 < best < 512, f"optimum at boundary: {times}"
+        # and the curve actually dips: the optimum clearly beats both ends
+        assert times[best] < 0.8 * times[1]
+        assert times[best] < 0.8 * times[512]
+
+    def test_batching_reduces_time(self, calib, cm):
+        """BSMax vs BS1 (Figs 6-8): larger N2 must help."""
+        t_bs1 = self._estimate(calib, cm, n1=32, n2=1).total_seconds
+        t_bsmax = self._estimate(calib, cm, n1=32).total_seconds
+        assert t_bsmax < t_bs1
+
+    def test_more_eps_means_more_rounds(self, calib, cm):
+        sched = PhaseSchedule(8, 64, 8, 8)
+        stats = PartitionStats.random_model(10_000, 140_000, 8)
+        loose = estimate_runtime(stats, sched, calib, cm, eps=0.2)
+        tight = estimate_runtime(stats, sched, calib, cm, eps=0.01)
+        assert tight.total_seconds > 2 * loose.total_seconds
+
+    def test_scanstat_costlier_than_path(self, calib, cm):
+        sched = PhaseSchedule(8, 64, 8, 8)
+        stats = PartitionStats.random_model(10_000, 140_000, 8)
+        p = estimate_runtime(stats, sched, calib, cm, problem="path")
+        s = estimate_runtime(stats, sched, calib, cm, problem="scanstat", z_axis=16)
+        assert s.total_seconds > 10 * p.total_seconds
+
+    def test_mismatched_n1_rejected(self, calib, cm):
+        sched = PhaseSchedule(8, 64, 8, 8)
+        stats = PartitionStats.random_model(10_000, 140_000, 16)
+        with pytest.raises(ConfigurationError):
+            estimate_runtime(stats, sched, calib, cm)
+
+    def test_unknown_problem_rejected(self, calib, cm):
+        sched = PhaseSchedule(8, 64, 8, 8)
+        stats = PartitionStats.random_model(10_000, 140_000, 8)
+        with pytest.raises(ConfigurationError):
+            estimate_runtime(stats, sched, calib, cm, problem="clique")
+
+
+class TestWitnessExtraction:
+    def test_extracts_planted_path(self):
+        g = erdos_renyi(40, m=30, rng=RngStream(10))
+        g2, planted = plant_path(g, 5, rng=RngStream(11))
+
+        def detect(masked):
+            return detect_path(masked, 5, eps=0.02, rng=RngStream(12)).found
+
+        witness = extract_witness(g2, detect, 5, rng=RngStream(13))
+        assert len(witness) == 5
+        # the witness must itself contain a 5-path
+        sub, _ = g2.subgraph(witness)
+        from _test_oracles import has_k_path
+
+        assert has_k_path(sub, 5)
+
+    def test_raises_when_absent(self):
+        g = erdos_renyi(20, m=10, rng=RngStream(14))
+
+        def never(masked):
+            return False
+
+        with pytest.raises(DetectionError):
+            extract_witness(g, never, 4, rng=RngStream(15))
+
+    def test_query_budget_enforced(self):
+        g = erdos_renyi(30, m=60, rng=RngStream(16))
+
+        def always(masked):
+            return True
+
+        # with max_queries=1 the peeling cannot finish
+        with pytest.raises(DetectionError):
+            extract_witness(g, always, 2, rng=RngStream(17), max_queries=1)

@@ -1,0 +1,94 @@
+"""Tests for the multilevel (METIS-style) partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, grid2d, miami_like
+from repro.graph.multilevel import multilevel_partition
+from repro.graph.partition import make_partition, random_partition
+from repro.util.rng import RngStream
+
+
+class TestValidity:
+    @pytest.mark.parametrize("n_parts", [1, 2, 4, 7])
+    def test_valid_partition(self, n_parts):
+        g = erdos_renyi(150, m=500, rng=RngStream(0))
+        p = multilevel_partition(g, n_parts, rng=RngStream(1))
+        assert p.n_parts == n_parts
+        assert p.owner.shape == (g.n,)
+        assert int(p.loads().sum()) == g.n
+        assert np.all(p.loads() > 0)
+        assert p.method == "multilevel"
+
+    def test_reasonable_balance(self):
+        g = erdos_renyi(300, m=1200, rng=RngStream(2))
+        p = multilevel_partition(g, 6, rng=RngStream(3))
+        assert p.imbalance() <= 1.35
+
+    def test_registered_in_dispatch(self):
+        g = grid2d(8, 8)
+        p = make_partition(g, 4, "multilevel", rng=RngStream(4))
+        assert p.method == "multilevel"
+
+    def test_invalid_parts(self):
+        g = grid2d(3, 3)
+        with pytest.raises(PartitionError):
+            multilevel_partition(g, 0)
+
+    def test_disconnected_graph(self):
+        g = CSRGraph.from_edges(12, [(0, 1), (1, 2), (4, 5), (5, 6), (8, 9)])
+        p = multilevel_partition(g, 3, rng=RngStream(5))
+        assert int(p.loads().sum()) == g.n
+
+
+class TestCutQuality:
+    def test_beats_random_on_grid(self):
+        g = grid2d(24, 24)
+        ml = multilevel_partition(g, 8, rng=RngStream(6))
+        rnd = random_partition(g, 8, rng=RngStream(7))
+        assert ml.edge_cut < 0.5 * rnd.edge_cut
+
+    def test_beats_random_on_spatial(self):
+        g = miami_like(1200, avg_degree=16, rng=RngStream(8))
+        ml = multilevel_partition(g, 8, rng=RngStream(9))
+        rnd = random_partition(g, 8, rng=RngStream(10))
+        assert ml.edge_cut < 0.8 * rnd.edge_cut
+
+    def test_maxdeg_improves(self):
+        g = grid2d(20, 20)
+        ml = multilevel_partition(g, 4, rng=RngStream(11))
+        rnd = random_partition(g, 4, rng=RngStream(12))
+        assert ml.max_degree < rnd.max_degree
+
+
+class TestDeterminism:
+    def test_same_seed_same_partition(self):
+        g = erdos_renyi(120, m=400, rng=RngStream(13))
+        a = multilevel_partition(g, 4, rng=RngStream(14))
+        b = multilevel_partition(g, 4, rng=RngStream(14))
+        assert np.array_equal(a.owner, b.owner)
+
+
+class TestWorksWithMidas:
+    def test_halo_views_build(self):
+        from repro.core.halo import build_halo_views
+
+        g = erdos_renyi(100, m=350, rng=RngStream(15))
+        p = multilevel_partition(g, 5, rng=RngStream(16))
+        views = build_halo_views(g, p)
+        all_own = np.concatenate([v.own for v in views])
+        assert sorted(all_own.tolist()) == list(range(g.n))
+
+    def test_simulated_detection_matches_sequential(self):
+        from repro.core.midas import MidasRuntime, detect_path
+
+        g = erdos_renyi(40, m=90, rng=RngStream(17))
+        seq = detect_path(g, 5, eps=0.3, rng=RngStream(18), early_exit=False)
+        sim = detect_path(
+            g, 5, eps=0.3, rng=RngStream(18), early_exit=False,
+            runtime=MidasRuntime(n_processors=4, n1=4, n2=8, mode="simulated",
+                                 partition_method="multilevel"),
+        )
+        assert [r.value for r in seq.rounds] == [r.value for r in sim.rounds]

@@ -1,0 +1,118 @@
+"""Tests for graph partitioning and the MAXLOAD/MAXDEG metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, grid2d
+from repro.graph.partition import (
+    PARTITIONERS,
+    Partition,
+    bfs_partition,
+    block_partition,
+    greedy_partition,
+    make_partition,
+    random_partition,
+)
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def g():
+    return erdos_renyi(120, m=400, rng=RngStream(55))
+
+
+class TestPartitionObject:
+    def test_validation(self, g):
+        with pytest.raises(PartitionError):
+            Partition(g, np.zeros(g.n - 1, dtype=np.int64), 2)
+        with pytest.raises(PartitionError):
+            Partition(g, np.full(g.n, 5, dtype=np.int64), 4)  # label out of range
+        with pytest.raises(PartitionError):
+            Partition(g, np.zeros(g.n, dtype=np.int64), 0)
+
+    def test_loads_sum_to_n(self, g):
+        p = random_partition(g, 7, rng=RngStream(1))
+        assert int(p.loads().sum()) == g.n
+        assert p.max_load == p.loads().max()
+
+    def test_single_part_has_no_cut(self, g):
+        p = block_partition(g, 1)
+        assert p.max_degree == 0
+        assert p.edge_cut == 0
+        assert p.max_load == g.n
+
+    def test_degree_definition_matches_manual_count(self, g):
+        p = random_partition(g, 4, rng=RngStream(2))
+        e = g.edges()
+        for j in range(4):
+            manual = 0
+            for u, v in e:
+                ou, ov = p.owner[u], p.owner[v]
+                if ou != ov and (ou == j or ov == j):
+                    manual += 1
+            assert p.degrees()[j] == manual
+
+    def test_edge_cut_half_of_degree_sum(self, g):
+        p = random_partition(g, 5, rng=RngStream(3))
+        assert p.edge_cut * 2 == int(p.degrees().sum())
+
+    def test_part_nodes_partition_the_vertices(self, g):
+        p = bfs_partition(g, 6, rng=RngStream(4))
+        all_nodes = np.concatenate([p.part_nodes(j) for j in range(6)])
+        assert sorted(all_nodes.tolist()) == list(range(g.n))
+
+    def test_summary_mentions_metrics(self, g):
+        s = random_partition(g, 3, rng=RngStream(5)).summary()
+        assert "maxload" in s and "maxdeg" in s
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("method", sorted(PARTITIONERS))
+    def test_all_methods_valid(self, g, method):
+        p = make_partition(g, 8, method, rng=RngStream(6))
+        assert p.n_parts == 8
+        assert p.owner.min() >= 0 and p.owner.max() < 8
+        assert int(p.loads().sum()) == g.n
+
+    @pytest.mark.parametrize("method", sorted(PARTITIONERS))
+    def test_no_empty_parts(self, g, method):
+        p = make_partition(g, 8, method, rng=RngStream(7))
+        assert np.all(p.loads() > 0)
+
+    def test_block_perfectly_balanced(self, g):
+        p = block_partition(g, 8)
+        assert p.imbalance() <= 1.01
+
+    def test_bfs_balanced(self, g):
+        p = bfs_partition(g, 8, rng=RngStream(8))
+        assert p.imbalance() <= 1.05
+
+    def test_greedy_cuts_less_than_random_on_grid(self):
+        # on a lattice, locality-aware partitioners must beat random by a lot
+        grid = grid2d(20, 20)
+        pr = random_partition(grid, 8, rng=RngStream(9))
+        pg = greedy_partition(grid, 8, rng=RngStream(10))
+        assert pg.edge_cut < 0.7 * pr.edge_cut
+
+    def test_unknown_method_rejected(self, g):
+        with pytest.raises(PartitionError):
+            make_partition(g, 4, "metis")
+
+    def test_random_deterministic(self, g):
+        a = random_partition(g, 4, rng=RngStream(11))
+        b = random_partition(g, 4, rng=RngStream(11))
+        assert np.array_equal(a.owner, b.owner)
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=12, deadline=None)
+    def test_property_metrics_bounds(self, n_parts):
+        g = erdos_renyi(40, m=90, rng=RngStream(1234))
+        p = random_partition(g, n_parts, rng=RngStream(42))
+        # MAXDEG can never exceed the total cut-edge endpoints
+        assert p.max_degree <= 2 * p.edge_cut or p.max_degree == p.edge_cut
+        assert p.max_load <= g.n
+        assert p.edge_cut <= g.num_edges

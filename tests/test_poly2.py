@@ -1,0 +1,112 @@
+"""Tests for GF(2) polynomial arithmetic (field-construction substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.ff.poly2 import (
+    find_irreducible,
+    is_irreducible,
+    poly_degree,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_mulmod,
+    poly_powmod,
+)
+
+POLY = st.integers(min_value=0, max_value=(1 << 24) - 1)
+NZPOLY = st.integers(min_value=1, max_value=(1 << 24) - 1)
+
+
+class TestBasics:
+    def test_degree(self):
+        assert poly_degree(0) == -1
+        assert poly_degree(1) == 0
+        assert poly_degree(0b1011) == 3
+
+    def test_mul_examples(self):
+        # (x + 1)^2 = x^2 + 1 over GF(2)
+        assert poly_mul(0b11, 0b11) == 0b101
+        assert poly_mul(0b10, 0b10) == 0b100
+        assert poly_mul(5, 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(FieldError):
+            poly_degree(-1)
+        with pytest.raises(FieldError):
+            poly_mul(-1, 2)
+
+
+class TestDivMod:
+    def test_divmod_identity(self):
+        q, r = poly_divmod(0b11011, 0b101)
+        assert poly_mul(q, 0b101) ^ r == 0b11011
+
+    @given(POLY, NZPOLY)
+    @settings(max_examples=60)
+    def test_divmod_property(self, a, b):
+        q, r = poly_divmod(a, b)
+        assert poly_mul(q, b) ^ r == a
+        assert poly_degree(r) < poly_degree(b)
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(FieldError):
+            poly_divmod(5, 0)
+
+
+class TestGcd:
+    @given(POLY, POLY)
+    @settings(max_examples=40)
+    def test_gcd_divides_both(self, a, b):
+        g = poly_gcd(a, b)
+        if g:
+            assert poly_mod(a, g) == 0
+            assert poly_mod(b, g) == 0
+
+    def test_gcd_coprime(self):
+        # x and x+1 are coprime
+        assert poly_gcd(0b10, 0b11) == 1
+
+
+class TestModExp:
+    @given(POLY, st.integers(min_value=0, max_value=64))
+    @settings(max_examples=40)
+    def test_powmod_matches_repeated_mul(self, a, e):
+        mod = 0b100011011  # AES polynomial
+        expected = 1
+        for _ in range(e):
+            expected = poly_mulmod(expected, a, mod)
+        assert poly_powmod(a, e, mod) == expected
+
+
+class TestIrreducibility:
+    @pytest.mark.parametrize(
+        "f,expected",
+        [
+            (0b111, True),  # x^2+x+1
+            (0b1011, True),  # x^3+x+1
+            (0b101, False),  # x^2+1 = (x+1)^2
+            (0b110, False),  # x^2+x = x(x+1)
+            (0b100011011, True),  # AES
+        ],
+    )
+    def test_known_cases(self, f, expected):
+        assert is_irreducible(f) is expected
+
+    @pytest.mark.parametrize("m", list(range(1, 13)))
+    def test_find_irreducible_all_small_degrees(self, m):
+        f = find_irreducible(m)
+        assert poly_degree(f) == m
+        assert is_irreducible(f)
+
+    def test_irreducible_has_no_small_factor(self):
+        f = find_irreducible(8)
+        for g in range(2, 1 << 4):
+            assert poly_mod(f, g) != 0 or g == 1
+
+    def test_degree_zero_rejected(self):
+        with pytest.raises(FieldError):
+            find_irreducible(0)

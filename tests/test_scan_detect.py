@@ -1,0 +1,101 @@
+"""Tests for the end-to-end anomaly detector (paper Problem 2 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.midas import MidasRuntime
+from repro.errors import ConfigurationError
+from repro.graph.generators import grid2d, plant_cluster
+from repro.scanstat.detect import AnomalyDetector, AnomalyResult, extract_cluster
+from repro.scanstat.statistics import BerkJones, ElevatedMean
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return grid2d(6, 6)
+
+
+class TestAnomalyDetector:
+    def test_finds_planted_hot_cluster(self, lattice):
+        """5 adjacent weight-1 nodes in an otherwise cold lattice: the best
+        Berk-Jones cell must be (5-ish, all-significant)."""
+        cluster = plant_cluster(lattice, 5, rng=RngStream(0))
+        w = np.zeros(lattice.n, dtype=np.int64)
+        w[cluster] = 1
+        det = AnomalyDetector(lattice, BerkJones(alpha=0.05), k=5, eps=0.05)
+        res = det.detect(w, rng=RngStream(1))
+        assert res.best_size == 5
+        assert res.best_weight == 5
+        assert res.best_score == pytest.approx(BerkJones(alpha=0.05).score(5, 5))
+
+    def test_cold_graph_scores_low(self, lattice):
+        w = np.zeros(lattice.n, dtype=np.int64)
+        det = AnomalyDetector(lattice, BerkJones(alpha=0.05), k=4, eps=0.05)
+        res = det.detect(w, rng=RngStream(2))
+        assert res.best_score == 0.0
+
+    def test_extraction_recovers_cluster(self, lattice):
+        cluster = plant_cluster(lattice, 4, rng=RngStream(3))
+        w = np.zeros(lattice.n, dtype=np.int64)
+        w[cluster] = 1
+        det = AnomalyDetector(lattice, BerkJones(alpha=0.05), k=4, eps=0.05)
+        res = det.detect(w, rng=RngStream(4), extract=True)
+        assert res.cluster is not None
+        assert len(res.cluster) == res.best_size
+        # every extracted node must be one of the hot nodes for this instance
+        assert set(res.cluster.tolist()) <= set(cluster.tolist())
+
+    def test_significance_separates_signal_from_noise(self):
+        g = grid2d(5, 5)
+        cluster = plant_cluster(g, 5, rng=RngStream(5))
+        w = np.zeros(g.n, dtype=np.int64)
+        w[cluster] = 1
+        det = AnomalyDetector(g, BerkJones(alpha=0.05), k=5, eps=0.1)
+        res = det.detect(w, rng=RngStream(6))
+        # permuted weights scatter the 5 hot nodes; a connected run of 5 hot
+        # nodes is then rare, so the permutation p-value should be small
+        p = det.significance(w, res.best_score, n_null=15, rng=RngStream(7))
+        assert p <= 0.2
+
+    def test_statistic_pluggable(self, lattice):
+        cluster = plant_cluster(lattice, 4, rng=RngStream(8))
+        w = np.zeros(lattice.n, dtype=np.int64)
+        w[cluster] = 2
+        det = AnomalyDetector(lattice, ElevatedMean(baseline_per_node=0.5), k=4, eps=0.1)
+        res = det.detect(w, rng=RngStream(9))
+        assert res.best_score > 0
+        assert res.details["statistic"] == "elevated-mean"
+
+    def test_invalid_k(self, lattice):
+        with pytest.raises(ConfigurationError):
+            AnomalyDetector(lattice, BerkJones(), k=0)
+
+    def test_result_summary(self, lattice):
+        w = np.zeros(lattice.n, dtype=np.int64)
+        det = AnomalyDetector(lattice, BerkJones(), k=3, eps=0.2)
+        res = det.detect(w, rng=RngStream(10))
+        assert "score" in res.summary()
+        assert not res.significant  # no p-value computed
+
+    def test_simulated_runtime_supported(self):
+        g = grid2d(4, 4)
+        cluster = plant_cluster(g, 3, rng=RngStream(11))
+        w = np.zeros(g.n, dtype=np.int64)
+        w[cluster] = 1
+        rt = MidasRuntime(n_processors=2, n1=2, n2=2, mode="simulated")
+        det = AnomalyDetector(g, BerkJones(alpha=0.05), k=3, runtime=rt, eps=0.1)
+        res = det.detect(w, rng=RngStream(12))
+        assert res.grid.mode == "simulated"
+        assert res.grid.virtual_seconds > 0
+
+
+class TestExtractCluster:
+    def test_exact_cell_recovery(self):
+        g = grid2d(4, 4)
+        cluster = plant_cluster(g, 3, rng=RngStream(13))
+        w = np.zeros(g.n, dtype=np.int64)
+        w[cluster] = 1
+        nodes = extract_cluster(g, w, size=3, weight=3, eps=0.05, rng=RngStream(14))
+        assert len(nodes) == 3
+        assert set(nodes.tolist()) <= set(cluster.tolist())

@@ -1,0 +1,111 @@
+"""Tests for the rounds/batches/phases schedule (paper Fig 1, Table I)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import PhaseSchedule, rounds_for_epsilon
+from repro.errors import ConfigurationError
+
+
+class TestRounds:
+    def test_known_values(self):
+        # (4/5)^L <= eps
+        assert rounds_for_epsilon(0.2) == 8
+        assert rounds_for_epsilon(0.5) == 4
+        assert rounds_for_epsilon(0.01) == 21
+
+    def test_amplification_inequality(self):
+        for eps in (0.3, 0.1, 0.05, 0.001):
+            L = rounds_for_epsilon(eps)
+            assert (4 / 5) ** L <= eps
+            assert (4 / 5) ** (L - 1) > eps or L == 1
+
+    def test_invalid_eps(self):
+        with pytest.raises(ConfigurationError):
+            rounds_for_epsilon(0.0)
+        with pytest.raises(ConfigurationError):
+            rounds_for_epsilon(1.5)
+
+
+class TestScheduleValidation:
+    def test_paper_example(self):
+        # Section VI-B worked example: k=6, N=128, N1=32, N2=8
+        s = PhaseSchedule(6, 128, 32, 8)
+        assert s.total_iterations == 64
+        assert s.concurrency == 4  # 128/32 parallel phases
+        assert s.n_phases == 8  # 64/8
+        assert s.n_batches == 2  # "completed in just 16/8 = 2 batches"
+
+    def test_n1_must_divide_n(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule(6, 10, 3, 4)
+
+    def test_n2_must_divide_iterations(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule(4, 4, 2, 3)
+
+    def test_n1_le_n(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule(4, 2, 4, 1)
+
+    def test_n2_le_iterations(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule(2, 1, 1, 8)
+
+    def test_huge_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSchedule(40, 1, 1, 1)
+
+
+class TestScheduleStructure:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.sampled_from([1, 2, 4, 8, 16]),
+        st.sampled_from([1, 2, 4, 8]),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=60)
+    def test_batches_cover_all_phases_once(self, k, n, n1, n2):
+        if n1 > n or n % n1 or n2 > (1 << k) or (1 << k) % n2:
+            return  # invalid combo, covered by validation tests
+        s = PhaseSchedule(k, n, n1, n2)
+        seen = [t for batch in s.batches() for t in batch]
+        assert seen == list(range(s.n_phases))
+        for batch in s.batches():
+            assert len(batch) <= s.concurrency
+
+    def test_phase_windows_tile_iteration_space(self):
+        s = PhaseSchedule(5, 4, 2, 4)
+        covered = []
+        for t in range(s.n_phases):
+            lo, hi = s.phase_window(t)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(32))
+
+    def test_phase_window_out_of_range(self):
+        s = PhaseSchedule(3, 1, 1, 2)
+        with pytest.raises(ConfigurationError):
+            s.phase_window(99)
+
+    def test_describe(self):
+        assert "batches" in PhaseSchedule(4, 4, 2, 2).describe()
+
+
+class TestBsMax:
+    def test_paper_formula(self):
+        # BSMax = 2^k N1 / N
+        assert PhaseSchedule.bs_max(6, 128, 32) == 16
+        assert PhaseSchedule.bs_max(6, 64, 64) == 64
+
+    def test_single_batch_property(self):
+        # with N2 = BSMax, a round is exactly one batch
+        k, n, n1 = 8, 64, 16
+        n2 = PhaseSchedule.bs_max(k, n, n1)
+        s = PhaseSchedule(k, n, n1, n2)
+        assert s.n_batches == 1
+
+    def test_clamped_to_valid(self):
+        n2 = PhaseSchedule.bs_max(3, 512, 1)
+        assert n2 >= 1
+        PhaseSchedule(3, 512, 1, n2)  # must validate

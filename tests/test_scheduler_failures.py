@@ -1,0 +1,100 @@
+"""Failure-injection tests for the SPMD simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError
+from repro.runtime.comm import Barrier, Recv, Send
+from repro.runtime.scheduler import Simulator
+
+
+class TestExceptionPropagation:
+    def test_rank_annotated(self):
+        def prog(ctx):
+            if ctx.rank == 2:
+                raise ValueError("kernel exploded")
+            yield Barrier()
+
+        with pytest.raises(ValueError, match=r"\[rank 2\] kernel exploded"):
+            Simulator(4, trace=False).run(prog)
+
+    def test_exception_mid_communication(self):
+        def prog(ctx):
+            yield Send((ctx.rank + 1) % ctx.nranks, "x", ctx.rank)
+            got = yield Recv((ctx.rank - 1) % ctx.nranks, "x")
+            if ctx.rank == 1:
+                raise RuntimeError(f"bad value {got}")
+            return got
+
+        with pytest.raises(RuntimeError, match=r"\[rank 1\] bad value"):
+            Simulator(3, trace=False).run(prog)
+
+    def test_argless_exception(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                raise KeyError()
+            yield Barrier()
+
+        with pytest.raises(KeyError, match="rank 0"):
+            Simulator(2, trace=False).run(prog)
+
+
+class TestPartialFailures:
+    def test_one_rank_early_return_deadlocks_barrier(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                return "bailed"
+            yield Barrier()
+            return "synced"
+
+        with pytest.raises(DeadlockError):
+            Simulator(3, trace=False).run(prog)
+
+    def test_mismatched_message_counts_deadlock(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield Send(1, "a", 1)
+                return None
+            yield Recv(0, "a")
+            yield Recv(0, "a")  # second message never comes
+            return None
+
+        with pytest.raises(DeadlockError):
+            Simulator(2, trace=False).run(prog)
+
+
+class TestStress:
+    def test_all_to_all_sixteen_ranks(self):
+        """Dense exchange on 16 ranks: every pair swaps a payload."""
+
+        def prog(ctx):
+            for peer in range(ctx.nranks):
+                if peer != ctx.rank:
+                    yield Send(peer, ("a2a", ctx.rank), ctx.rank * 1000 + peer)
+            got = {}
+            for peer in range(ctx.nranks):
+                if peer != ctx.rank:
+                    got[peer] = yield Recv(peer, ("a2a", peer))
+            return got
+
+        res = Simulator(16, trace=False).run(prog)
+        for r, got in enumerate(res.results):
+            for peer, val in got.items():
+                assert val == peer * 1000 + r
+
+    def test_long_chain_of_supersteps(self):
+        """Many alternating compute/exchange rounds do not leak state."""
+
+        def prog(ctx):
+            acc = np.uint64(ctx.rank)
+            nxt = (ctx.rank + 1) % ctx.nranks
+            prv = (ctx.rank - 1) % ctx.nranks
+            for step in range(50):
+                yield Send(nxt, ("chain", step), acc)
+                incoming = yield Recv(prv, ("chain", step))
+                acc = np.uint64((int(acc) + int(incoming)) % 1_000_003)
+            return int(acc)
+
+        a = Simulator(5, trace=False).run(prog).results
+        b = Simulator(5, trace=False).run(prog).results
+        assert a == b  # deterministic

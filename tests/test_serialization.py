@@ -1,0 +1,94 @@
+"""Round-trip tests for result JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.model import PartitionStats, estimate_runtime
+from repro.core.midas import detect_path, scan_grid
+from repro.core.schedule import PhaseSchedule
+from repro.errors import ConfigurationError
+from repro.graph.generators import erdos_renyi, grid2d
+from repro.runtime.cluster import juliet
+from repro.runtime.costmodel import KernelCalibration
+from repro.serialization import (
+    dump_result,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.util.rng import RngStream
+
+
+class TestDetectionResultRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        g = erdos_renyi(30, m=60, rng=RngStream(0))
+        res = detect_path(g, 4, eps=0.2, rng=RngStream(1), early_exit=False)
+        p = tmp_path / "det.json"
+        dump_result(res, p)
+        back = load_result(p)
+        assert back.problem == res.problem
+        assert back.k == res.k
+        assert back.found == res.found
+        assert [r.value for r in back.rounds] == [r.value for r in res.rounds]
+        assert back.summary() == res.summary() or back.found == res.found
+
+    def test_file_is_plain_json(self, tmp_path):
+        g = erdos_renyi(20, m=30, rng=RngStream(2))
+        res = detect_path(g, 3, rng=RngStream(3))
+        p = tmp_path / "det.json"
+        dump_result(res, p)
+        data = json.loads(p.read_text())
+        assert data["type"] == "DetectionResult"
+        assert data["schema_version"] == 1
+
+
+class TestScanGridRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        g = grid2d(3, 3)
+        w = np.array([1, 0, 2, 0, 1, 0, 1, 0, 1], dtype=np.int64)
+        res = scan_grid(g, w, k=2, eps=0.2, rng=RngStream(4))
+        p = tmp_path / "grid.json"
+        dump_result(res, p)
+        back = load_result(p)
+        assert np.array_equal(back.detected, res.detected)
+        assert back.feasible_cells() == res.feasible_cells()
+        assert back.z_max == res.z_max
+
+
+class TestEstimateRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        sched = PhaseSchedule(8, 64, 8, 8)
+        est = estimate_runtime(
+            PartitionStats.random_model(10_000, 140_000, 8), sched,
+            KernelCalibration.synthetic(), juliet().cost_model(64),
+        )
+        p = tmp_path / "est.json"
+        dump_result(est, p)
+        back = load_result(p)
+        assert back.total_seconds == pytest.approx(est.total_seconds)
+        assert back.schedule.describe() == est.schedule.describe()
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(ConfigurationError):
+            result_to_dict({"not": "a result"})
+
+    def test_bad_payload(self):
+        with pytest.raises(ConfigurationError):
+            result_from_dict({"no_type": True})
+        with pytest.raises(ConfigurationError):
+            result_from_dict({"type": "DetectionResult", "schema_version": 99})
+        with pytest.raises(ConfigurationError):
+            result_from_dict({"type": "Martian", "schema_version": 1})
+
+    def test_details_with_numpy_survive(self, tmp_path):
+        g = erdos_renyi(20, m=30, rng=RngStream(5))
+        res = detect_path(g, 3, rng=RngStream(6))
+        res.details["array"] = np.arange(3)
+        p = tmp_path / "np.json"
+        dump_result(res, p)
+        back = load_result(p)
+        assert back.details["array"] == [0, 1, 2]

@@ -1,0 +1,122 @@
+"""Tests for tree templates and the Fig 2 recursive decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TemplateError
+from repro.graph.templates import SubtreeSpec, TreeTemplate, decompose_template
+from repro.util.rng import RngStream
+
+
+class TestTemplateValidation:
+    def test_path(self):
+        t = TreeTemplate.path(5)
+        assert t.k == 5 and len(t.edges) == 4
+        assert t.neighbors(2) == [1, 3]
+
+    def test_star(self):
+        t = TreeTemplate.star(6)
+        assert len(t.neighbors(0)) == 5
+
+    def test_binary(self):
+        t = TreeTemplate.binary(7)
+        assert sorted(t.neighbors(0)) == [1, 2]
+        assert sorted(t.neighbors(1)) == [0, 3, 4]
+
+    def test_caterpillar(self):
+        t = TreeTemplate.caterpillar(8)
+        assert t.k == 8 and len(t.edges) == 7
+
+    def test_single_node(self):
+        t = TreeTemplate(1, [])
+        assert t.k == 1
+
+    def test_wrong_edge_count(self):
+        with pytest.raises(TemplateError):
+            TreeTemplate(4, [(0, 1), (1, 2)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TemplateError):
+            TreeTemplate(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(TemplateError):
+            TreeTemplate(4, [(0, 1), (2, 3), (0, 1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TemplateError):
+            TreeTemplate(3, [(0, 1), (2, 2)])
+
+    def test_bad_root(self):
+        with pytest.raises(TemplateError):
+            TreeTemplate(3, [(0, 1), (1, 2)], root=5)
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25)
+    def test_random_templates_are_trees(self, k, seed):
+        t = TreeTemplate.random(k, rng=RngStream(seed))
+        assert t.k == k and len(t.edges) == k - 1
+
+
+class TestDecomposition:
+    def _check_invariants(self, t: TreeTemplate):
+        specs = decompose_template(t)
+        # final spec is the whole template rooted correctly
+        full = specs[-1]
+        assert full.size == t.k
+        assert full.root == t.root
+        assert full.nodes == frozenset(range(t.k))
+        by_id = {s.sid: s for s in specs}
+        for s in specs:
+            if s.is_leaf:
+                assert s.size == 1
+                assert s.nodes == frozenset([s.root])
+            else:
+                c1 = by_id[s.child_same]
+                c2 = by_id[s.child_branch]
+                # children precede parent
+                assert c1.sid < s.sid and c2.sid < s.sid
+                # children node sets partition the parent's
+                assert c1.nodes | c2.nodes == s.nodes
+                assert not (c1.nodes & c2.nodes)
+                assert c1.size + c2.size == s.size
+                # same-root child keeps the root; branch child is a neighbour
+                assert c1.root == s.root
+                assert c2.root in t.neighbors(s.root)
+        return specs
+
+    @pytest.mark.parametrize(
+        "t",
+        [
+            TreeTemplate.path(2),
+            TreeTemplate.path(7),
+            TreeTemplate.star(6),
+            TreeTemplate.binary(9),
+            TreeTemplate.caterpillar(8),
+            TreeTemplate(1, []),
+        ],
+        ids=lambda t: t.name,
+    )
+    def test_invariants_named_templates(self, t):
+        specs = self._check_invariants(t)
+        assert len(specs) <= 2 * t.k - 1 or t.k == 1
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30)
+    def test_invariants_random_templates(self, k, seed):
+        t = TreeTemplate.random(k, rng=RngStream(seed))
+        self._check_invariants(t)
+
+    def test_path_decomposition_is_a_chain(self):
+        """The path template must decompose into the Algorithm 3 chain."""
+        t = TreeTemplate.path(5)
+        specs = decompose_template(t)
+        sizes = sorted(s.size for s in specs if not s.is_leaf)
+        assert sizes == [2, 3, 4, 5]
+
+    def test_deterministic(self):
+        t = TreeTemplate.binary(8)
+        a = decompose_template(t)
+        b = decompose_template(t)
+        assert [(s.root, s.nodes) for s in a] == [(s.root, s.nodes) for s in b]

@@ -1,0 +1,47 @@
+"""Tests for the timing utilities."""
+
+import time
+
+from repro.util.timing import Stopwatch, format_seconds, time_call
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.002)
+        with sw:
+            time.sleep(0.002)
+        assert sw.calls == 2
+        assert sw.elapsed >= 0.004
+        assert 0 < sw.mean <= sw.elapsed
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.calls == 0 and sw.elapsed == 0.0 and sw.mean == 0.0
+
+
+class TestTimeCall:
+    def test_returns_positive_mean(self):
+        t = time_call(lambda: sum(range(100)), min_time=0.005)
+        assert t > 0
+
+    def test_respects_max_reps(self):
+        calls = []
+        time_call(lambda: calls.append(1), min_time=10.0, max_reps=5)
+        assert len(calls) == 5
+
+
+class TestFormat:
+    def test_units(self):
+        assert format_seconds(5e-10).endswith("ns")
+        assert format_seconds(5e-6).endswith("us")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(5.0).endswith("s")
+        assert format_seconds(600.0).endswith("min")
+
+    def test_negative(self):
+        assert format_seconds(-2.0).startswith("-")

@@ -1,0 +1,86 @@
+"""Direct tests for trace recording and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.runtime.tracing import TraceEvent, TraceRecorder, TraceSummary
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        tr = TraceRecorder()
+        tr.record(0, "compute", 0.0, 1.0)
+        tr.record(0, "send", 1.0, 1.2, info="->1 64B")
+        tr.record(1, "wait", 0.0, 0.5)
+        assert len(tr.events) == 3
+        assert tr.events[1].duration == pytest.approx(0.2)
+
+    def test_disabled_recorder_is_noop(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(0, "compute", 0.0, 1.0)
+        assert tr.events == []
+
+    def test_negative_duration_dropped(self):
+        tr = TraceRecorder()
+        tr.record(0, "compute", 2.0, 1.0)
+        assert tr.events == []
+
+
+class TestTraceSummary:
+    def test_aggregation(self):
+        events = [
+            TraceEvent(0, "compute", 0.0, 2.0),
+            TraceEvent(0, "send", 2.0, 2.5),
+            TraceEvent(1, "wait", 0.0, 1.0),
+            TraceEvent(1, "collective", 1.0, 1.5),
+            TraceEvent(0, "charge", 2.5, 3.0),
+        ]
+        s = TraceSummary.from_events(events, 2)
+        assert s.compute[0] == pytest.approx(2.5)
+        assert s.comm[0] == pytest.approx(0.5)
+        assert s.idle[1] == pytest.approx(1.0)
+        assert s.comm[1] == pytest.approx(0.5)
+        assert s.makespan == pytest.approx(3.0)
+        assert 0 < s.comm_fraction < 1
+
+    def test_out_of_range_rank_ignored(self):
+        s = TraceSummary.from_events([TraceEvent(9, "compute", 0, 1)], 2)
+        assert s.total_compute == 0.0
+        assert s.makespan == 1.0
+
+    def test_empty(self):
+        s = TraceSummary.from_events([], 3)
+        assert s.comm_fraction == 0.0
+        assert s.makespan == 0.0
+
+    def test_report_format(self):
+        s = TraceSummary.from_events([TraceEvent(0, "compute", 0, 1)], 1)
+        text = s.report()
+        assert "makespan" in text and "rank" in text
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        leaf_errors = [
+            errors.ConfigurationError,
+            errors.FieldError,
+            errors.GraphError,
+            errors.PartitionError,
+            errors.TemplateError,
+            errors.RuntimeSimulationError,
+            errors.DeadlockError,
+            errors.ResourceExhaustedError,
+            errors.DetectionError,
+        ]
+        for e in leaf_errors:
+            assert issubclass(e, errors.ReproError)
+
+    def test_value_error_compat(self):
+        # configuration problems also read as ValueError for std-lib callers
+        assert issubclass(errors.ConfigurationError, ValueError)
+        assert issubclass(errors.GraphError, ValueError)
+
+    def test_deadlock_is_runtime_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.RuntimeSimulationError)
+        assert issubclass(errors.RuntimeSimulationError, RuntimeError)

@@ -1,0 +1,71 @@
+"""Tests for eager argument validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_divides,
+    check_in_range,
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_ints(self):
+        assert check_positive_int(5, "x") == 5
+        assert check_positive_int(1, "x") == 1
+
+    def test_accepts_integral_floats(self):
+        assert check_positive_int(4.0, "x") == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "three", None])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(bad, "x")
+
+
+class TestRange:
+    def test_inside(self):
+        check_in_range(5, "x", 0, 10)
+
+    @pytest.mark.parametrize("bad", [-1, 11])
+    def test_outside(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_in_range(bad, "x", 0, 10)
+
+
+class TestProbability:
+    def test_open_interval(self):
+        assert check_probability(0.5, "eps") == 0.5
+        with pytest.raises(ConfigurationError):
+            check_probability(0.0, "eps")
+        with pytest.raises(ConfigurationError):
+            check_probability(1.0, "eps")
+
+    def test_inclusive(self):
+        assert check_probability(0.0, "p", inclusive=True) == 0.0
+        assert check_probability(1.0, "p", inclusive=True) == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability(1.1, "p", inclusive=True)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 4, 1024])
+    def test_accepts(self, good):
+        assert check_power_of_two(good, "x") == good
+
+    @pytest.mark.parametrize("bad", [3, 6, 0, -4])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_power_of_two(bad, "x")
+
+
+class TestDivides:
+    def test_accepts(self):
+        check_divides(4, 16, "a", "b")
+
+    def test_rejects_with_helpful_message(self):
+        with pytest.raises(ConfigurationError, match="must divide"):
+            check_divides(3, 16, "N1", "N")
