@@ -20,6 +20,48 @@ def print_series(title: str, header: list, rows: list) -> None:
     print("".join(str(h).rjust(w) for h, w in zip(header, widths)))
     for r in rows:
         print("".join(str(c).rjust(w) for c, w in zip(r, widths)))
+    emit_bench_json(title, header, rows)
+
+
+def _slug(s: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in str(s)).strip("_").lower()
+
+
+def emit_bench_json(name: str, header: list, rows: list):
+    """Persist one bench series as ``BENCH_<name>.json`` for trend tracking.
+
+    No-op unless the ``BENCH_JSON_DIR`` environment variable names a
+    directory.  The file is a :class:`repro.obs.metrics.MetricsSnapshot`
+    envelope (readable with ``repro.serialization.load_result`` or the
+    ``repro report`` CLI): one gauge family per series, one sample per
+    (row, numeric column) pair, labeled by the first column's value.
+    Returns the written path, or None when disabled.
+    """
+    import os
+
+    out_dir = os.environ.get("BENCH_JSON_DIR")
+    if not out_dir:
+        return None
+    from pathlib import Path
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serialization import dump_result
+
+    reg = MetricsRegistry()
+    fam = reg.gauge(f"bench_{_slug(name)}", f"benchmark series {name!r}")
+    key = _slug(header[0]) if header else "row"
+    for r in rows:
+        for h, v in zip(header[1:], r[1:]):
+            try:
+                val = float(str(v))
+            except (TypeError, ValueError):
+                continue
+            if val != val or val in (float("inf"), float("-inf")):
+                continue
+            fam.labels(**{key: r[0], "column": _slug(h)}).set(val)
+    path = Path(out_dir) / f"BENCH_{_slug(name)}.json"
+    dump_result(reg.snapshot(), path)
+    return path
 
 
 def fmt(x: float, digits: int = 4) -> str:

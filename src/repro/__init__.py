@@ -45,8 +45,10 @@ from repro.graph.generators import (
 )
 from repro.graph.partition import Partition, make_partition
 from repro.graph.templates import TreeTemplate
+from repro.obs import MetricsRegistry, RunReport, get_default_registry
 from repro.runtime.cluster import VirtualCluster, juliet, laptop, shadowfax
 from repro.runtime.costmodel import KernelCalibration
+from repro.runtime.tracing import Scope, TraceRecorder
 from repro.scanstat.detect import AnomalyDetector, AnomalyResult
 from repro.scanstat.statistics import (
     BerkJones,
@@ -95,6 +97,11 @@ __all__ = [
     "laptop",
     "shadowfax",
     "KernelCalibration",
+    "MetricsRegistry",
+    "RunReport",
+    "get_default_registry",
+    "Scope",
+    "TraceRecorder",
     "AnomalyDetector",
     "AnomalyResult",
     "BerkJones",

@@ -54,14 +54,61 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--n1", type=int, default=1, help="graph partition count N1")
     p.add_argument("--n2", type=int, default=None, help="iteration batch size N2")
     p.add_argument("--eps", type=float, default=0.1, help="failure probability bound")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write the run timeline as Chrome trace_event JSON "
+                        "(open at https://ui.perfetto.dev)")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write the metrics-registry snapshot as JSON")
+    p.add_argument("--report-out", metavar="PATH", default=None,
+                   help="write a RunReport JSON (render with `repro report`)")
 
 
 def _runtime(args):
     from repro.core.midas import MidasRuntime
 
+    recorder = None
+    if getattr(args, "trace_out", None) or getattr(args, "report_out", None):
+        from repro.runtime.tracing import TraceRecorder
+
+        recorder = TraceRecorder(enabled=True)
     return MidasRuntime(
-        n_processors=args.processors, n1=args.n1, n2=args.n2, mode=args.mode
+        n_processors=args.processors, n1=args.n1, n2=args.n2, mode=args.mode,
+        recorder=recorder,
     )
+
+
+def _write_obs(args, rt, problem: str = "", estimate=None) -> None:
+    """Emit --trace-out / --metrics-out / --report-out artifacts."""
+    if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)
+            or getattr(args, "report_out", None)):
+        return
+    from pathlib import Path
+
+    from repro.serialization import dump_result
+
+    for out in (args.trace_out, args.metrics_out, args.report_out):
+        if out:
+            Path(out).parent.mkdir(parents=True, exist_ok=True)
+    nranks = max(1, rt.n_processors) if rt.mode == "simulated" else 1
+    snap = rt.get_metrics().snapshot()
+    if args.trace_out:
+        from repro.obs.chrome_trace import dump_chrome_trace
+
+        dump_chrome_trace(rt.recorder.events, args.trace_out, nranks=nranks,
+                          meta={"problem": problem, "mode": rt.mode,
+                                "n1": rt.n1, "n2": rt.n2 or 0})
+        print(f"trace written: {args.trace_out}")
+    if args.metrics_out:
+        dump_result(snap, args.metrics_out)
+        print(f"metrics written: {args.metrics_out}")
+    if args.report_out:
+        from repro.obs.report import RunReport
+
+        rep = RunReport.build(rt.recorder.events, nranks, problem=problem,
+                              mode=rt.mode, metrics=snap, estimate=estimate,
+                              meta={"n1": rt.n1})
+        dump_result(rep, args.report_out)
+        print(f"report written: {args.report_out}")
 
 
 def cmd_datasets(args) -> int:
@@ -85,9 +132,11 @@ def cmd_detect_path(args) -> int:
 
     g, rng = _load_graph(args)
     print(f"graph: {g}")
+    rt = _runtime(args)
     res = detect_path(g, args.k, eps=args.eps, rng=rng.child("detect"),
-                      runtime=_runtime(args))
+                      runtime=rt)
     print(res.summary())
+    _write_obs(args, rt, problem="k-path", estimate=res.details.get("estimate"))
     return 0 if res.found else 1
 
 
@@ -104,9 +153,11 @@ def cmd_detect_tree(args) -> int:
     }
     tmpl = factories[args.template](args.k)
     print(f"graph: {g}\ntemplate: {tmpl}")
+    rt = _runtime(args)
     res = detect_tree(g, tmpl, eps=args.eps, rng=rng.child("detect"),
-                      runtime=_runtime(args))
+                      runtime=rt)
     print(res.summary())
+    _write_obs(args, rt, problem="k-tree", estimate=res.details.get("estimate"))
     return 0 if res.found else 1
 
 
@@ -127,12 +178,14 @@ def cmd_scan(args) -> int:
         hot = plant_cluster(g, args.plant, rng=rng.child("plant"))
         w[hot] = 1
         print(f"planted hot cluster: {sorted(hot.tolist())}")
+    rt = _runtime(args)
     det = AnomalyDetector(g, stats[args.statistic](), k=args.k,
-                          runtime=_runtime(args), eps=args.eps)
+                          runtime=rt, eps=args.eps)
     res = det.detect(w, rng=rng.child("scan"), extract=args.extract)
     print(res.summary())
     if res.cluster is not None:
         print(f"cluster: {sorted(int(x) for x in res.cluster)}")
+    _write_obs(args, rt, problem="scanstat")
     return 0
 
 
@@ -173,6 +226,37 @@ def cmd_model(args) -> int:
           f"comm fraction {est.comm_fraction:.1%})")
     print(f"memory per rank: {est.memory_bytes_per_rank / 2**20:.1f} MiB")
     return 0
+
+
+def cmd_report(args) -> int:
+    from repro.obs.metrics import MetricsSnapshot
+    from repro.obs.report import RunReport
+    from repro.serialization import load_result
+    from repro.util.timing import format_seconds
+
+    try:
+        obj = load_result(args.path)
+    except (OSError, ValueError) as exc:  # missing file, bad JSON, wrong schema
+        print(f"{args.path}: {exc}", file=sys.stderr)
+        return 1
+    if isinstance(obj, RunReport):
+        print(obj.text(max_phases=args.max_phases))
+        return 0
+    if isinstance(obj, MetricsSnapshot):
+        for fam in obj.metrics:
+            print(f"{fam['name']} ({fam['kind']}): {fam['help']}")
+            for s in fam["samples"]:
+                labels = ",".join(f"{k}={v}" for k, v in sorted(s["labels"].items()))
+                if fam["kind"] == "histogram":
+                    mean = s["sum"] / s["count"] if s["count"] else 0.0
+                    print(f"  {{{labels}}} count={s['count']} "
+                          f"mean={format_seconds(mean)} sum={format_seconds(s['sum'])}")
+                else:
+                    print(f"  {{{labels}}} {s['value']:g}")
+        return 0
+    print(f"{args.path}: serialized {type(obj).__name__}, not a RunReport "
+          "or MetricsSnapshot", file=sys.stderr)
+    return 1
 
 
 def cmd_figures(args) -> int:
@@ -258,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
     mo.add_argument("--measure", action="store_true",
                     help="calibrate live instead of using the synthetic curve")
     mo.set_defaults(fn=cmd_model)
+
+    rp = sub.add_parser("report", help="render a RunReport/metrics JSON as text")
+    rp.add_argument("path", help="file written by --report-out or --metrics-out")
+    rp.add_argument("--max-phases", type=int, default=12,
+                    help="phase-table rows to show (default 12)")
+    rp.set_defaults(fn=cmd_report)
 
     fg = sub.add_parser("figures", help="regenerate the paper's figure series")
     fg.add_argument("name", nargs="?", default=None,

@@ -75,6 +75,8 @@ def make_path_phase_program(views: List[HaloView], fp: Fingerprint, q_start: int
         buf = np.zeros((view.n_local, n2), dtype=field.dtype)
         vals = fp.level_base_block(0, q_start, n2, nodes=view.own)
         for j in range(1, k):
+            if ctx.tracer is not None:
+                ctx.annotate(f"level{j}")
             # halo-exchange level j-1 values, then advance the DP
             buf[: view.n_own] = vals
             for peer, idxs in view.send_lists.items():
@@ -117,6 +119,8 @@ def make_path_phase_program_overlapped(
         ghost = np.zeros((view.n_ghost, n2), dtype=field.dtype)
         vals = fp.level_base_block(0, q_start, n2, nodes=view.own)
         for j in range(1, k):
+            if ctx.tracer is not None:
+                ctx.annotate(f"level{j}")
             for peer, idxs in view.send_lists.items():
                 yield Send(peer, j - 1, vals[idxs])
             requests = {}

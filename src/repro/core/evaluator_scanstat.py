@@ -145,6 +145,8 @@ def make_scanstat_phase_program(
         s_own: Dict[int, np.ndarray] = {}
         join = fp.y[:, : dim + 1][np.asarray(view.own, np.int64)]
         for j in range(2, dim + 1):
+            if ctx.tracer is not None:
+                ctx.annotate(f"size{j}")
             j_prev = j - 1
             src = p_own[j_prev]
             ghost = np.zeros((view.n_ghost, z_max + 1, n2), dtype=field.dtype)
@@ -194,6 +196,8 @@ def make_scanstat_phase_program_overlapped(
         s_own: Dict[int, np.ndarray] = {}
         join = fp.y[:, : dim + 1][np.asarray(view.own, np.int64)]
         for j in range(2, dim + 1):
+            if ctx.tracer is not None:
+                ctx.annotate(f"size{j}")
             j_prev = j - 1
             src = p_own[j_prev]
             for peer, idxs in view.send_lists.items():

@@ -114,6 +114,8 @@ def make_tree_phase_program(
             if s.is_leaf:
                 own_vals[s.sid] = fp.level_base_block(s.root, q_start, n2, nodes=view.own)
             else:
+                if ctx.tracer is not None:
+                    ctx.annotate(f"subtree{s.sid}")
                 b = s.child_branch
                 if b not in ghost_vals:
                     # halo-exchange the branch child's boundary values
@@ -168,6 +170,8 @@ def make_tree_phase_program_overlapped(
             if s.is_leaf:
                 own_vals[s.sid] = fp.level_base_block(s.root, q_start, n2, nodes=view.own)
             else:
+                if ctx.tracer is not None:
+                    ctx.annotate(f"subtree{s.sid}")
                 b = s.child_branch
                 if b not in ghost_vals:
                     src = own_vals[b]

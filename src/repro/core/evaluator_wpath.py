@@ -124,6 +124,8 @@ def make_weighted_path_phase_program(
         row_idx = np.arange(n_own, dtype=np.int64)[:, None]
 
         for j in range(1, k):
+            if ctx.tracer is not None:
+                ctx.annotate(f"level{j}")
             ghost = np.zeros((view.n_ghost, z_max + 1, n2), dtype=field.dtype)
             for peer, idxs in view.send_lists.items():
                 yield Send(peer, ("w", j - 1), p[idxs])

@@ -101,8 +101,15 @@ class HaloView:
 
 def build_halo_views(graph: CSRGraph, partition: Partition) -> List[HaloView]:
     """Build every rank's :class:`HaloView` in one pass over the edges."""
+    # imported here, not at module top: repro.obs must stay import-light
+    # from the hot core modules (see obs.metrics module docs)
+    import time
+
+    from repro.obs.metrics import get_default_registry
+
     if partition.graph is not graph and partition.graph.n != graph.n:
         raise PartitionError("partition does not match graph")
+    t0 = time.perf_counter()
     p = partition.n_parts
     owner = partition.owner
     e = graph.edges()
@@ -174,4 +181,16 @@ def build_halo_views(graph: CSRGraph, partition: Partition) -> List[HaloView]:
                 recv_lists=recv_lists,
             )
         )
+
+    reg = get_default_registry()
+    reg.counter("midas_halo_builds_total", "Halo-view constructions").inc()
+    reg.histogram(
+        "midas_halo_build_seconds", "Wall time of build_halo_views"
+    ).labels(n1=p).observe(time.perf_counter() - t0)
+    reg.gauge(
+        "midas_halo_ghost_nodes", "Total ghost slots across ranks (last build)"
+    ).labels(n1=p).set(sum(v.n_ghost for v in views))
+    reg.gauge(
+        "midas_halo_boundary_nodes", "Distinct boundary vertices (last build)"
+    ).labels(n1=p).set(int(len(np.unique(send_v))) if len(send_v) else 0)
     return views

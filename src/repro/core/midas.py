@@ -68,9 +68,11 @@ from repro.ff.gf2m import default_field_for_k
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import make_partition
 from repro.graph.templates import TreeTemplate, decompose_template
+from repro.obs.metrics import MetricsRegistry, get_default_registry
 from repro.runtime.cluster import VirtualCluster, laptop
 from repro.runtime.costmodel import KernelCalibration
 from repro.runtime.scheduler import Simulator
+from repro.runtime.tracing import Scope, TraceRecorder
 from repro.util.log import get_logger
 from repro.util.rng import RngStream, as_stream
 
@@ -88,6 +90,15 @@ class MidasRuntime:
     ``overlap=True`` uses the communication-overlapping halo exchange
     (Irecv/Wait with local/ghost-split reductions) in simulated runs of
     all three evaluators; results are bit-identical either way.
+
+    Observability: attach a :class:`~repro.runtime.tracing.TraceRecorder`
+    as ``recorder`` to collect a run-level, schedule-scoped timeline
+    (per-phase simulator recordings spliced onto global ranks and a
+    global clock; per-phase wall timings in sequential/modeled modes).
+    Driver metrics always land in ``metrics`` when set, else the
+    process-wide :func:`repro.obs.metrics.get_default_registry` — the
+    same registry the kernel-calibration instrumentation writes to.
+    Neither affects detection output (property-tested bit-identical).
     """
 
     n_processors: int = 1
@@ -101,6 +112,8 @@ class MidasRuntime:
     trace: bool = False
     partition_seed: int = 7777
     overlap: bool = False
+    recorder: Optional[TraceRecorder] = None
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -128,6 +141,14 @@ class MidasRuntime:
 
     def get_calibration(self) -> KernelCalibration:
         return self.calibration if self.calibration is not None else KernelCalibration.synthetic()
+
+    def get_metrics(self) -> MetricsRegistry:
+        return self.metrics if self.metrics is not None else get_default_registry()
+
+    def get_recorder(self) -> Optional[TraceRecorder]:
+        """The attached recorder, or None when absent/disabled."""
+        rec = self.recorder
+        return rec if (rec is not None and rec.enabled) else None
 
 
 def _prepare_parallel(graph: CSRGraph, rt: MidasRuntime):
@@ -177,13 +198,26 @@ def _run_scalar_detection(
         partition, views = _prepare_parallel(graph, rt)
         sim_cost_model = rt.get_cluster().cost_model(rt.n1)
 
+    rec = rt.get_recorder()
+    reg = rt.get_metrics()
+    labels = dict(problem=problem, mode=rt.mode, k=k, n1=rt.n1, n2=sched.n2)
+    phase_hist = reg.histogram(
+        "midas_phase_seconds", "Per-phase time (virtual makespan or wall)"
+    ).labels(**labels)
+    rounds_ctr = reg.counter(
+        "midas_rounds_total", "Amplification rounds executed"
+    ).labels(problem=problem, mode=rt.mode)
+    bytes_ctr = reg.counter(
+        "midas_comm_bytes_total", "Wire bytes sent in simulated phases"
+    ).labels(problem=problem)
+
     estimate = None
-    if rt.mode == "modeled":
-        partition, _unused = (
-            make_partition(graph, rt.n1, rt.partition_method,
-                           rng=RngStream(rt.partition_seed, name="partition")),
-            None,
-        )
+    if rt.mode == "modeled" or (rt.mode == "simulated" and rec is not None):
+        if partition is None:
+            partition = make_partition(
+                graph, rt.n1, rt.partition_method,
+                rng=RngStream(rt.partition_seed, name="partition"),
+            )
         stats = PartitionStats.from_partition(partition)
         estimate = estimate_runtime(
             stats, sched, rt.get_calibration(),
@@ -193,35 +227,62 @@ def _run_scalar_detection(
 
     records: List[RoundRecord] = []
     virtual_total = 0.0
+    cursor = 0.0  # run-level virtual clock for the spliced trace
     trace_compute = trace_comm = 0.0
     for ell in range(rounds):
         fp = Fingerprint.draw(graph.n, k, rng.child(f"round{ell}"), levels=levels, field=fld)
         value = 0
         round_virtual = 0.0
         if rt.mode == "simulated":
-            for batch in sched.batches():
+            for bi, batch in enumerate(sched.batches()):
                 batch_time = 0.0
-                for t in batch:
-                    q0, _q1 = sched.phase_window(t)
+                for gi, t in enumerate(batch):
+                    q0, q1 = sched.phase_window(t)
                     prog = program_factory(views, fp, q0, sched.n2)
                     sim = Simulator(
                         rt.n1, cost_model=sim_cost_model,
-                        measure_compute=rt.measure_compute, trace=rt.trace,
+                        measure_compute=rt.measure_compute,
+                        trace=rt.trace or rec is not None,
                     )
                     res = sim.run(prog)
                     value ^= int(res.results[0])
                     batch_time = max(batch_time, res.makespan)
+                    phase_hist.observe(res.makespan)
                     if rt.trace:
                         trace_compute += res.summary.total_compute
                         trace_comm += res.summary.total_comm
+                    if rec is not None:
+                        # splice the phase's group onto global ranks/clock
+                        rec.extend(
+                            sim.trace.events, t_shift=cursor,
+                            rank_offset=gi * rt.n1,
+                            scope=Scope(round=ell, batch=bi, phase=t, q0=q0, q1=q1),
+                        )
+                    if rt.trace or rec is not None:
+                        bytes_ctr.inc(res.summary.total_bytes)
                 round_virtual += batch_time
-            round_virtual += _reduce_cost(rt, 8)
+                cursor += batch_time
+            red = _reduce_cost(rt, 8)
+            round_virtual += red
+            if rec is not None:
+                rec.record(-1, "collective", cursor, cursor + red,
+                           info="round-reduce", nbytes=8,
+                           scope=Scope(round=ell, label="round-reduce"))
+            cursor += red
         else:
             for t in range(sched.n_phases):
-                q0, _q1 = sched.phase_window(t)
+                q0, q1 = sched.phase_window(t)
+                p0 = time.perf_counter()
                 value ^= seq_phase(fp, q0, sched.n2)
+                dt = time.perf_counter() - p0
+                phase_hist.observe(dt)
+                if rec is not None:
+                    rec.record(0, "compute", cursor, cursor + dt,
+                               scope=Scope(round=ell, phase=t, q0=q0, q1=q1))
+                    cursor += dt
             if estimate is not None:
                 round_virtual = estimate.total_seconds / rounds
+        rounds_ctr.inc()
         virtual_total += round_virtual
         records.append(RoundRecord(ell, value, round_virtual))
         _LOG.debug("%s k=%d round %d/%d: value=%d", problem, k, ell + 1, rounds, value)
@@ -464,18 +525,32 @@ def scan_grid(
     if sizes and (sizes[0] < 1 or sizes[-1] > k):
         raise ConfigurationError(f"sizes must lie in [1, {k}], got {sizes}")
 
+    rec = rt.get_recorder()
+    reg = rt.get_metrics()
+    rounds_ctr = reg.counter(
+        "midas_rounds_total", "Amplification rounds executed"
+    ).labels(problem="scanstat", mode=rt.mode)
+    bytes_ctr = reg.counter(
+        "midas_comm_bytes_total", "Wire bytes sent in simulated phases"
+    ).labels(problem="scanstat")
+
     detected = np.zeros((k + 1, z_max + 1), dtype=bool)
     virtual_total = 0.0
+    cursor = 0.0  # run-level virtual clock for the spliced trace
     for j in sizes:
         sub_rt = MidasRuntime(
             n_processors=rt.n_processors, n1=rt.n1, n2=rt.n2, mode=rt.mode,
             cluster=rt.cluster, partition_method=rt.partition_method,
             calibration=rt.calibration, measure_compute=rt.measure_compute,
             trace=rt.trace, partition_seed=rt.partition_seed,
+            overlap=rt.overlap,
         )
         sched = sub_rt.schedule_for(j)
         fld = default_field_for_k(max(j, 2))
         size_rng = rng.child(f"size{j}")
+        phase_hist = reg.histogram(
+            "midas_phase_seconds", "Per-phase time (virtual makespan or wall)"
+        ).labels(problem="scanstat", mode=rt.mode, k=j, n1=rt.n1, n2=sched.n2)
         estimate = None
         if rt.mode == "modeled":
             stats = PartitionStats.from_partition(partition)
@@ -496,26 +571,53 @@ def scan_grid(
                     if rt.overlap
                     else make_scanstat_phase_program
                 )
-                for batch in sched.batches():
+                for bi, batch in enumerate(sched.batches()):
                     batch_time = 0.0
-                    for t in batch:
-                        q0, _ = sched.phase_window(t)
+                    for gi, t in enumerate(batch):
+                        q0, q1 = sched.phase_window(t)
                         prog = scan_factory(views, w, fp, z_max, q0, sched.n2)
                         sim = Simulator(
                             rt.n1, cost_model=sim_cost_model,
-                            measure_compute=rt.measure_compute, trace=rt.trace,
+                            measure_compute=rt.measure_compute,
+                            trace=rt.trace or rec is not None,
                         )
                         res = sim.run(prog)
                         acc ^= np.asarray(res.results[0], dtype=fld.dtype)
                         batch_time = max(batch_time, res.makespan)
+                        phase_hist.observe(res.makespan)
+                        if rec is not None:
+                            rec.extend(
+                                sim.trace.events, t_shift=cursor,
+                                rank_offset=gi * rt.n1,
+                                scope=Scope(round=ell, batch=bi, phase=t,
+                                            q0=q0, q1=q1, label=f"size{j}"),
+                            )
+                        if rt.trace or rec is not None:
+                            bytes_ctr.inc(res.summary.total_bytes)
                     round_virtual += batch_time
-                round_virtual += _reduce_cost(rt, 8 * (z_max + 1))
+                    cursor += batch_time
+                red = _reduce_cost(rt, 8 * (z_max + 1))
+                round_virtual += red
+                if rec is not None:
+                    rec.record(-1, "collective", cursor, cursor + red,
+                               info="round-reduce", nbytes=8 * (z_max + 1),
+                               scope=Scope(round=ell, label=f"size{j} reduce"))
+                cursor += red
             else:
                 for t in range(sched.n_phases):
-                    q0, _ = sched.phase_window(t)
+                    q0, q1 = sched.phase_window(t)
+                    p0 = time.perf_counter()
                     acc ^= scanstat_phase_value(graph, w, fp, z_max, q0, sched.n2)
+                    dt = time.perf_counter() - p0
+                    phase_hist.observe(dt)
+                    if rec is not None:
+                        rec.record(0, "compute", cursor, cursor + dt,
+                                   scope=Scope(round=ell, phase=t, q0=q0, q1=q1,
+                                               label=f"size{j}"))
+                        cursor += dt
                 if estimate is not None:
                     round_virtual = estimate.total_seconds / rounds
+            rounds_ctr.inc()
             detected[j] |= acc != 0
             virtual_total += round_virtual
 

@@ -60,12 +60,28 @@ class GF2m:
             )
         if mul_strategy not in ("auto", "table", "logexp"):
             raise FieldError(f"unknown mul_strategy {mul_strategy!r}")
-        self._build_log_tables()
         use_table = mul_strategy == "table" or (mul_strategy == "auto" and m <= _TABLE_MAX_M)
         if mul_strategy == "table" and m > _TABLE_MAX_M:
             raise FieldError(f"dense table strategy needs m <= {_TABLE_MAX_M}, got m={m}")
+
+        # lazy import: the field is a leaf dependency of nearly everything,
+        # so it must not pull repro.obs (and transitively numpy-heavy
+        # modules) at module-import time
+        import time
+
+        from repro.obs.metrics import get_default_registry
+
+        t0 = time.perf_counter()
+        self._build_log_tables()
         self.mul_strategy = "table" if use_table else "logexp"
         self._mul_table = self._build_mul_table() if use_table else None
+        reg = get_default_registry()
+        reg.counter("midas_field_builds_total", "GF(2^m) table constructions").labels(
+            m=self.m, strategy=self.mul_strategy
+        ).inc()
+        reg.histogram(
+            "midas_field_table_build_seconds", "GF(2^m) log/mul table build time"
+        ).observe(time.perf_counter() - t0)
 
     # ------------------------------------------------------------------ setup
     def _build_log_tables(self) -> None:

@@ -1,0 +1,51 @@
+"""Run-level observability: metrics, Chrome-trace export, run reports.
+
+Three complementary views of one MIDAS run:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  (counters, gauges, log-bucket histograms with labeled children) that
+  the driver, the calibration, and the GF kernels all write into;
+* :mod:`repro.obs.chrome_trace` — export any
+  :class:`~repro.runtime.tracing.TraceEvent` recording to Chrome /
+  Perfetto ``trace_event`` JSON (one virtual thread per rank, a
+  bytes-on-the-wire counter track);
+* :mod:`repro.obs.report` — :class:`RunReport` joins the trace, a
+  metrics snapshot, and the Theorem-2 model prediction into a single
+  artifact with text and JSON renderers.
+
+CLI: ``python -m repro detect-path ... --trace-out run.json
+--metrics-out metrics.json --report-out report.json`` and
+``python -m repro report report.json``.
+"""
+
+from repro.obs.chrome_trace import (
+    dump_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_default_registry,
+    log_buckets,
+)
+from repro.obs.report import RunReport
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "RunReport",
+    "dump_chrome_trace",
+    "get_default_registry",
+    "log_buckets",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

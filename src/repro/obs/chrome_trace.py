@@ -1,0 +1,187 @@
+"""Export trace recordings to Chrome / Perfetto ``trace_event`` JSON.
+
+Any list of :class:`~repro.runtime.tracing.TraceEvent` (one simulator
+run, or a whole detection spliced together by the driver) becomes a
+timeline loadable in ``chrome://tracing`` or https://ui.perfetto.dev:
+
+* one virtual thread per rank (plus a ``coordinator`` thread for
+  events charged to rank ``-1``, e.g. the round-final reduce);
+* duration (``ph: "X"``) events named after their structured
+  :class:`~repro.runtime.tracing.Scope`, with the schedule coordinates
+  in ``args`` so Perfetto's query engine can slice by round/phase;
+* a cumulative ``comm bytes`` counter track (``ph: "C"``) fed by the
+  wire-byte accounting of :mod:`repro.runtime.comm`, one series per
+  sending rank.
+
+Timestamps are microseconds of *virtual* time (the simulator's modeled
+clocks), or wall time for sequential recordings — the format does not
+care, and neither does the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.runtime.tracing import TraceEvent
+
+PathLike = Union[str, Path]
+
+_PID = 1  # single virtual process; ranks are threads within it
+
+#: event kinds -> trace_event category (used for colouring/filtering)
+_CATEGORIES = {
+    "compute": "compute",
+    "charge": "compute",
+    "send": "comm",
+    "recv": "comm",
+    "collective": "comm",
+    "wait": "idle",
+}
+
+
+def _event_name(e: TraceEvent) -> str:
+    if e.scope is not None:
+        desc = e.scope.describe()
+        if desc:
+            return f"{e.kind} {desc}"
+    return f"{e.kind} {e.info}".rstrip() if e.info else e.kind
+
+
+def _tid(rank: int, nranks: int) -> int:
+    return rank if rank >= 0 else nranks  # coordinator thread after ranks
+
+
+def to_chrome_trace(
+    events: Sequence[TraceEvent],
+    nranks: Optional[int] = None,
+    meta: Optional[dict] = None,
+) -> dict:
+    """Build the ``trace_event`` JSON object for a recording.
+
+    ``nranks`` sizes the thread list; inferred from the events when
+    omitted.  ``meta`` lands in ``otherData`` (run parameters etc.).
+    """
+    events = list(events)
+    if nranks is None:
+        nranks = max((e.rank + 1 for e in events if e.rank >= 0), default=1)
+    if nranks < 1:
+        raise ConfigurationError(f"nranks must be >= 1, got {nranks}")
+
+    out: List[dict] = [
+        {"ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+         "args": {"name": "midas"}},
+    ]
+    has_coordinator = any(e.rank < 0 for e in events)
+    for r in range(nranks):
+        out.append({"ph": "M", "pid": _PID, "tid": r, "name": "thread_name",
+                    "args": {"name": f"rank {r}"}})
+        out.append({"ph": "M", "pid": _PID, "tid": r, "name": "thread_sort_index",
+                    "args": {"sort_index": r}})
+    if has_coordinator:
+        out.append({"ph": "M", "pid": _PID, "tid": nranks, "name": "thread_name",
+                    "args": {"name": "coordinator"}})
+        out.append({"ph": "M", "pid": _PID, "tid": nranks,
+                    "name": "thread_sort_index", "args": {"sort_index": nranks}})
+
+    cumulative: Dict[int, int] = {}
+    for e in sorted(events, key=lambda ev: (ev.t_start, ev.t_end)):
+        args: dict = {}
+        if e.scope is not None:
+            args.update(e.scope.to_dict())
+        if e.info:
+            args["info"] = e.info
+        if e.nbytes:
+            args["nbytes"] = e.nbytes
+        out.append({
+            "ph": "X",
+            "pid": _PID,
+            "tid": _tid(e.rank, nranks),
+            "name": _event_name(e),
+            "cat": _CATEGORIES.get(e.kind, e.kind),
+            "ts": e.t_start * 1e6,
+            "dur": max(0.0, e.duration) * 1e6,
+            "args": args,
+        })
+        if e.kind == "send" and e.nbytes:
+            key = _tid(e.rank, nranks)
+            cumulative[key] = cumulative.get(key, 0) + e.nbytes
+            out.append({
+                "ph": "C",
+                "pid": _PID,
+                "tid": 0,
+                "name": "comm bytes",
+                "ts": e.t_start * 1e6,
+                "args": {f"rank{k}": v for k, v in sorted(cumulative.items())},
+            })
+
+    doc = {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+    return doc
+
+
+def dump_chrome_trace(
+    events: Sequence[TraceEvent],
+    path: PathLike,
+    nranks: Optional[int] = None,
+    meta: Optional[dict] = None,
+) -> None:
+    """Write a recording as ``trace_event`` JSON (open in Perfetto)."""
+    Path(path).write_text(json.dumps(to_chrome_trace(events, nranks, meta)))
+
+
+def validate_chrome_trace(data: Union[dict, list]) -> int:
+    """Validate ``trace_event`` JSON; returns the event count.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the
+    bare array form; raises :class:`~repro.errors.ConfigurationError` on
+    any malformed event.  Used by the unit tests and the CI smoke job.
+    """
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            raise ConfigurationError("trace object lacks a 'traceEvents' list")
+    elif isinstance(data, list):
+        events = data
+    else:
+        raise ConfigurationError(f"trace must be an object or array, got {type(data).__name__}")
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ConfigurationError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise ConfigurationError(f"traceEvents[{i}] lacks a phase ('ph')")
+        if "name" not in ev:
+            raise ConfigurationError(f"traceEvents[{i}] lacks a name")
+        if "pid" not in ev:
+            raise ConfigurationError(f"traceEvents[{i}] lacks a pid")
+        if ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                raise ConfigurationError(f"traceEvents[{i}]: metadata needs args")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ConfigurationError(f"traceEvents[{i}] lacks a numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ConfigurationError(
+                    f"traceEvents[{i}]: complete event needs dur >= 0"
+                )
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                raise ConfigurationError(
+                    f"traceEvents[{i}]: counter event needs numeric args"
+                )
+        elif ph not in ("B", "E", "I", "i", "b", "e", "n", "s", "t", "f"):
+            raise ConfigurationError(f"traceEvents[{i}]: unknown phase {ph!r}")
+    return len(events)

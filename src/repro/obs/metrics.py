@@ -1,0 +1,359 @@
+"""Process-wide metrics: counters, gauges, and log-bucket histograms.
+
+The registry follows the Prometheus data model scaled down to what this
+repository needs: a metric *family* has a name, a kind, and help text;
+``family.labels(dataset="miami", k="10")`` returns (creating on first
+use) the child carrying those label values.  The family itself doubles
+as its own unlabeled child, so ``registry.counter("midas_rounds_total")
+.inc()`` works without ceremony.
+
+Snapshots are plain data (:class:`MetricsSnapshot`) serialized through
+the same versioned JSON envelope as every other result type::
+
+    from repro.serialization import dump_result, load_result
+    dump_result(registry.snapshot(), "metrics.json")
+    snap = load_result("metrics.json")
+    snap.get("midas_rounds_total", problem="k-path")
+
+Histograms use *fixed log-scale buckets* (:func:`log_buckets`): the
+bucket bounds are decided at construction, never rebalanced, so
+snapshots from different runs are directly comparable — the property a
+perf trajectory needs.
+
+A process-wide default registry (:func:`get_default_registry`) is where
+the driver, the kernel calibration, and the GF field constructors record
+by default, so simulated runs and measured-kernel runs land in one
+place.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def log_buckets(lo: float = 1e-9, hi: float = 1e3, per_decade: int = 3) -> Tuple[float, ...]:
+    """Fixed log-scale bucket upper bounds covering ``[lo, hi]``.
+
+    ``per_decade`` bounds per factor of 10, rounded to 3 significant
+    digits so bounds are stable across platforms (e.g. 1e-9, 2.15e-9,
+    4.64e-9, 1e-8, ...).
+    """
+    if not (0 < lo < hi):
+        raise ConfigurationError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    if per_decade < 1:
+        raise ConfigurationError(f"per_decade must be >= 1, got {per_decade}")
+    n = int(round(per_decade * math.log10(hi / lo)))
+    bounds = []
+    for i in range(n + 1):
+        b = lo * 10.0 ** (i / per_decade)
+        bounds.append(float(f"{b:.3g}"))
+    return tuple(dict.fromkeys(bounds))  # dedupe, order-preserving
+
+
+DEFAULT_TIME_BUCKETS = log_buckets(1e-9, 1e3, per_decade=3)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter increments must be >= 0, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _sample(self) -> dict:
+        return {"value": self._value}
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Gauge:
+    """Value that can go up and down."""
+
+    kind = "gauge"
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _sample(self) -> dict:
+        return {"value": self._value}
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram:
+    """Distribution over fixed log-scale buckets.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]`` (and above
+    ``bounds[i-1]``); observations above the last bound land in
+    ``overflow``.  Non-cumulative counts keep snapshots mergeable by
+    simple addition.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("bounds", "bucket_counts", "overflow", "count", "sum")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if len(bounds) < 1 or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError("histogram buckets must be strictly increasing")
+        self.bounds = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.count += 1
+        self.sum += v
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= v
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.bucket_counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _sample(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": [[b, c] for b, c in zip(self.bounds, self.bucket_counts)],
+            "overflow": self.overflow,
+        }
+
+    def _reset(self) -> None:
+        self.bucket_counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric with labeled children (see module docs)."""
+
+    def __init__(self, name: str, kind: str, help: str = "",
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(
+                f"invalid metric name {name!r}; use [a-zA-Z_:][a-zA-Z0-9_:]*"
+            )
+        if kind not in _KINDS:
+            raise ConfigurationError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[LabelKey, Any] = {}
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self._buckets if self._buckets is not None
+                             else DEFAULT_TIME_BUCKETS)
+        return _KINDS[self.kind]()
+
+    def labels(self, **labelvalues):
+        """The child carrying these label values (created on first use)."""
+        key = _label_key(labelvalues)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    # ------------------------------------------- unlabeled-child shorthand
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+    def children(self):
+        """Iterate ``(labels_dict, child)`` pairs."""
+        for key, child in sorted(self._children.items()):
+            yield dict(key), child
+
+    def _collect(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "samples": [
+                {"labels": dict(key), **child._sample()}
+                for key, child in sorted(self._children.items())
+            ],
+        }
+
+    def _reset(self) -> None:
+        for child in self._children.values():
+            child._reset()
+
+
+class MetricsRegistry:
+    """Process-wide home for metric families; snapshot/reset semantics."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: str, help: str,
+                       buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+        fam = self._families.get(name)
+        if fam is not None:
+            if fam.kind != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {fam.kind}, not {kind}"
+                )
+            return fam
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                fam = self._families[name] = MetricFamily(name, kind, help, buckets)
+            return fam
+
+    def counter(self, name: str, help: str = "") -> MetricFamily:
+        return self._get_or_create(name, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> MetricFamily:
+        return self._get_or_create(name, "gauge", help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+        return self._get_or_create(name, "histogram", help, buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[n] for n in sorted(self._families)]
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """An immutable plain-data copy of every family's current state."""
+        return MetricsSnapshot(metrics=[f._collect() for f in self.families()])
+
+    def reset(self) -> None:
+        """Zero every metric (families and label sets survive)."""
+        for fam in self._families.values():
+            fam._reset()
+
+
+@dataclass
+class MetricsSnapshot:
+    """Plain-data snapshot of a registry; see module docs for the shape."""
+
+    metrics: List[dict] = field(default_factory=list)
+
+    def names(self) -> List[str]:
+        return [m["name"] for m in self.metrics]
+
+    def family(self, name: str) -> Optional[dict]:
+        for m in self.metrics:
+            if m["name"] == name:
+                return m
+        return None
+
+    def get(self, name: str, **labels):
+        """The sample dict (or counter/gauge value) for ``name{labels}``.
+
+        Returns ``None`` when the metric or label set is absent.  For
+        counters/gauges the bare float is returned; histograms return
+        their full sample dict.
+        """
+        fam = self.family(name)
+        if fam is None:
+            return None
+        want = {str(k): str(v) for k, v in labels.items()}
+        for s in fam["samples"]:
+            if s["labels"] == want:
+                if fam["kind"] in ("counter", "gauge"):
+                    return s["value"]
+                return {k: v for k, v in s.items() if k != "labels"}
+        return None
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        from repro.serialization import SCHEMA_VERSION  # local: avoid cycle
+
+        return {
+            "type": "MetricsSnapshot",
+            "schema_version": SCHEMA_VERSION,
+            "metrics": self.metrics,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "MetricsSnapshot":
+        if data.get("type") != "MetricsSnapshot":
+            raise ConfigurationError("not a serialized MetricsSnapshot")
+        return MetricsSnapshot(metrics=list(data.get("metrics", [])))
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_default_registry() -> MetricsRegistry:
+    """The process-wide registry instrumented code records into."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,270 @@
+"""RunReport: one artifact joining trace, metrics, and the model.
+
+A :class:`RunReport` answers the question the paper's performance
+discussion keeps asking: *which phase is over the Theorem-2 model, on
+which ranks, and is it compute or communication?*  It is built from
+
+* a scoped trace recording (the run-level timeline the driver splices
+  from per-phase simulator runs, or per-phase wall timings in
+  sequential mode),
+* a :class:`~repro.obs.metrics.MetricsSnapshot`, and
+* optionally the analytic :class:`~repro.core.model.PerformanceEstimate`
+  for the same ``(dataset, k, N, N1, N2)`` configuration,
+
+and renders as text (:meth:`text`) or versioned JSON (through
+:func:`repro.serialization.dump_result` / ``load_result``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.model import PerformanceEstimate
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsSnapshot
+from repro.runtime.tracing import TraceEvent, TraceSummary
+from repro.util.timing import format_seconds
+
+
+def _phase_key(e: TraceEvent):
+    s = e.scope
+    if s is None or (s.round is None and s.phase is None):
+        return None
+    return (s.round if s.round is not None else -1,
+            s.phase if s.phase is not None else -1)
+
+
+def _phase_table(events: Sequence[TraceEvent]) -> List[dict]:
+    """Aggregate scoped events into per-(round, phase) rows."""
+    rows: Dict[tuple, dict] = {}
+    for e in events:
+        key = _phase_key(e)
+        if key is None:
+            continue
+        row = rows.get(key)
+        if row is None:
+            s = e.scope
+            row = rows[key] = {
+                "round": key[0], "phase": key[1],
+                "batch": s.batch, "q0": s.q0, "q1": s.q1,
+                "t0": e.t_start, "t1": e.t_end,
+                "compute": 0.0, "comm": 0.0, "idle": 0.0, "bytes": 0,
+                "by_rank": defaultdict(lambda: {"compute": 0.0, "comm": 0.0,
+                                                "idle": 0.0}),
+            }
+        row["t0"] = min(row["t0"], e.t_start)
+        row["t1"] = max(row["t1"], e.t_end)
+        if e.kind in ("compute", "charge"):
+            comp = "compute"
+        elif e.kind in ("send", "recv", "collective"):
+            comp = "comm"
+        elif e.kind == "wait":
+            comp = "idle"
+        else:
+            continue
+        row[comp] += e.duration
+        if e.rank >= 0:
+            row["by_rank"][e.rank][comp] += e.duration
+        if e.kind == "send" and e.nbytes:
+            row["bytes"] += e.nbytes
+    out = []
+    for key in sorted(rows):
+        row = rows[key]
+        row["span"] = row["t1"] - row["t0"]
+        by_rank = {int(r): v for r, v in row["by_rank"].items()}
+        row["by_rank"] = by_rank
+        busiest = max(by_rank.items(),
+                      key=lambda rv: rv[1]["compute"] + rv[1]["comm"],
+                      default=(None, None))
+        row["worst_rank"] = busiest[0]
+        out.append(row)
+    return out
+
+
+@dataclass
+class RunReport:
+    """Joined observability view of one run (see module docs)."""
+
+    problem: str
+    mode: str
+    nranks: int
+    summary: TraceSummary
+    phases: List[dict] = field(default_factory=list)
+    metrics: Optional[MetricsSnapshot] = None
+    estimate: Optional[PerformanceEstimate] = None
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------- builders
+    @staticmethod
+    def build(
+        events: Sequence[TraceEvent],
+        nranks: int,
+        problem: str = "",
+        mode: str = "",
+        metrics: Optional[MetricsSnapshot] = None,
+        estimate: Optional[PerformanceEstimate] = None,
+        meta: Optional[dict] = None,
+    ) -> "RunReport":
+        return RunReport(
+            problem=problem,
+            mode=mode,
+            nranks=nranks,
+            summary=TraceSummary.from_events(list(events), nranks),
+            phases=_phase_table(events),
+            metrics=metrics,
+            estimate=estimate,
+            meta=dict(meta or {}),
+        )
+
+    # ------------------------------------------------------------- analysis
+    def over_model(self, tolerance: float = 1.2) -> List[dict]:
+        """Phases whose measured span exceeds the model's phase time.
+
+        Each row names the phase, the measured vs modeled seconds, the
+        dominant component (compute or comm), and the busiest rank —
+        i.e. exactly where the run diverges from Theorem 2.  Empty when
+        no estimate is attached.
+        """
+        if self.estimate is None:
+            return []
+        model_phase = self.estimate.phase_seconds
+        rows = []
+        for p in self.phases:
+            if model_phase <= 0 or p["span"] <= tolerance * model_phase:
+                continue
+            dominant = "compute" if p["compute"] >= p["comm"] else "comm"
+            rows.append({
+                "round": p["round"],
+                "phase": p["phase"],
+                "measured_seconds": p["span"],
+                "model_seconds": model_phase,
+                "ratio": p["span"] / model_phase,
+                "dominant": dominant,
+                "worst_rank": p["worst_rank"],
+            })
+        rows.sort(key=lambda r: r["ratio"], reverse=True)
+        return rows
+
+    # ------------------------------------------------------------ renderers
+    def text(self, max_phases: int = 12) -> str:
+        lines = [
+            f"RunReport: problem={self.problem or '?'} mode={self.mode or '?'} "
+            f"ranks={self.nranks}"
+        ]
+        if self.meta:
+            lines.append("  " + "  ".join(f"{k}={v}" for k, v in sorted(self.meta.items())))
+        lines.append(self.summary.report())
+        if self.summary.total_bytes:
+            lines.append(f"wire bytes: {self.summary.total_bytes}")
+        if self.phases:
+            lines.append(f"phases ({len(self.phases)} scoped):")
+            lines.append(f"  {'round':>5} {'phase':>5} {'span':>10} {'compute':>10} "
+                         f"{'comm':>10} {'idle':>10} {'bytes':>8}")
+            for p in self.phases[:max_phases]:
+                lines.append(
+                    f"  {p['round']:>5} {p['phase']:>5} "
+                    f"{format_seconds(p['span']):>10} "
+                    f"{format_seconds(p['compute']):>10} "
+                    f"{format_seconds(p['comm']):>10} "
+                    f"{format_seconds(p['idle']):>10} {p['bytes']:>8}"
+                )
+            if len(self.phases) > max_phases:
+                lines.append(f"  ... {len(self.phases) - max_phases} more")
+        if self.estimate is not None:
+            est = self.estimate
+            lines.append(
+                f"model (Theorem 2): total {format_seconds(est.total_seconds)}  "
+                f"phase {format_seconds(est.phase_seconds)}  "
+                f"comm-frac {est.comm_fraction:.1%}"
+            )
+            over = self.over_model()
+            if over:
+                lines.append(f"over model (> 1.2x phase time): {len(over)} phase(s)")
+                for r in over[:5]:
+                    lines.append(
+                        f"  round {r['round']} phase {r['phase']}: "
+                        f"{format_seconds(r['measured_seconds'])} vs "
+                        f"{format_seconds(r['model_seconds'])} "
+                        f"({r['ratio']:.1f}x, {r['dominant']}-bound, "
+                        f"worst rank {r['worst_rank']})"
+                    )
+            else:
+                lines.append("no phase exceeds 1.2x the modeled phase time")
+        if self.metrics is not None:
+            lines.append(f"metrics: {len(self.metrics.metrics)} families "
+                         f"({', '.join(self.metrics.names()[:6])}"
+                         f"{', ...' if len(self.metrics.metrics) > 6 else ''})")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        from repro.serialization import SCHEMA_VERSION, result_to_dict
+
+        s = self.summary
+        phases = []
+        for p in self.phases:
+            q = dict(p)
+            q["by_rank"] = {str(r): v for r, v in p["by_rank"].items()}
+            phases.append(q)
+        return {
+            "type": "RunReport",
+            "schema_version": SCHEMA_VERSION,
+            "problem": self.problem,
+            "mode": self.mode,
+            "nranks": self.nranks,
+            "summary": {
+                "nranks": s.nranks,
+                "compute": s.compute.tolist(),
+                "comm": s.comm.tolist(),
+                "idle": s.idle.tolist(),
+                "makespan": s.makespan,
+                "bytes_sent": s.bytes_sent.tolist(),
+                "other": s.other,
+            },
+            "phases": phases,
+            "metrics": self.metrics.to_dict() if self.metrics is not None else None,
+            "estimate": (result_to_dict(self.estimate)
+                         if self.estimate is not None else None),
+            "meta": self.meta,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunReport":
+        from repro.serialization import result_from_dict
+
+        if data.get("type") != "RunReport":
+            raise ConfigurationError("not a serialized RunReport")
+        s = data["summary"]
+        summary = TraceSummary(
+            nranks=s["nranks"],
+            compute=np.asarray(s["compute"], dtype=np.float64),
+            comm=np.asarray(s["comm"], dtype=np.float64),
+            idle=np.asarray(s["idle"], dtype=np.float64),
+            makespan=s["makespan"],
+            bytes_sent=(np.asarray(s["bytes_sent"], dtype=np.int64)
+                        if s.get("bytes_sent") else None),
+            other=s.get("other", 0.0),
+        )
+        phases = []
+        for p in data.get("phases", []):
+            q = dict(p)
+            q["by_rank"] = {int(r): v for r, v in p.get("by_rank", {}).items()}
+            phases.append(q)
+        metrics = (MetricsSnapshot.from_dict(data["metrics"])
+                   if data.get("metrics") else None)
+        estimate = (result_from_dict(data["estimate"])
+                    if data.get("estimate") else None)
+        return RunReport(
+            problem=data.get("problem", ""),
+            mode=data.get("mode", ""),
+            nranks=data["nranks"],
+            summary=summary,
+            phases=phases,
+            metrics=metrics,
+            estimate=estimate,
+            meta=data.get("meta", {}),
+        )

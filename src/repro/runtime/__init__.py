@@ -28,7 +28,7 @@ from repro.runtime.comm import (
 from repro.runtime.cluster import VirtualCluster, juliet, shadowfax, laptop
 from repro.runtime.costmodel import CostModel, KernelCalibration, MachineSpec
 from repro.runtime.scheduler import RankContext, SimResult, Simulator
-from repro.runtime.tracing import TraceRecorder, TraceSummary
+from repro.runtime.tracing import Scope, TraceEvent, TraceRecorder, TraceSummary
 
 __all__ = [
     "AllReduce",
@@ -49,6 +49,8 @@ __all__ = [
     "RankContext",
     "SimResult",
     "Simulator",
+    "Scope",
+    "TraceEvent",
     "TraceRecorder",
     "TraceSummary",
 ]

@@ -46,6 +46,8 @@ def ring_allreduce(ctx: RankContext, value: Any, op="xor", tag="ring-ar"):
     p = ctx.nranks
     if p == 1:
         return value
+    if ctx.tracer is not None:
+        ctx.annotate("ring-allreduce")
     nxt = (ctx.rank + 1) % p
     prv = (ctx.rank - 1) % p
     # every rank forwards, each step, the value it received the step
@@ -73,6 +75,8 @@ def recursive_doubling_allreduce(ctx: RankContext, value: Any, op="xor", tag="rd
             f"recursive doubling needs a power-of-two rank count, got {p}"
         )
     reducer = resolve_reducer(op)
+    if ctx.tracer is not None:
+        ctx.annotate("rd-allreduce")
     acc = value
     step = 0
     dist = 1
@@ -95,6 +99,8 @@ def binomial_bcast(ctx: RankContext, value: Any, root: int = 0, tag="bin-bc"):
     p = ctx.nranks
     if not (0 <= root < p):
         raise ConfigurationError(f"root {root} out of range")
+    if ctx.tracer is not None:
+        ctx.annotate("binomial-bcast")
     vrank = (ctx.rank - root) % p
     have = vrank == 0
     data = value if have else None
@@ -125,6 +131,8 @@ def ring_allgather(ctx: RankContext, value: Any, tag="ring-ag"):
     out[ctx.rank] = value
     if p == 1:
         return out
+    if ctx.tracer is not None:
+        ctx.annotate("ring-allgather")
     nxt = (ctx.rank + 1) % p
     prv = (ctx.rank - 1) % p
     travelling = (ctx.rank, value)
@@ -143,6 +151,8 @@ def gather_to_root(ctx: RankContext, value: Any, root: int = 0, tag="lin-ga"):
     p = ctx.nranks
     if not (0 <= root < p):
         raise ConfigurationError(f"root {root} out of range")
+    if ctx.tracer is not None:
+        ctx.annotate("linear-gather")
     if ctx.rank == root:
         out = [None] * p
         out[root] = value

@@ -169,7 +169,20 @@ class KernelCalibration:
         from repro.ff.gf2m import default_field_for_k
         from repro.graph.csr import xor_segment_reduce
         from repro.graph.generators import erdos_renyi
+        from repro.obs.metrics import get_default_registry
         from repro.util.rng import RngStream
+
+        # measured-kernel runs land in the same process-wide registry as
+        # simulated-run driver metrics, so one snapshot covers both
+        reg = get_default_registry()
+        rep_hist = reg.histogram(
+            "midas_calibration_kernel_seconds",
+            "Individual calibration reps of the path-DP kernel",
+        )
+        c1_gauge = reg.gauge(
+            "midas_calibration_c1_seconds",
+            "Calibrated per-(vertex, iteration) DP cost",
+        )
 
         rng = RngStream(rng_seed, name="calibration")
         g = erdos_renyi(sample_nodes, m=sample_nodes * avg_degree // 2, rng=rng)
@@ -188,8 +201,13 @@ class KernelCalibration:
             step()  # warm caches and numpy dispatch before timing
             # min over independent passes: the standard noise-robust timing
             # estimator (transient machine load only ever inflates a pass)
-            per_call = min(time_call(step, min_time=min_time) for _ in range(3))
+            observe = rep_hist.labels(n2=int(n2)).observe
+            per_call = min(
+                time_call(step, min_time=min_time, on_measure=observe)
+                for _ in range(3)
+            )
             rates.append(per_call / (g.n * int(n2)))
+            c1_gauge.labels(n2=int(n2)).set(rates[-1])
         return KernelCalibration(list(grid), rates)
 
     @staticmethod

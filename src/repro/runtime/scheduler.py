@@ -53,10 +53,22 @@ from repro.runtime.tracing import TraceRecorder, TraceSummary
 
 @dataclass(frozen=True)
 class RankContext:
-    """Read-only identity handed to each rank program."""
+    """Read-only identity handed to each rank program.
+
+    ``tracer`` is the simulator's recorder when tracing is enabled (else
+    ``None``); programs refine event attribution with :meth:`annotate`.
+    Guard with ``if ctx.tracer is not None`` so the disabled path costs a
+    single attribute check.
+    """
 
     rank: int
     nranks: int
+    tracer: Optional[TraceRecorder] = None
+
+    def annotate(self, label: str) -> None:
+        """Tag this rank's subsequent trace events (e.g. ``"level3"``)."""
+        if self.tracer is not None:
+            self.tracer.set_rank_label(self.rank, label)
 
 
 @dataclass
@@ -144,8 +156,10 @@ class Simulator:
     # ---------------------------------------------------------------- run
     def run(self, program: Callable[[RankContext], Generator]) -> SimResult:
         """Run ``program(ctx)`` on every rank to completion."""
+        tracer = self.trace if self.trace.enabled else None
         states = [
-            _RankState(r, program(RankContext(r, self.nranks))) for r in range(self.nranks)
+            _RankState(r, program(RankContext(r, self.nranks, tracer)))
+            for r in range(self.nranks)
         ]
         unfinished = self.nranks
         c_scale = self.cost.spec.c_scale
@@ -249,7 +263,9 @@ class Simulator:
         arrive = st.clock + self.cost.pt2pt(st.rank, op.dst, nbytes)
         t = st.clock
         st.clock += self.cost.send_overhead(st.rank, op.dst, nbytes)
-        self.trace.record(st.rank, "send", t, st.clock, info=f"->{op.dst} {nbytes}B")
+        if self.trace.enabled:
+            self.trace.record(st.rank, "send", t, st.clock, info=f"->{op.dst}",
+                              nbytes=nbytes)
         dst = states[op.dst]
         dst.inbox.setdefault((st.rank, op.tag), deque()).append(_Message(payload, arrive))
         # wake the receiver if it was blocked on exactly this message
@@ -266,9 +282,11 @@ class Simulator:
         msg = q.popleft()
         t = st.clock
         if msg.arrive > st.clock:
-            self.trace.record(st.rank, "wait", t, msg.arrive, info=f"<-{op.src}")
+            if self.trace.enabled:
+                self.trace.record(st.rank, "wait", t, msg.arrive, info=f"<-{op.src}")
             st.clock = msg.arrive
-        self.trace.record(st.rank, "recv", st.clock, st.clock, info=f"<-{op.src}")
+        if self.trace.enabled:
+            self.trace.record(st.rank, "recv", st.clock, st.clock, info=f"<-{op.src}")
         st.resume_value = msg.payload
         return True
 
@@ -333,9 +351,11 @@ class Simulator:
             raise RuntimeSimulationError(f"unhandled collective {kind}")
 
         for st, res in zip(states, results):
-            self.trace.record(
-                st.rank, "collective", st.clock, t_sync + cost, info=kind.__name__
-            )
+            if self.trace.enabled:
+                self.trace.record(
+                    st.rank, "collective", st.clock, t_sync + cost,
+                    info=kind.__name__, nbytes=nbytes,
+                )
             st.clock = t_sync + cost
             st.resume_value = res
             st.pending_collective = None

@@ -4,14 +4,86 @@ Every scheduler event (compute segment, send, recv wait, collective) is
 appended as a :class:`TraceEvent`; :class:`TraceSummary` aggregates them
 into the per-rank compute/communication/idle split that the paper's
 discussion of compute-vs-communication balance refers to.
+
+Events carry a structured :class:`Scope` — the (round, batch, phase,
+iteration-window) coordinates of the MIDAS schedule plus a free-form
+label for finer attribution (DP level, collective algorithm, ...).  The
+scope is what lets :mod:`repro.obs.chrome_trace` draw a per-phase
+timeline and :mod:`repro.obs.report` answer "which phase is over model,
+on which ranks, compute or comm?".
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Structured attribution of a trace event to the MIDAS schedule.
+
+    All coordinates are optional so partial scopes compose: the driver
+    stamps ``(round, batch, phase, q0, q1)`` while a rank program adds a
+    ``label`` for its current DP level (see ``RankContext.annotate``).
+    """
+
+    round: Optional[int] = None
+    batch: Optional[int] = None
+    phase: Optional[int] = None
+    q0: Optional[int] = None  # iteration window [q0, q1)
+    q1: Optional[int] = None
+    label: str = ""
+
+    def merged(self, other: Optional["Scope"]) -> "Scope":
+        """Overlay ``other``'s non-empty fields onto this scope."""
+        if other is None:
+            return self
+        updates = {}
+        for f in ("round", "batch", "phase", "q0", "q1"):
+            v = getattr(other, f)
+            if v is not None:
+                updates[f] = v
+        if other.label:
+            updates["label"] = other.label
+        return replace(self, **updates) if updates else self
+
+    def with_label(self, label: str) -> "Scope":
+        return replace(self, label=label)
+
+    def describe(self) -> str:
+        """Compact human form, e.g. ``r0 b1 p3 [q64:96] level2``."""
+        parts = []
+        if self.round is not None:
+            parts.append(f"r{self.round}")
+        if self.batch is not None:
+            parts.append(f"b{self.batch}")
+        if self.phase is not None:
+            parts.append(f"p{self.phase}")
+        if self.q0 is not None and self.q1 is not None:
+            parts.append(f"[q{self.q0}:{self.q1}]")
+        if self.label:
+            parts.append(self.label)
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        d = {}
+        for f in ("round", "batch", "phase", "q0", "q1"):
+            v = getattr(self, f)
+            if v is not None:
+                d[f] = int(v)
+        if self.label:
+            d["label"] = self.label
+        return d
+
+    @staticmethod
+    def from_dict(d: dict) -> "Scope":
+        return Scope(
+            round=d.get("round"), batch=d.get("batch"), phase=d.get("phase"),
+            q0=d.get("q0"), q1=d.get("q1"), label=d.get("label", ""),
+        )
 
 
 @dataclass(frozen=True)
@@ -21,6 +93,8 @@ class TraceEvent:
     t_start: float
     t_end: float
     info: str = ""
+    nbytes: int = 0  # wire bytes (send/collective events)
+    scope: Optional[Scope] = None
 
     @property
     def duration(self) -> float:
@@ -28,15 +102,95 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent`s; cheap to disable."""
+    """Collects :class:`TraceEvent`s; cheap to disable.
+
+    A *current scope* can be set (:meth:`set_scope`) and is stamped onto
+    every subsequently recorded event; per-rank labels set through
+    :meth:`set_rank_label` (usually via ``RankContext.annotate``) refine
+    it with e.g. the DP level the rank is currently computing.
+
+    Call sites should guard on :attr:`enabled` before doing any work
+    (string formatting, byte counting) purely for the recorder's benefit;
+    :meth:`record` is itself a no-op when disabled, so the guarded path
+    costs one attribute check.
+    """
+
+    __slots__ = ("enabled", "events", "_scope", "_rank_labels")
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.events: List[TraceEvent] = []
+        self._scope: Optional[Scope] = None
+        self._rank_labels: Dict[int, str] = {}
 
-    def record(self, rank: int, kind: str, t_start: float, t_end: float, info: str = "") -> None:
+    # ------------------------------------------------------------ scoping
+    def set_scope(self, scope: Optional[Scope]) -> None:
+        """Set the scope stamped onto subsequent events (None to clear)."""
+        self._scope = scope
+
+    def set_rank_label(self, rank: int, label: str) -> None:
+        """Tag rank's next events with ``label`` (e.g. ``"level3"``)."""
+        if self.enabled:
+            self._rank_labels[rank] = label
+
+    # ---------------------------------------------------------- recording
+    def record(
+        self,
+        rank: int,
+        kind: str,
+        t_start: float,
+        t_end: float,
+        info: str = "",
+        nbytes: int = 0,
+        scope: Optional[Scope] = None,
+    ) -> None:
         if self.enabled and t_end >= t_start:
-            self.events.append(TraceEvent(rank, kind, t_start, t_end, info))
+            if scope is None:
+                scope = self._scope
+            label = self._rank_labels.get(rank)
+            if label:
+                scope = Scope(label=label) if scope is None else (
+                    scope if scope.label else scope.with_label(label)
+                )
+            self.events.append(TraceEvent(rank, kind, t_start, t_end, info, nbytes, scope))
+
+    def extend(
+        self,
+        events: Iterable[TraceEvent],
+        t_shift: float = 0.0,
+        rank_offset: int = 0,
+        scope: Optional[Scope] = None,
+    ) -> None:
+        """Append another recording, shifted in time/rank and re-scoped.
+
+        Used by the driver to splice each per-phase simulator timeline
+        (clocks starting at 0, ranks ``0..N1-1``) into the run-level
+        timeline: ``t_shift`` places the batch on the global clock,
+        ``rank_offset`` maps the phase's processor group onto global
+        ranks, and ``scope`` stamps the schedule coordinates (merged with
+        any finer scope the event already carries, e.g. a DP-level
+        label).
+        """
+        if not self.enabled:
+            return
+        for e in events:
+            merged = scope.merged(e.scope) if scope is not None else e.scope
+            self.events.append(
+                TraceEvent(
+                    e.rank + rank_offset if e.rank >= 0 else e.rank,
+                    e.kind,
+                    e.t_start + t_shift,
+                    e.t_end + t_shift,
+                    e.info,
+                    e.nbytes,
+                    merged,
+                )
+            )
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._rank_labels.clear()
+        self._scope = None
 
     def summary(self, nranks: int) -> "TraceSummary":
         return TraceSummary.from_events(self.events, nranks)
@@ -44,23 +198,37 @@ class TraceRecorder:
 
 @dataclass
 class TraceSummary:
-    """Aggregate per-rank time split and overall makespan."""
+    """Aggregate per-rank time split and overall makespan.
+
+    ``other`` collects busy time charged to ranks outside ``[0, nranks)``
+    — e.g. the rank ``-1`` coordinator charge of the round-final reduce —
+    so no recorded time silently vanishes from the split.
+    """
 
     nranks: int
     compute: np.ndarray
     comm: np.ndarray
     idle: np.ndarray
     makespan: float
+    bytes_sent: np.ndarray = None  # per-rank wire bytes (send events)
+    other: float = 0.0  # busy seconds on out-of-range ranks
+
+    def __post_init__(self) -> None:
+        if self.bytes_sent is None:
+            self.bytes_sent = np.zeros(self.nranks, dtype=np.int64)
 
     @staticmethod
     def from_events(events: List[TraceEvent], nranks: int) -> "TraceSummary":
         compute = np.zeros(nranks)
         comm = np.zeros(nranks)
         idle = np.zeros(nranks)
+        bytes_sent = np.zeros(nranks, dtype=np.int64)
+        other = 0.0
         makespan = 0.0
         for e in events:
             makespan = max(makespan, e.t_end)
             if e.rank < 0 or e.rank >= nranks:
+                other += e.duration
                 continue
             if e.kind in ("compute", "charge"):
                 compute[e.rank] += e.duration
@@ -68,7 +236,9 @@ class TraceSummary:
                 comm[e.rank] += e.duration
             elif e.kind == "wait":
                 idle[e.rank] += e.duration
-        return TraceSummary(nranks, compute, comm, idle, makespan)
+            if e.nbytes and e.kind == "send":
+                bytes_sent[e.rank] += e.nbytes
+        return TraceSummary(nranks, compute, comm, idle, makespan, bytes_sent, other)
 
     @property
     def total_compute(self) -> float:
@@ -77,6 +247,10 @@ class TraceSummary:
     @property
     def total_comm(self) -> float:
         return float(self.comm.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes_sent.sum())
 
     @property
     def comm_fraction(self) -> float:
@@ -94,4 +268,6 @@ class TraceSummary:
                 f"  rank {r:4d}: compute {self.compute[r]:.6f}s  "
                 f"comm {self.comm[r]:.6f}s  idle {self.idle[r]:.6f}s"
             )
+        if self.other > 0:
+            lines.append(f"  other (out-of-range ranks): {self.other:.6f}s")
         return "\n".join(lines)

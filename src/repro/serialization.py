@@ -112,9 +112,16 @@ def result_to_dict(result) -> Dict[str, Any]:
             "schema_version": SCHEMA_VERSION,
             **_estimate_dict(result),
         }
+    # observability types dispatch to their own (envelope-compatible)
+    # serializers; imported lazily to keep repro.obs optional at import time
+    from repro.obs.metrics import MetricsSnapshot
+    from repro.obs.report import RunReport
+
+    if isinstance(result, (MetricsSnapshot, RunReport)):
+        return result.to_dict()
     raise ConfigurationError(
         f"cannot serialize {type(result).__name__}; supported: DetectionResult, "
-        "ScanGridResult, PerformanceEstimate"
+        "ScanGridResult, PerformanceEstimate, MetricsSnapshot, RunReport"
     )
 
 
@@ -175,6 +182,14 @@ def result_from_dict(data: Dict[str, Any]):
             ),
             memory_bytes_per_rank=data["memory_bytes_per_rank"],
         )
+    if t == "MetricsSnapshot":
+        from repro.obs.metrics import MetricsSnapshot
+
+        return MetricsSnapshot.from_dict(data)
+    if t == "RunReport":
+        from repro.obs.report import RunReport
+
+        return RunReport.from_dict(data)
     raise ConfigurationError(f"unknown serialized type {t!r}")
 
 

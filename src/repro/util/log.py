@@ -32,11 +32,20 @@ def enable_logging(level: int = logging.INFO, stream=None,
     handler.setFormatter(logging.Formatter(
         fmt or "%(asctime)s %(name)s %(levelname)s: %(message)s"
     ))
+    # remember the level we are about to clobber so disable_logging can
+    # restore it (0 == NOTSET is a valid prior level, hence the sentinel
+    # attribute rather than a level comparison)
+    handler._repro_prior_level = logger.level
     logger.addHandler(handler)
     logger.setLevel(level)
     return handler
 
 
 def disable_logging(handler: logging.Handler) -> None:
-    """Detach a handler previously returned by :func:`enable_logging`."""
-    logging.getLogger(_ROOT).removeHandler(handler)
+    """Detach a handler previously returned by :func:`enable_logging` and
+    restore the ``repro`` logger level that :func:`enable_logging` set."""
+    logger = logging.getLogger(_ROOT)
+    logger.removeHandler(handler)
+    prior = getattr(handler, "_repro_prior_level", None)
+    if prior is not None:
+        logger.setLevel(prior)

@@ -15,11 +15,17 @@ class Stopwatch:
         with sw:
             kernel()
         sw.elapsed   # seconds spent inside all ``with`` blocks so far
+
+    ``observer``, when given, is called with each block's duration on
+    exit — typically a metrics ``Histogram.observe`` so wall measurements
+    land in the same registry as everything else (see
+    :mod:`repro.obs.metrics`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, observer: Optional[Callable[[float], object]] = None) -> None:
         self.elapsed = 0.0
         self.calls = 0
+        self.observer = observer
         self._t0: Optional[float] = None
 
     def __enter__(self) -> "Stopwatch":
@@ -28,9 +34,12 @@ class Stopwatch:
 
     def __exit__(self, *exc) -> None:
         assert self._t0 is not None, "Stopwatch exited without entering"
-        self.elapsed += time.perf_counter() - self._t0
+        dt = time.perf_counter() - self._t0
+        self.elapsed += dt
         self.calls += 1
         self._t0 = None
+        if self.observer is not None:
+            self.observer(dt)
 
     def reset(self) -> None:
         self.elapsed = 0.0
@@ -43,20 +52,29 @@ class Stopwatch:
         return self.elapsed / self.calls if self.calls else 0.0
 
 
-def time_call(fn: Callable[[], object], min_time: float = 0.05, max_reps: int = 10_000) -> float:
+def time_call(
+    fn: Callable[[], object],
+    min_time: float = 0.05,
+    max_reps: int = 10_000,
+    on_measure: Optional[Callable[[float], object]] = None,
+) -> float:
     """Return the best-of mean seconds per call of ``fn``.
 
     Repeats ``fn`` until at least ``min_time`` seconds have been spent (or
     ``max_reps`` calls), then returns total/reps.  Used to calibrate the cost
-    model's compute rates from the real vectorized kernels.
+    model's compute rates from the real vectorized kernels.  ``on_measure``
+    receives every individual rep's duration (for metrics histograms).
     """
     reps = 0
     total = 0.0
     while total < min_time and reps < max_reps:
         t0 = time.perf_counter()
         fn()
-        total += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        total += dt
         reps += 1
+        if on_measure is not None:
+            on_measure(dt)
     return total / max(reps, 1)
 
 

@@ -35,6 +35,42 @@ class TestLoggerHierarchy:
         get_logger("repro.test").info("hidden")
         assert stream.getvalue() == before
 
+    def test_disable_restores_prior_level(self):
+        """enable_logging mutates the repro logger level; disable_logging
+        must put it back (regression: it used to leave the level set)."""
+        root = logging.getLogger("repro")
+        prior = root.level
+        handler = enable_logging(level=logging.DEBUG, stream=io.StringIO())
+        try:
+            assert root.level == logging.DEBUG
+        finally:
+            disable_logging(handler)
+        assert root.level == prior
+
+    def test_nested_enable_disable_restores_lifo(self):
+        root = logging.getLogger("repro")
+        prior = root.level
+        h1 = enable_logging(level=logging.INFO, stream=io.StringIO())
+        h2 = enable_logging(level=logging.DEBUG, stream=io.StringIO())
+        disable_logging(h2)
+        assert root.level == logging.INFO
+        disable_logging(h1)
+        assert root.level == prior
+
+    def test_disable_tolerates_foreign_handler(self):
+        # a handler not created by enable_logging has no recorded prior
+        # level; disable_logging must detach it without touching the level
+        root = logging.getLogger("repro")
+        root.setLevel(logging.WARNING)
+        try:
+            h = logging.StreamHandler(io.StringIO())
+            root.addHandler(h)
+            disable_logging(h)
+            assert root.level == logging.WARNING
+            assert h not in root.handlers
+        finally:
+            root.setLevel(logging.NOTSET)
+
     def test_detection_emits_info(self):
         from repro.core.midas import detect_path
         from repro.graph.generators import erdos_renyi, plant_path

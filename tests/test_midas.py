@@ -156,6 +156,51 @@ class TestModesAgree:
             transcripts.append([r.value for r in res.rounds])
         assert transcripts[0] == transcripts[1] == transcripts[2]
 
+    def test_observability_does_not_change_results(self):
+        """Recorder + metrics attached or absent: identical transcripts."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.runtime.tracing import TraceRecorder
+
+        g = erdos_renyi(30, m=70, rng=RngStream(11))
+        kwargs = dict(eps=0.3, early_exit=False)
+
+        def run(**extra):
+            rt = MidasRuntime(n_processors=8, n1=4, n2=8, mode="simulated",
+                              **extra)
+            res = detect_path(g, 5, rng=RngStream(99), runtime=rt, **kwargs)
+            return [r.value for r in res.rounds]
+
+        rec = TraceRecorder(enabled=True)
+        reg = MetricsRegistry()
+        plain = run()
+        observed = run(recorder=rec, metrics=reg)
+        disabled = run(recorder=TraceRecorder(enabled=False),
+                       metrics=MetricsRegistry())
+        assert plain == observed == disabled
+        assert len(rec.events) > 0
+        snap = reg.snapshot()
+        assert snap.get("midas_rounds_total", problem="k-path",
+                        mode="simulated") == len(plain)
+
+    def test_observability_does_not_change_scan_grid(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.runtime.tracing import TraceRecorder
+
+        g = grid2d(3, 3)
+        w = np.array([1, 0, 1, 0, 2, 0, 1, 0, 1], dtype=np.int64)
+        rec = TraceRecorder(enabled=True)
+        a = scan_grid(g, w, k=3, eps=0.1, rng=RngStream(30),
+                      runtime=MidasRuntime(n_processors=2, n1=2, n2=2,
+                                           mode="simulated"))
+        b = scan_grid(g, w, k=3, eps=0.1, rng=RngStream(30),
+                      runtime=MidasRuntime(n_processors=2, n1=2, n2=2,
+                                           mode="simulated", recorder=rec,
+                                           metrics=MetricsRegistry()))
+        assert np.array_equal(a.detected, b.detected)
+        assert a.virtual_seconds == pytest.approx(b.virtual_seconds)
+        assert any(e.scope is not None and e.scope.label.startswith("size")
+                   for e in rec.events)
+
 
 class TestScanGrid:
     def test_exact_against_enumeration(self, tiny_grid):

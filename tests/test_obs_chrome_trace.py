@@ -1,0 +1,141 @@
+"""Tests for the Chrome/Perfetto ``trace_event`` exporter."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.chrome_trace import (
+    dump_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.runtime.tracing import Scope, TraceEvent
+
+
+def _events():
+    return [
+        TraceEvent(0, "compute", 0.0, 1.0,
+                   scope=Scope(round=0, batch=0, phase=1, q0=8, q1=16)),
+        TraceEvent(1, "send", 1.0, 1.2, info="->0 64B", nbytes=64),
+        TraceEvent(1, "send", 1.2, 1.4, nbytes=36),
+        TraceEvent(0, "wait", 1.0, 1.4),
+        TraceEvent(-1, "collective", 1.4, 1.6, info="round-reduce", nbytes=8),
+    ]
+
+
+class TestToChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(_events(), nranks=2, meta={"problem": "k-path"})
+        assert doc["otherData"] == {"problem": "k-path"}
+        assert validate_chrome_trace(doc) == len(doc["traceEvents"])
+        assert json.loads(json.dumps(doc)) == doc  # JSON-serializable
+
+    def test_per_rank_threads_and_coordinator(self):
+        doc = to_chrome_trace(_events(), nranks=2)
+        names = {
+            ev["tid"]: ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert names == {0: "rank 0", 1: "rank 1", 2: "coordinator"}
+        coord = [ev for ev in doc["traceEvents"]
+                 if ev["ph"] == "X" and ev["tid"] == 2]
+        assert len(coord) == 1 and coord[0]["name"].startswith("collective")
+
+    def test_no_coordinator_thread_without_negative_ranks(self):
+        doc = to_chrome_trace([TraceEvent(0, "compute", 0.0, 1.0)], nranks=1)
+        names = [ev["args"]["name"] for ev in doc["traceEvents"]
+                 if ev["ph"] == "M" and ev["name"] == "thread_name"]
+        assert names == ["rank 0"]
+
+    def test_scope_named_events_with_microsecond_times(self):
+        doc = to_chrome_trace(_events(), nranks=2)
+        x = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        scoped = next(ev for ev in x if ev["name"] == "compute r0 b0 p1 [q8:16]")
+        assert scoped["ts"] == pytest.approx(0.0)
+        assert scoped["dur"] == pytest.approx(1e6)  # 1s -> microseconds
+        assert scoped["args"]["round"] == 0 and scoped["args"]["q1"] == 16
+
+    def test_comm_bytes_counter_track_is_cumulative(self):
+        doc = to_chrome_trace(_events(), nranks=2)
+        counters = [ev for ev in doc["traceEvents"] if ev["ph"] == "C"]
+        assert [c["name"] for c in counters] == ["comm bytes"] * 2
+        assert counters[0]["args"] == {"rank1": 64}
+        assert counters[1]["args"] == {"rank1": 100}
+
+    def test_nranks_inferred(self):
+        doc = to_chrome_trace(_events())
+        tids = {ev["tid"] for ev in doc["traceEvents"] if ev["ph"] == "X"}
+        assert tids == {0, 1, 2}
+
+    def test_bad_nranks(self):
+        with pytest.raises(ConfigurationError):
+            to_chrome_trace([], nranks=0)
+
+
+class TestValidate:
+    def test_accepts_bare_array(self):
+        doc = to_chrome_trace(_events(), nranks=2)
+        assert validate_chrome_trace(doc["traceEvents"]) == len(doc["traceEvents"])
+
+    @pytest.mark.parametrize("bad", [
+        42,
+        {"notTraceEvents": []},
+        [{"ph": "X", "name": "a", "pid": 1}],              # no ts
+        [{"ph": "X", "name": "a", "pid": 1, "ts": 0}],     # no dur
+        [{"ph": "X", "name": "a", "pid": 1, "ts": 0, "dur": -1}],
+        [{"name": "a", "pid": 1, "ts": 0}],                # no ph
+        [{"ph": "X", "pid": 1, "ts": 0, "dur": 0}],        # no name
+        [{"ph": "X", "name": "a", "ts": 0, "dur": 0}],     # no pid
+        [{"ph": "M", "name": "a", "pid": 1}],              # metadata w/o args
+        [{"ph": "C", "name": "a", "pid": 1, "ts": 0, "args": {}}],
+        [{"ph": "C", "name": "a", "pid": 1, "ts": 0, "args": {"r": "x"}}],
+        [{"ph": "?", "name": "a", "pid": 1, "ts": 0}],
+        ["not an object"],
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigurationError):
+            validate_chrome_trace(bad)
+
+
+class TestEndToEnd:
+    def test_dump_from_simulated_run(self, tmp_path):
+        from repro.core.midas import MidasRuntime, detect_path
+        from repro.graph.generators import erdos_renyi, plant_path
+        from repro.runtime.tracing import TraceRecorder
+        from repro.util.rng import RngStream
+
+        g, _ = plant_path(erdos_renyi(24, m=40, rng=RngStream(0)), 4,
+                          rng=RngStream(1))
+        rec = TraceRecorder()
+        rt = MidasRuntime(mode="simulated", n_processors=4, n1=2, n2=8,
+                          recorder=rec)
+        detect_path(g, 4, eps=0.3, rng=RngStream(2), runtime=rt)
+        assert rec.events
+
+        p = tmp_path / "trace.json"
+        dump_chrome_trace(rec.events, p, nranks=4, meta={"mode": "simulated"})
+        doc = json.loads(p.read_text())
+        n = validate_chrome_trace(doc)
+        assert n == len(doc["traceEvents"]) > 0
+        # the driver's round-reduce lands on the coordinator thread
+        assert any(ev["ph"] == "X" and ev["tid"] == 4
+                   for ev in doc["traceEvents"])
+        # phase scopes survived the splice
+        assert any(ev["ph"] == "X" and ev.get("args", {}).get("round") == 0
+                   for ev in doc["traceEvents"])
+
+    def test_cli_trace_out_validates(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "run_trace.json"
+        rc = main([
+            "detect-path", "--er", "30", "-k", "3", "--mode", "simulated",
+            "-N", "4", "--n1", "2", "--eps", "0.4", "--seed", "5",
+            "--trace-out", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) > 0
+        assert doc["otherData"]["mode"] == "simulated"

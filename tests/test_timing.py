@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.util.timing import Stopwatch, format_seconds, time_call
 
 
@@ -23,6 +25,28 @@ class TestStopwatch:
         sw.reset()
         assert sw.calls == 0 and sw.elapsed == 0.0 and sw.mean == 0.0
 
+    def test_observer_sees_each_block(self):
+        seen = []
+        sw = Stopwatch(observer=seen.append)
+        with sw:
+            pass
+        with sw:
+            time.sleep(0.001)
+        assert len(seen) == 2
+        assert all(d >= 0 for d in seen)
+        assert sum(seen) == pytest.approx(sw.elapsed)
+
+    def test_observer_feeds_metrics_histogram(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        hist = reg.histogram("sw_seconds", "stopwatch blocks")
+        sw = Stopwatch(observer=hist.observe)
+        with sw:
+            pass
+        sample = reg.snapshot().get("sw_seconds")
+        assert sample["count"] == 1
+
 
 class TestTimeCall:
     def test_returns_positive_mean(self):
@@ -34,6 +58,13 @@ class TestTimeCall:
         time_call(lambda: calls.append(1), min_time=10.0, max_reps=5)
         assert len(calls) == 5
 
+    def test_on_measure_sees_every_rep(self):
+        durations = []
+        time_call(lambda: None, min_time=10.0, max_reps=7,
+                  on_measure=durations.append)
+        assert len(durations) == 7
+        assert all(d >= 0 for d in durations)
+
 
 class TestFormat:
     def test_units(self):
@@ -42,6 +73,15 @@ class TestFormat:
         assert format_seconds(5e-3).endswith("ms")
         assert format_seconds(5.0).endswith("s")
         assert format_seconds(600.0).endswith("min")
+
+    def test_unit_boundaries(self):
+        # each range is [lo, hi): the boundary value belongs to the next unit
+        assert format_seconds(0.0) == "0.0ns"
+        assert format_seconds(1e-6) == "1.0us"
+        assert format_seconds(1e-3) == "1.0ms"
+        assert format_seconds(1.0) == "1.00s"
+        assert format_seconds(119.99).endswith("s")
+        assert format_seconds(120.0) == "2.0min"
 
     def test_negative(self):
         assert format_seconds(-2.0).startswith("-")

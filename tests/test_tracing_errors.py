@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import errors
-from repro.runtime.tracing import TraceEvent, TraceRecorder, TraceSummary
+from repro.runtime.tracing import Scope, TraceEvent, TraceRecorder, TraceSummary
 
 
 class TestTraceRecorder:
@@ -25,6 +25,81 @@ class TestTraceRecorder:
         tr = TraceRecorder()
         tr.record(0, "compute", 2.0, 1.0)
         assert tr.events == []
+
+    def test_current_scope_stamped(self):
+        tr = TraceRecorder()
+        tr.set_scope(Scope(round=1, phase=2))
+        tr.record(0, "compute", 0.0, 1.0)
+        tr.set_scope(None)
+        tr.record(0, "compute", 1.0, 2.0)
+        assert tr.events[0].scope == Scope(round=1, phase=2)
+        assert tr.events[1].scope is None
+
+    def test_rank_label_refines_scope(self):
+        tr = TraceRecorder()
+        tr.set_rank_label(0, "level3")
+        tr.record(0, "compute", 0.0, 1.0, scope=Scope(round=0))
+        tr.record(1, "compute", 0.0, 1.0, scope=Scope(round=0))
+        assert tr.events[0].scope.label == "level3"
+        assert tr.events[1].scope.label == ""
+
+    def test_explicit_scope_label_wins_over_rank_label(self):
+        tr = TraceRecorder()
+        tr.set_rank_label(0, "level3")
+        tr.record(0, "send", 0.0, 1.0, scope=Scope(label="explicit"))
+        assert tr.events[0].scope.label == "explicit"
+
+    def test_extend_shifts_time_and_ranks(self):
+        inner = TraceRecorder()
+        inner.record(0, "compute", 0.0, 1.0, scope=Scope(label="level1"))
+        inner.record(1, "send", 0.5, 0.7, nbytes=64)
+        inner.record(-1, "collective", 1.0, 1.5)
+        outer = TraceRecorder()
+        outer.extend(inner.events, t_shift=10.0, rank_offset=4,
+                     scope=Scope(round=2, batch=1, phase=3, q0=24, q1=32))
+        e0, e1, e2 = outer.events
+        assert (e0.rank, e0.t_start, e0.t_end) == (4, 10.0, 11.0)
+        assert e0.scope.round == 2 and e0.scope.label == "level1"
+        assert e1.rank == 5 and e1.nbytes == 64
+        assert e1.scope == Scope(round=2, batch=1, phase=3, q0=24, q1=32)
+        assert e2.rank == -1  # coordinator events are never rank-offset
+
+    def test_extend_disabled_is_noop(self):
+        tr = TraceRecorder(enabled=False)
+        tr.extend([TraceEvent(0, "compute", 0.0, 1.0)], t_shift=1.0)
+        assert tr.events == []
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.set_scope(Scope(round=0))
+        tr.set_rank_label(0, "x")
+        tr.record(0, "compute", 0.0, 1.0)
+        tr.clear()
+        assert tr.events == []
+        tr.record(0, "compute", 0.0, 1.0)
+        assert tr.events[0].scope is None
+
+
+class TestScope:
+    def test_merged_overlays_non_empty_fields(self):
+        base = Scope(round=1, batch=0, phase=2, q0=8, q1=16)
+        fine = Scope(label="level3")
+        m = base.merged(fine)
+        assert m == Scope(round=1, batch=0, phase=2, q0=8, q1=16, label="level3")
+        assert base.merged(None) == base
+
+    def test_merged_other_fields_win(self):
+        assert Scope(round=1).merged(Scope(round=5)).round == 5
+
+    def test_describe(self):
+        s = Scope(round=0, batch=1, phase=3, q0=64, q1=96, label="level2")
+        assert s.describe() == "r0 b1 p3 [q64:96] level2"
+        assert Scope().describe() == ""
+
+    def test_dict_roundtrip(self):
+        s = Scope(round=2, phase=7, q0=0, q1=8, label="size3")
+        assert Scope.from_dict(s.to_dict()) == s
+        assert Scope.from_dict(Scope().to_dict()) == Scope()
 
 
 class TestTraceSummary:
@@ -48,6 +123,33 @@ class TestTraceSummary:
         s = TraceSummary.from_events([TraceEvent(9, "compute", 0, 1)], 2)
         assert s.total_compute == 0.0
         assert s.makespan == 1.0
+
+    def test_out_of_range_rank_lands_in_other(self):
+        events = [
+            TraceEvent(0, "compute", 0.0, 1.0),
+            TraceEvent(-1, "collective", 1.0, 1.5),  # coordinator reduce
+            TraceEvent(7, "compute", 0.0, 0.25),
+        ]
+        s = TraceSummary.from_events(events, 2)
+        assert s.other == pytest.approx(0.75)
+        assert s.total_compute == pytest.approx(1.0)
+        assert "other (out-of-range ranks)" in s.report()
+
+    def test_other_absent_when_all_in_range(self):
+        s = TraceSummary.from_events([TraceEvent(0, "compute", 0, 1)], 1)
+        assert s.other == 0.0
+        assert "other" not in s.report()
+
+    def test_bytes_sent_accumulated_per_rank(self):
+        events = [
+            TraceEvent(0, "send", 0.0, 0.1, "", 100),
+            TraceEvent(0, "send", 0.1, 0.2, "", 50),
+            TraceEvent(1, "send", 0.0, 0.1, "", 7),
+            TraceEvent(1, "recv", 0.1, 0.1, "", 999),  # recv bytes not counted
+        ]
+        s = TraceSummary.from_events(events, 2)
+        assert s.bytes_sent.tolist() == [150, 7]
+        assert s.total_bytes == 157
 
     def test_empty(self):
         s = TraceSummary.from_events([], 3)
