@@ -61,6 +61,16 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
                    help="write the metrics-registry snapshot as JSON")
     p.add_argument("--report-out", metavar="PATH", default=None,
                    help="write a RunReport JSON (render with `repro report`)")
+    p.add_argument("--fault-plan", metavar="PLAN", default=None,
+                   help="fault-injection plan: a JSON file path or an inline "
+                        'JSON object, e.g. \'{"seed": 7, "faults": '
+                        '[{"kind": "crash", "rank": 1, "after_ops": 5}]}\' '
+                        "(simulated mode only)")
+    p.add_argument("--max-retries", type=int, default=5,
+                   help="per-phase-window retry budget under faults (default 5)")
+    p.add_argument("--retry-backoff", type=float, default=1e-3,
+                   help="base virtual-seconds backoff before a retry; doubles "
+                        "per attempt (default 1e-3)")
 
 
 def _runtime(args):
@@ -71,13 +81,20 @@ def _runtime(args):
         from repro.runtime.tracing import TraceRecorder
 
         recorder = TraceRecorder(enabled=True)
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        from repro.runtime.faults import load_fault_plan
+
+        fault_plan = load_fault_plan(args.fault_plan)
     return MidasRuntime(
         n_processors=args.processors, n1=args.n1, n2=args.n2, mode=args.mode,
-        recorder=recorder,
+        recorder=recorder, fault_plan=fault_plan,
+        max_retries=getattr(args, "max_retries", 5),
+        retry_backoff=getattr(args, "retry_backoff", 1e-3),
     )
 
 
-def _write_obs(args, rt, problem: str = "", estimate=None) -> None:
+def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None) -> None:
     """Emit --trace-out / --metrics-out / --report-out artifacts."""
     if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)
             or getattr(args, "report_out", None)):
@@ -106,9 +123,19 @@ def _write_obs(args, rt, problem: str = "", estimate=None) -> None:
 
         rep = RunReport.build(rt.recorder.events, nranks, problem=problem,
                               mode=rt.mode, metrics=snap, estimate=estimate,
-                              meta={"n1": rt.n1})
+                              meta={"n1": rt.n1}, resilience=resilience)
         dump_result(rep, args.report_out)
         print(f"report written: {args.report_out}")
+
+
+def _print_resilience(r: dict) -> None:
+    injected = ", ".join(
+        f"{k}={v}" for k, v in sorted(r.get("faults_injected", {}).items())
+    ) or "none"
+    print(f"resilience: faults [{injected}]  "
+          f"failures={r.get('phase_failures', 0)} retries={r.get('retries', 0)}  "
+          f"overhead={r.get('makespan_overhead_seconds', 0.0):.3g}s "
+          f"({r.get('overhead_fraction', 0.0):.1%})")
 
 
 def cmd_datasets(args) -> int:
@@ -136,7 +163,11 @@ def cmd_detect_path(args) -> int:
     res = detect_path(g, args.k, eps=args.eps, rng=rng.child("detect"),
                       runtime=rt)
     print(res.summary())
-    _write_obs(args, rt, problem="k-path", estimate=res.details.get("estimate"))
+    resilience = res.details.get("resilience")
+    if resilience:
+        _print_resilience(resilience)
+    _write_obs(args, rt, problem="k-path", estimate=res.details.get("estimate"),
+               resilience=resilience)
     return 0 if res.found else 1
 
 
@@ -157,7 +188,11 @@ def cmd_detect_tree(args) -> int:
     res = detect_tree(g, tmpl, eps=args.eps, rng=rng.child("detect"),
                       runtime=rt)
     print(res.summary())
-    _write_obs(args, rt, problem="k-tree", estimate=res.details.get("estimate"))
+    resilience = res.details.get("resilience")
+    if resilience:
+        _print_resilience(resilience)
+    _write_obs(args, rt, problem="k-tree", estimate=res.details.get("estimate"),
+               resilience=resilience)
     return 0 if res.found else 1
 
 
@@ -185,7 +220,10 @@ def cmd_scan(args) -> int:
     print(res.summary())
     if res.cluster is not None:
         print(f"cluster: {sorted(int(x) for x in res.cluster)}")
-    _write_obs(args, rt, problem="scanstat")
+    resilience = res.grid.details.get("resilience")
+    if resilience:
+        _print_resilience(resilience)
+    _write_obs(args, rt, problem="scanstat", resilience=resilience)
     return 0
 
 

@@ -39,7 +39,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultInjectedError, RankFailedError
 from repro.core.evaluator_path import (
     make_path_phase_program,
     make_path_phase_program_overlapped,
@@ -71,6 +71,7 @@ from repro.graph.templates import TreeTemplate, decompose_template
 from repro.obs.metrics import MetricsRegistry, get_default_registry
 from repro.runtime.cluster import VirtualCluster, laptop
 from repro.runtime.costmodel import KernelCalibration
+from repro.runtime.faults import FaultInjector, FaultPlan
 from repro.runtime.scheduler import Simulator
 from repro.runtime.tracing import Scope, TraceRecorder
 from repro.util.log import get_logger
@@ -99,6 +100,17 @@ class MidasRuntime:
     process-wide :func:`repro.obs.metrics.get_default_registry` — the
     same registry the kernel-calibration instrumentation writes to.
     Neither affects detection output (property-tested bit-identical).
+
+    Fault tolerance (simulated mode only): attach a
+    :class:`~repro.runtime.faults.FaultPlan` as ``fault_plan`` and the
+    driver runs every phase window under injection, checkpointing
+    completed windows and re-executing only the ones whose simulator run
+    died with a :class:`~repro.errors.FaultInjectedError` — with the
+    same seeded randomness, so results under any recoverable plan are
+    bit-identical to the fault-free run.  Retries are bounded by
+    ``max_retries`` per window; each retry adds an exponential-backoff
+    penalty of ``retry_backoff * 2^attempt`` virtual seconds to the
+    makespan, modeling failure detection + restart cost.
     """
 
     n_processors: int = 1
@@ -114,10 +126,24 @@ class MidasRuntime:
     overlap: bool = False
     recorder: Optional[TraceRecorder] = None
     metrics: Optional[MetricsRegistry] = None
+    fault_plan: Optional[FaultPlan] = None
+    max_retries: int = 5
+    retry_backoff: float = 1e-3
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ConfigurationError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.fault_plan is not None and self.mode != "simulated":
+            raise ConfigurationError(
+                f"fault_plan requires mode='simulated' (faults are injected into "
+                f"the runtime simulator), got mode={self.mode!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
 
     def schedule_for(self, k: int) -> PhaseSchedule:
         total = 1 << k
@@ -166,6 +192,139 @@ def _reduce_cost(rt: MidasRuntime, nbytes: int) -> float:
     )
 
 
+class _FaultContext:
+    """Per-detection fault-tolerance state: the shared injector, the
+    ``fault_*`` metric families, and the resilience accounting that ends
+    up in ``details["resilience"]`` / the RunReport.
+
+    ``injector`` is ``None`` when no plan is attached — the phase runner
+    then degenerates to a single plain attempt with zero overhead.
+    """
+
+    def __init__(self, rt: MidasRuntime, reg: MetricsRegistry, problem: str) -> None:
+        self.problem = problem
+        self.injector = FaultInjector(rt.fault_plan) if rt.fault_plan else None
+        self.max_retries = rt.max_retries
+        self.backoff0 = rt.retry_backoff
+        self.injected_ctr = reg.counter(
+            "fault_injected_total", "Faults fired by the injector, by kind"
+        )
+        self.failures_ctr = reg.counter(
+            "fault_phase_failures_total", "Phase attempts killed by injected faults"
+        )
+        self.retries_ctr = reg.counter(
+            "fault_retries_total", "Phase re-executions after a fault"
+        ).labels(problem=problem)
+        self.lost_ctr = reg.counter(
+            "fault_work_lost_seconds_total",
+            "Virtual seconds of partial work discarded with failed attempts",
+        ).labels(problem=problem)
+        self.backoff_ctr = reg.counter(
+            "fault_backoff_seconds_total",
+            "Virtual seconds spent in exponential backoff before retries",
+        ).labels(problem=problem)
+        self.recomputed_ctr = reg.counter(
+            "fault_work_recomputed_seconds_total",
+            "Virtual seconds of successful re-execution after faults",
+        ).labels(problem=problem)
+        # running totals for the resilience report
+        self.injected: dict = {}
+        self.phase_failures = 0
+        self.retries = 0
+        self.work_lost = 0.0
+        self.backoff_seconds = 0.0
+        self.work_recomputed = 0.0
+
+    def record_injected(self, counts: dict) -> None:
+        for kind, n in counts.items():
+            self.injected_ctr.labels(kind=kind, problem=self.problem).inc(n)
+            self.injected[kind] = self.injected.get(kind, 0) + n
+
+    def resilience(self, virtual_total: float) -> dict:
+        """The RunReport resilience section (see module docs)."""
+        overhead = self.work_lost + self.backoff_seconds
+        clean = max(virtual_total - overhead, 0.0)
+        return {
+            "faults_injected": dict(self.injected),
+            "phase_failures": self.phase_failures,
+            "retries": self.retries,
+            "work_lost_seconds": self.work_lost,
+            "work_recomputed_seconds": self.work_recomputed,
+            "backoff_seconds": self.backoff_seconds,
+            "makespan_overhead_seconds": overhead,
+            "overhead_fraction": overhead / clean if clean > 0 else 0.0,
+        }
+
+
+def _run_phase_resilient(rt: MidasRuntime, fc: _FaultContext, prog, key: str,
+                         sim_cost_model, want_trace: bool):
+    """Run one phase window to completion under the fault plan.
+
+    Retries the window (same program, seeded-identical randomness) on any
+    :class:`~repro.errors.FaultInjectedError` — or on a run that
+    "completed" with crashed ranks — up to ``max_retries`` times, adding
+    exponential backoff to the virtual clock.  Returns ``(res, sim,
+    extra_virtual, failed_events)`` where ``extra_virtual`` is the lost +
+    backoff virtual time that precedes the successful attempt on the
+    run-level timeline and ``failed_events`` the (shifted-from-zero)
+    trace events of failed attempts for splicing.
+    """
+    attempt = 0
+    extra = 0.0
+    failed_events = []
+    while True:
+        run_inj = (
+            fc.injector.for_run(f"{key}/a{attempt}") if fc.injector is not None else None
+        )
+        sim = Simulator(
+            rt.n1, cost_model=sim_cost_model,
+            measure_compute=rt.measure_compute,
+            trace=want_trace, faults=run_inj,
+        )
+        err = None
+        res = None
+        try:
+            res = sim.run(prog)
+            if res.crashed_ranks:
+                # the program "finished" but ranks died: their partial
+                # results are unusable — treat like a failed collective
+                err = RankFailedError(
+                    f"rank(s) {list(res.crashed_ranks)} crashed during phase {key}",
+                    ranks=res.crashed_ranks,
+                )
+        except FaultInjectedError as exc:
+            err = exc
+        if run_inj is not None and run_inj.counts:
+            fc.record_injected(run_inj.counts)
+        if err is None:
+            if attempt > 0:
+                fc.work_recomputed += res.makespan
+                fc.recomputed_ctr.inc(res.makespan)
+            return res, sim, extra, failed_events
+        fc.phase_failures += 1
+        fc.failures_ctr.labels(error=type(err).__name__, problem=fc.problem).inc()
+        clocks = sim.partial_clocks
+        lost = float(clocks.max()) if len(clocks) else 0.0
+        fc.work_lost += lost
+        fc.lost_ctr.inc(lost)
+        if want_trace:
+            failed_events.append((extra, attempt, list(sim.trace.events)))
+        if attempt >= fc.max_retries:
+            _LOG.error("phase %s failed after %d attempts: %s", key, attempt + 1, err)
+            raise err
+        backoff = fc.backoff0 * (2.0 ** attempt)
+        extra += lost + backoff
+        fc.backoff_seconds += backoff
+        fc.backoff_ctr.inc(backoff)
+        fc.retries += 1
+        fc.retries_ctr.inc()
+        attempt += 1
+        _LOG.info(
+            "phase %s attempt %d failed (%s: %s); retrying with %.3g s backoff",
+            key, attempt, type(err).__name__, err, backoff,
+        )
+
+
 def _run_scalar_detection(
     problem: str,
     graph: CSRGraph,
@@ -200,6 +359,7 @@ def _run_scalar_detection(
 
     rec = rt.get_recorder()
     reg = rt.get_metrics()
+    fc = _FaultContext(rt, reg, problem) if rt.mode == "simulated" else None
     labels = dict(problem=problem, mode=rt.mode, k=k, n1=rt.n1, n2=sched.n2)
     phase_hist = reg.histogram(
         "midas_phase_seconds", "Per-phase time (virtual makespan or wall)"
@@ -239,22 +399,28 @@ def _run_scalar_detection(
                 for gi, t in enumerate(batch):
                     q0, q1 = sched.phase_window(t)
                     prog = program_factory(views, fp, q0, sched.n2)
-                    sim = Simulator(
-                        rt.n1, cost_model=sim_cost_model,
-                        measure_compute=rt.measure_compute,
-                        trace=rt.trace or rec is not None,
+                    res, sim, extra, failed = _run_phase_resilient(
+                        rt, fc, prog, f"r{ell}/b{bi}/p{t}", sim_cost_model,
+                        want_trace=rt.trace or rec is not None,
                     )
-                    res = sim.run(prog)
                     value ^= int(res.results[0])
-                    batch_time = max(batch_time, res.makespan)
+                    batch_time = max(batch_time, extra + res.makespan)
                     phase_hist.observe(res.makespan)
                     if rt.trace:
                         trace_compute += res.summary.total_compute
                         trace_comm += res.summary.total_comm
                     if rec is not None:
-                        # splice the phase's group onto global ranks/clock
+                        # splice the phase's group onto global ranks/clock;
+                        # failed attempts first, at their own offsets
+                        for shift, attempt, events in failed:
+                            rec.extend(
+                                events, t_shift=cursor + shift,
+                                rank_offset=gi * rt.n1,
+                                scope=Scope(round=ell, batch=bi, phase=t, q0=q0,
+                                            q1=q1, label=f"failed-attempt{attempt}"),
+                            )
                         rec.extend(
-                            sim.trace.events, t_shift=cursor,
+                            sim.trace.events, t_shift=cursor + extra,
                             rank_offset=gi * rt.n1,
                             scope=Scope(round=ell, batch=bi, phase=t, q0=q0, q1=q1),
                         )
@@ -301,6 +467,8 @@ def _run_scalar_detection(
         det.setdefault("trace_compute_seconds", trace_compute)
         det.setdefault("trace_comm_seconds", trace_comm)
         det.setdefault("trace_comm_fraction", trace_comm / busy if busy > 0 else 0.0)
+    if fc is not None and fc.injector is not None:
+        det["resilience"] = fc.resilience(virtual_total)
     return DetectionResult(
         problem=problem,
         k=k,
@@ -527,6 +695,7 @@ def scan_grid(
 
     rec = rt.get_recorder()
     reg = rt.get_metrics()
+    fc = _FaultContext(rt, reg, "scanstat") if rt.mode == "simulated" else None
     rounds_ctr = reg.counter(
         "midas_rounds_total", "Amplification rounds executed"
     ).labels(problem="scanstat", mode=rt.mode)
@@ -576,18 +745,25 @@ def scan_grid(
                     for gi, t in enumerate(batch):
                         q0, q1 = sched.phase_window(t)
                         prog = scan_factory(views, w, fp, z_max, q0, sched.n2)
-                        sim = Simulator(
-                            rt.n1, cost_model=sim_cost_model,
-                            measure_compute=rt.measure_compute,
-                            trace=rt.trace or rec is not None,
+                        res, sim, extra, failed = _run_phase_resilient(
+                            rt, fc, prog, f"size{j}/r{ell}/b{bi}/p{t}",
+                            sim_cost_model,
+                            want_trace=rt.trace or rec is not None,
                         )
-                        res = sim.run(prog)
                         acc ^= np.asarray(res.results[0], dtype=fld.dtype)
-                        batch_time = max(batch_time, res.makespan)
+                        batch_time = max(batch_time, extra + res.makespan)
                         phase_hist.observe(res.makespan)
                         if rec is not None:
+                            for shift, attempt, events in failed:
+                                rec.extend(
+                                    events, t_shift=cursor + shift,
+                                    rank_offset=gi * rt.n1,
+                                    scope=Scope(round=ell, batch=bi, phase=t,
+                                                q0=q0, q1=q1,
+                                                label=f"size{j} failed-attempt{attempt}"),
+                                )
                             rec.extend(
-                                sim.trace.events, t_shift=cursor,
+                                sim.trace.events, t_shift=cursor + extra,
                                 rank_offset=gi * rt.n1,
                                 scope=Scope(round=ell, batch=bi, phase=t,
                                             q0=q0, q1=q1, label=f"size{j}"),
@@ -621,6 +797,9 @@ def scan_grid(
             detected[j] |= acc != 0
             virtual_total += round_virtual
 
+    grid_details = {"weights_total": int(w.sum())}
+    if fc is not None and fc.injector is not None:
+        grid_details["resilience"] = fc.resilience(virtual_total)
     return ScanGridResult(
         k=k,
         z_max=z_max,
@@ -633,5 +812,5 @@ def scan_grid(
         n2=rt.n2 or 0,
         virtual_seconds=virtual_total,
         wall_seconds=time.perf_counter() - wall0,
-        details={"weights_total": int(w.sum())},
+        details=grid_details,
     )

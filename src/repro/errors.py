@@ -44,6 +44,63 @@ class DeadlockError(RuntimeSimulationError):
     """All live ranks are blocked on communication that can never complete."""
 
 
+class FaultInjectedError(RuntimeSimulationError):
+    """Base class for failures caused by injected faults (see
+    :mod:`repro.runtime.faults`).
+
+    The fault-tolerant driver catches this family — and only this family —
+    to decide that a phase is retryable: a :class:`RuntimeSimulationError`
+    that is *not* fault-induced (a program bug, a mismatched collective)
+    must keep propagating.
+    """
+
+
+class RankFailedError(FaultInjectedError):
+    """One or more ranks crashed (or their messages were lost) while the
+    survivors were waiting on them.
+
+    ``ranks`` lists the crashed ranks; ``lost_messages`` summarizes
+    injected message drops as ``(src, dst, tag)`` triples when the failure
+    was pure message loss rather than a crash.
+    """
+
+    def __init__(self, message: str, ranks=(), lost_messages=()):
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+        self.lost_messages = tuple(lost_messages)
+
+
+class TimeoutExpired(FaultInjectedError):
+    """A ``Recv(timeout=...)`` expired before a matching message arrived.
+
+    Delivered *into* the waiting rank program (via ``generator.throw``) so
+    programs can catch it and take a recovery path; uncaught, it aborts the
+    simulated run.  ``rank`` is the waiting rank, ``src``/``tag`` the
+    receive it was blocked on, ``deadline`` the virtual time at expiry.
+    """
+
+    def __init__(self, message: str, rank=None, src=None, tag=None, deadline=None):
+        super().__init__(message)
+        self.rank = rank
+        self.src = src
+        self.tag = tag
+        self.deadline = deadline
+
+
+class SendFailedError(FaultInjectedError):
+    """A transient injected failure of a ``Send``; retrying may succeed.
+
+    Delivered into the sending rank program at the yield point of the
+    failed ``Send`` so it can catch and re-issue the operation.
+    """
+
+    def __init__(self, message: str, rank=None, dst=None, tag=None):
+        super().__init__(message)
+        self.rank = rank
+        self.dst = dst
+        self.tag = tag
+
+
 class ResourceExhaustedError(ReproError, RuntimeError):
     """A modeled resource limit (e.g. per-node memory) was exceeded.
 

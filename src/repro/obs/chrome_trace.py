@@ -39,6 +39,7 @@ _CATEGORIES = {
     "recv": "comm",
     "collective": "comm",
     "wait": "idle",
+    "fault": "fault",
 }
 
 

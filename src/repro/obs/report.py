@@ -97,6 +97,7 @@ class RunReport:
     metrics: Optional[MetricsSnapshot] = None
     estimate: Optional[PerformanceEstimate] = None
     meta: dict = field(default_factory=dict)
+    resilience: Optional[dict] = None
 
     # ------------------------------------------------------------- builders
     @staticmethod
@@ -108,6 +109,7 @@ class RunReport:
         metrics: Optional[MetricsSnapshot] = None,
         estimate: Optional[PerformanceEstimate] = None,
         meta: Optional[dict] = None,
+        resilience: Optional[dict] = None,
     ) -> "RunReport":
         return RunReport(
             problem=problem,
@@ -118,6 +120,7 @@ class RunReport:
             metrics=metrics,
             estimate=estimate,
             meta=dict(meta or {}),
+            resilience=dict(resilience) if resilience else None,
         )
 
     # ------------------------------------------------------------- analysis
@@ -194,6 +197,26 @@ class RunReport:
                     )
             else:
                 lines.append("no phase exceeds 1.2x the modeled phase time")
+        if self.resilience:
+            r = self.resilience
+            injected = r.get("faults_injected", {})
+            inj = ", ".join(f"{k}={v}" for k, v in sorted(injected.items())) or "none"
+            lines.append("resilience:")
+            lines.append(f"  faults injected: {inj}")
+            lines.append(
+                f"  phase failures: {r.get('phase_failures', 0)}  "
+                f"retries: {r.get('retries', 0)}"
+            )
+            lines.append(
+                f"  work lost {format_seconds(r.get('work_lost_seconds', 0.0))}  "
+                f"recomputed {format_seconds(r.get('work_recomputed_seconds', 0.0))}  "
+                f"backoff {format_seconds(r.get('backoff_seconds', 0.0))}"
+            )
+            lines.append(
+                f"  makespan overhead "
+                f"{format_seconds(r.get('makespan_overhead_seconds', 0.0))} "
+                f"({r.get('overhead_fraction', 0.0):.1%} of fault-free)"
+            )
         if self.metrics is not None:
             lines.append(f"metrics: {len(self.metrics.metrics)} families "
                          f"({', '.join(self.metrics.names()[:6])}"
@@ -230,6 +253,7 @@ class RunReport:
             "estimate": (result_to_dict(self.estimate)
                          if self.estimate is not None else None),
             "meta": self.meta,
+            "resilience": self.resilience,
         }
 
     @staticmethod
@@ -267,4 +291,5 @@ class RunReport:
             metrics=metrics,
             estimate=estimate,
             meta=data.get("meta", {}),
+            resilience=data.get("resilience"),
         )

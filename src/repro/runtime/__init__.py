@@ -13,6 +13,9 @@ subpackage substitutes an in-process simulator:
 * :mod:`repro.runtime.cluster` describes virtual machines (Juliet,
   Shadowfax) with intra-/inter-node network tiers.
 * :mod:`repro.runtime.tracing` records timelines for the reports.
+* :mod:`repro.runtime.faults` injects deterministic, seeded faults
+  (rank crashes, message drops/duplicates/delays, transient send
+  failures, stragglers) for fault-tolerance testing.
 """
 
 from repro.runtime.comm import (
@@ -21,12 +24,20 @@ from repro.runtime.comm import (
     Bcast,
     Charge,
     Gather,
+    Irecv,
     Recv,
     Reduce,
     Send,
+    Wait,
 )
 from repro.runtime.cluster import VirtualCluster, juliet, shadowfax, laptop
 from repro.runtime.costmodel import CostModel, KernelCalibration, MachineSpec
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    load_fault_plan,
+)
 from repro.runtime.scheduler import RankContext, SimResult, Simulator
 from repro.runtime.tracing import Scope, TraceEvent, TraceRecorder, TraceSummary
 
@@ -36,9 +47,15 @@ __all__ = [
     "Bcast",
     "Charge",
     "Gather",
+    "Irecv",
     "Recv",
     "Reduce",
     "Send",
+    "Wait",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "load_fault_plan",
     "VirtualCluster",
     "juliet",
     "shadowfax",

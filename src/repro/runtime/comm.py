@@ -58,10 +58,18 @@ class Send(Op):
 
 @dataclass
 class Recv(Op):
-    """Blocking receive of a message with matching (src, tag)."""
+    """Blocking receive of a message with matching (src, tag).
+
+    ``timeout`` (virtual seconds, ``None`` = wait forever) lets a program
+    detect message loss instead of deadlocking: when no matching message
+    can arrive by ``clock + timeout``, the scheduler raises
+    :class:`~repro.errors.TimeoutExpired` *into* the program at this
+    yield point — catch it to take a recovery path.
+    """
 
     src: int
     tag: Hashable
+    timeout: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -90,9 +98,15 @@ class Irecv(Op):
 
 @dataclass
 class Wait(Op):
-    """Complete a posted :class:`Irecv`; blocks until the message arrives."""
+    """Complete a posted :class:`Irecv`; blocks until the message arrives.
+
+    ``timeout`` behaves exactly like :class:`Recv`'s: virtual seconds
+    after which :class:`~repro.errors.TimeoutExpired` is thrown into the
+    program instead of waiting forever.
+    """
 
     request: RecvRequest
+    timeout: Optional[float] = None
 
 
 @dataclass

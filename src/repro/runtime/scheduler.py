@@ -16,9 +16,18 @@ Runs ``N`` *rank programs* — generator functions over a :class:`RankContext`
   timestamp; collectives synchronize everyone to the max clock plus a
   log-tree cost.
 
-Deadlocks (all live ranks blocked with nothing in flight) raise
-:class:`~repro.errors.DeadlockError` with a per-rank diagnosis instead of
-hanging the test-suite.
+Fault semantics (see :mod:`repro.runtime.faults`): a seeded injector can
+crash ranks at op/time boundaries, drop/duplicate/delay messages, fail
+``Send`` ops transiently, and slow stragglers.  Crashed ranks stop
+executing; anything waiting on them raises a typed
+:class:`~repro.errors.RankFailedError` rather than hanging, and
+``Recv(timeout=...)`` turns silent message loss into a catchable
+:class:`~repro.errors.TimeoutExpired` thrown into the program.
+
+Deadlocks (all live ranks blocked with nothing in flight, and no fault to
+blame) raise :class:`~repro.errors.DeadlockError` with a per-rank
+diagnosis — blocked op, inbox depth, and undelivered in-flight messages —
+instead of hanging the test-suite.
 """
 
 from __future__ import annotations
@@ -26,12 +35,18 @@ from __future__ import annotations
 import copy as _copy
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, Hashable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import DeadlockError, RuntimeSimulationError
+from repro.errors import (
+    DeadlockError,
+    RankFailedError,
+    RuntimeSimulationError,
+    SendFailedError,
+    TimeoutExpired,
+)
 from repro.runtime.comm import (
     AllReduce,
     Barrier,
@@ -48,6 +63,7 @@ from repro.runtime.comm import (
     resolve_reducer,
 )
 from repro.runtime.costmodel import CostModel, LAPTOP_NODE
+from repro.runtime.faults import RunInjector, as_run_injector
 from repro.runtime.tracing import TraceRecorder, TraceSummary
 
 
@@ -77,17 +93,36 @@ class _Message:
     arrive: float
 
 
+def _annotate_rank(exc: BaseException, rank: int) -> None:
+    """Attach the raising rank as a PEP-678 note (args stay untouched)."""
+    note = f"[rank {rank}] raised inside the simulated rank program"
+    add_note = getattr(exc, "add_note", None)
+    if add_note is not None:
+        add_note(note)
+    else:  # Python < 3.11: emulate the attribute PEP 678 defines
+        notes = getattr(exc, "__notes__", None)
+        if isinstance(notes, list):
+            notes.append(note)
+        else:
+            exc.__notes__ = [note]
+
+
 class _RankState:
     __slots__ = (
         "rank",
         "gen",
         "clock",
         "finished",
+        "crashed",
         "result",
         "blocked_recv",
+        "recv_deadline",
         "pending_collective",
         "collective_idx",
         "resume_value",
+        "resume_exception",
+        "ops_done",
+        "c_factor",
         "inbox",
     )
 
@@ -96,11 +131,16 @@ class _RankState:
         self.gen = gen
         self.clock = 0.0
         self.finished = False
+        self.crashed = False
         self.result: Any = None
         self.blocked_recv: Optional[Recv] = None
+        self.recv_deadline: Optional[float] = None
         self.pending_collective: Optional[Op] = None
         self.collective_idx = 0
         self.resume_value: Any = None
+        self.resume_exception: Optional[BaseException] = None
+        self.ops_done = 0
+        self.c_factor = 1.0
         self.inbox: Dict[Tuple[int, Hashable], deque] = {}
 
 
@@ -111,6 +151,7 @@ class SimResult:
     results: List[Any]
     clocks: np.ndarray
     summary: TraceSummary
+    crashed_ranks: Tuple[int, ...] = ()
 
     @property
     def makespan(self) -> float:
@@ -135,6 +176,11 @@ class Simulator:
         safe default; engines that never mutate buffers can turn it off.
     trace:
         Record a timeline (on by default; cheap).
+    faults:
+        A :class:`~repro.runtime.faults.FaultPlan`,
+        :class:`~repro.runtime.faults.FaultInjector`, or
+        :class:`~repro.runtime.faults.RunInjector` describing faults to
+        inject into this run (``None`` = perfect machine).
     """
 
     def __init__(
@@ -144,6 +190,7 @@ class Simulator:
         measure_compute: bool = True,
         copy_payloads: bool = True,
         trace: bool = True,
+        faults=None,
     ) -> None:
         if nranks < 1:
             raise RuntimeSimulationError(f"need >= 1 rank, got {nranks}")
@@ -152,6 +199,8 @@ class Simulator:
         self.measure_compute = measure_compute
         self.copy_payloads = copy_payloads
         self.trace = TraceRecorder(enabled=trace)
+        self.faults: Optional[RunInjector] = as_run_injector(faults)
+        self._states: List[_RankState] = []
 
     # ---------------------------------------------------------------- run
     def run(self, program: Callable[[RankContext], Generator]) -> SimResult:
@@ -161,8 +210,14 @@ class Simulator:
             _RankState(r, program(RankContext(r, self.nranks, tracer)))
             for r in range(self.nranks)
         ]
-        unfinished = self.nranks
+        self._states = states
         c_scale = self.cost.spec.c_scale
+        if self.faults is not None:
+            rank_node = self.cost.rank_node
+            for st in states:
+                node = int(rank_node[st.rank]) if rank_node is not None else st.rank
+                st.c_factor = self.faults.compute_factor(st.rank, node)
+        unfinished = self.nranks
 
         while unfinished > 0:
             progressed = False
@@ -183,40 +238,78 @@ class Simulator:
                     and st.blocked_recv is None
                     and st.pending_collective is None
                 ]
-                if not runnable:
-                    self._raise_deadlock(states)
+                if not runnable and not self._fire_earliest_timeout(states):
+                    self._raise_stalled(states)
 
         clocks = np.array([st.clock for st in states])
         return SimResult(
             results=[st.result for st in states],
             clocks=clocks,
             summary=self.trace.summary(self.nranks),
+            crashed_ranks=tuple(st.rank for st in states if st.crashed),
         )
 
+    @property
+    def partial_clocks(self) -> np.ndarray:
+        """Virtual clocks of the (possibly aborted) current/last run.
+
+        Lets a fault-tolerant driver account the virtual time lost in an
+        attempt that died with a :class:`~repro.errors.FaultInjectedError`.
+        """
+        return np.array([st.clock for st in self._states])
+
     # ------------------------------------------------------------ internals
+    def _check_crash(self, st: _RankState) -> bool:
+        """Crash ``st`` here if the injector says so; True when it fired."""
+        inj = self.faults
+        if inj is None or st.crashed:
+            return st.crashed
+        spec = inj.crash_for(st.rank)
+        if spec is None:
+            return False
+        due = (spec.after_ops is not None and st.ops_done >= spec.after_ops) or (
+            spec.at_time is not None and st.clock >= spec.at_time
+        )
+        if not due or not inj.consume_crash(st.rank):
+            return False
+        st.crashed = True
+        st.finished = True
+        st.blocked_recv = None
+        st.recv_deadline = None
+        st.pending_collective = None
+        st.gen.close()
+        self.trace.record(st.rank, "fault", st.clock, st.clock, info="crash")
+        return True
+
     def _run_until_blocked(self, st: _RankState, states: List[_RankState], c_scale: float) -> None:
         while True:
+            if self._check_crash(st):
+                return
             resume = st.resume_value
+            exc_in = st.resume_exception
             st.resume_value = None
+            st.resume_exception = None
             t0 = time.perf_counter()
             try:
-                op = st.gen.send(resume)
+                if exc_in is not None:
+                    op = st.gen.throw(exc_in)
+                else:
+                    op = st.gen.send(resume)
             except StopIteration as stop:
                 self._charge_compute(st, time.perf_counter() - t0, c_scale)
                 st.finished = True
                 st.result = getattr(stop, "value", None)
                 return
             except Exception as exc:
-                # annotate which rank blew up; the traceback is preserved
-                exc.args = (f"[rank {st.rank}] {exc.args[0] if exc.args else exc}",) + tuple(
-                    exc.args[1:]
-                )
+                # annotate which rank blew up; args and traceback preserved
+                _annotate_rank(exc, st.rank)
                 raise
             self._charge_compute(st, time.perf_counter() - t0, c_scale)
+            st.ops_done += 1
 
             if isinstance(op, Charge):
                 t = st.clock
-                st.clock += max(0.0, op.seconds)
+                st.clock += max(0.0, op.seconds) * st.c_factor
                 self.trace.record(st.rank, "charge", t, st.clock)
                 continue
             if isinstance(op, Send):
@@ -227,15 +320,15 @@ class Simulator:
                 st.resume_value = RecvRequest(op.src, op.tag)
                 continue
             if isinstance(op, Wait):
-                as_recv = Recv(op.request.src, op.request.tag)
+                as_recv = Recv(op.request.src, op.request.tag, timeout=op.timeout)
                 if self._try_recv(st, as_recv):
                     continue
-                st.blocked_recv = as_recv
+                self._block_on_recv(st, as_recv)
                 return
             if isinstance(op, Recv):
                 if self._try_recv(st, op):
                     continue
-                st.blocked_recv = op
+                self._block_on_recv(st, op)
                 return
             if isinstance(op, (Barrier, AllReduce, Reduce, Bcast, Gather)):
                 st.pending_collective = op
@@ -244,15 +337,35 @@ class Simulator:
                 f"rank {st.rank} yielded {op!r}, which is not a communication op"
             )
 
+    def _block_on_recv(self, st: _RankState, op: Recv) -> None:
+        st.blocked_recv = op
+        st.recv_deadline = (
+            st.clock + op.timeout if op.timeout is not None else None
+        )
+
     def _charge_compute(self, st: _RankState, wall: float, c_scale: float) -> None:
         if self.measure_compute and wall > 0:
             t = st.clock
-            st.clock += wall * c_scale
+            st.clock += wall * c_scale * st.c_factor
             self.trace.record(st.rank, "compute", t, st.clock)
 
     def _do_send(self, st: _RankState, states: List[_RankState], op: Send) -> None:
         if not (0 <= op.dst < self.nranks):
             raise RuntimeSimulationError(f"rank {st.rank} sent to invalid rank {op.dst}")
+        verdict = None
+        if self.faults is not None:
+            verdict = self.faults.on_send(st.rank, op.dst, op.tag)
+            if verdict.fail:
+                # transient injection failure: thrown at this yield point,
+                # before any clock charge, so the program can just retry
+                self.trace.record(st.rank, "fault", st.clock, st.clock,
+                                  info=f"send-fail->{op.dst}")
+                st.resume_exception = SendFailedError(
+                    f"injected transient send failure "
+                    f"(rank {st.rank} -> {op.dst}, tag {op.tag!r})",
+                    rank=st.rank, dst=op.dst, tag=op.tag,
+                )
+                return
         nbytes = op.wire_bytes()
         payload = op.payload
         if self.copy_payloads and op.copy:
@@ -266,20 +379,49 @@ class Simulator:
         if self.trace.enabled:
             self.trace.record(st.rank, "send", t, st.clock, info=f"->{op.dst}",
                               nbytes=nbytes)
+        if verdict is not None and not verdict.deliver:
+            self.trace.record(st.rank, "fault", st.clock, st.clock,
+                              info=f"drop->{op.dst}")
+            return
+        copies = 1 if verdict is None else verdict.copies
+        if verdict is not None and verdict.extra_delay > 0:
+            arrive += verdict.extra_delay
+            self.trace.record(st.rank, "fault", st.clock, st.clock,
+                              info=f"delay->{op.dst}")
+        if verdict is not None and copies > 1:
+            self.trace.record(st.rank, "fault", st.clock, st.clock,
+                              info=f"duplicate->{op.dst}")
         dst = states[op.dst]
-        dst.inbox.setdefault((st.rank, op.tag), deque()).append(_Message(payload, arrive))
+        q = dst.inbox.setdefault((st.rank, op.tag), deque())
+        for _ in range(copies):
+            q.append(_Message(payload, arrive))
         # wake the receiver if it was blocked on exactly this message
         if dst.blocked_recv is not None:
             br = dst.blocked_recv
             if br.src == st.rank and br.tag == op.tag:
                 if self._try_recv(dst, br):
                     dst.blocked_recv = None
+                    dst.recv_deadline = None
 
     def _try_recv(self, st: _RankState, op: Recv) -> bool:
+        """Resolve a receive now: deliver, or schedule a timeout throw.
+
+        Returns True when the rank can resume (with a payload *or* with a
+        pending :class:`TimeoutExpired`), False when it must stay blocked.
+        """
         q = st.inbox.get((op.src, op.tag))
         if not q:
             return False
-        msg = q.popleft()
+        msg = q[0]
+        deadline = st.recv_deadline
+        if deadline is None and op.timeout is not None:
+            deadline = st.clock + op.timeout
+        if deadline is not None and msg.arrive > deadline:
+            # the message exists but lands after the deadline: time out at
+            # the deadline (deterministic — arrival times are modeled)
+            self._expire_recv(st, op, deadline)
+            return True
+        q.popleft()
         t = st.clock
         if msg.arrive > st.clock:
             if self.trace.enabled:
@@ -288,19 +430,69 @@ class Simulator:
         if self.trace.enabled:
             self.trace.record(st.rank, "recv", st.clock, st.clock, info=f"<-{op.src}")
         st.resume_value = msg.payload
+        st.recv_deadline = None
+        return True
+
+    def _expire_recv(self, st: _RankState, op: Recv, deadline: float) -> None:
+        """Advance to ``deadline`` and arrange a TimeoutExpired throw."""
+        if deadline > st.clock:
+            if self.trace.enabled:
+                self.trace.record(st.rank, "wait", st.clock, deadline,
+                                  info=f"<-{op.src} (timeout)")
+            st.clock = deadline
+        self.trace.record(st.rank, "fault", st.clock, st.clock,
+                          info=f"timeout<-{op.src}")
+        st.resume_exception = TimeoutExpired(
+            f"rank {st.rank}: Recv(src={op.src}, tag={op.tag!r}) timed out "
+            f"at t={deadline:.6g}",
+            rank=st.rank, src=op.src, tag=op.tag, deadline=deadline,
+        )
+        st.recv_deadline = None
+
+    def _fire_earliest_timeout(self, states: List[_RankState]) -> bool:
+        """At a stall, expire the earliest timed-out Recv (if any).
+
+        Virtual time only advances through modeled events, so a blocked
+        ``Recv(timeout=...)`` whose message will never come expires when
+        the simulation can make no other progress — the deterministic
+        analogue of "the timeout fires while everyone else idles".
+        """
+        timed = [
+            st for st in states
+            if st.blocked_recv is not None and st.recv_deadline is not None
+        ]
+        if not timed:
+            return False
+        st = min(timed, key=lambda s: (s.recv_deadline, s.rank))
+        op = st.blocked_recv
+        st.blocked_recv = None
+        self._expire_recv(st, op, max(st.recv_deadline, st.clock))
         return True
 
     def _try_complete_collective(self, states: List[_RankState]) -> bool:
         pend = [st for st in states if st.pending_collective is not None]
         if len(pend) != self.nranks:
             if pend and all(st.finished or st.pending_collective is not None for st in states):
-                # some ranks exited while others wait on a collective: hang
+                # some ranks exited while others wait in a collective: the
+                # collective can never complete — a typed failure when a
+                # crash is to blame, a deadlock when ranks exited normally
+                crashed = [st.rank for st in states if st.crashed]
+                if crashed:
+                    raise RankFailedError(
+                        f"collective {type(pend[0].pending_collective).__name__} "
+                        f"involves crashed rank(s) {crashed}:\n"
+                        + self._diagnose(states),
+                        ranks=crashed,
+                    )
                 self._raise_deadlock(states)
             return False
         ops = [st.pending_collective for st in states]
         idx0 = states[0].collective_idx
         if any(st.collective_idx != idx0 for st in states):
-            raise RuntimeSimulationError("ranks disagree on collective call count")
+            raise RuntimeSimulationError(
+                "ranks disagree on collective call count: "
+                + ", ".join(f"rank {st.rank}: {st.collective_idx}" for st in states)
+            )
         kind = type(ops[0])
         if any(type(o) is not kind for o in ops):
             raise RuntimeSimulationError(
@@ -344,7 +536,13 @@ class Simulator:
             root = ops[0].root
             if any(o.root != root for o in ops):
                 raise RuntimeSimulationError("mismatched gather roots")
-            gathered = [o.value for o in ops]
+            # copy like Bcast/AllReduce: the root must not alias (and so be
+            # able to mutate) the senders' live buffers
+            gathered = [
+                o.value.copy() if isinstance(o.value, np.ndarray)
+                else _copy.deepcopy(o.value)
+                for o in ops
+            ]
             results = [gathered if r == root else None for r in range(self.nranks)]
             cost = self.cost.collective("gather", self.nranks, nbytes)
         else:  # pragma: no cover - unreachable
@@ -362,16 +560,54 @@ class Simulator:
             st.collective_idx += 1
         return True
 
-    def _raise_deadlock(self, states: List[_RankState]) -> None:
+    # ----------------------------------------------------------- diagnosis
+    def _diagnose(self, states: List[_RankState]) -> str:
+        """Per-rank stall diagnosis: status, inbox depth, in-flight mail."""
         lines = []
         for st in states:
-            if st.finished:
+            if st.crashed:
+                status = f"CRASHED at t={st.clock:.6g}"
+            elif st.finished:
                 status = "finished"
             elif st.blocked_recv is not None:
-                status = f"blocked on Recv(src={st.blocked_recv.src}, tag={st.blocked_recv.tag!r})"
+                status = (f"blocked on Recv(src={st.blocked_recv.src}, "
+                          f"tag={st.blocked_recv.tag!r})")
+                if st.recv_deadline is not None:
+                    status += f" [timeout at t={st.recv_deadline:.6g}]"
             elif st.pending_collective is not None:
                 status = f"waiting in {type(st.pending_collective).__name__}"
             else:
                 status = "runnable(?)"
-            lines.append(f"  rank {st.rank}: {status}")
-        raise DeadlockError("simulated SPMD program deadlocked:\n" + "\n".join(lines))
+            depth = sum(len(q) for q in st.inbox.values())
+            lines.append(f"  rank {st.rank}: {status}  (inbox: {depth} undelivered)")
+            for (src, tag), q in sorted(st.inbox.items(), key=lambda kv: str(kv[0])):
+                for msg in q:
+                    lines.append(
+                        f"    in flight: {src}->{st.rank} tag={tag!r} "
+                        f"arrives t={msg.arrive:.6g}"
+                    )
+        if self.faults is not None and self.faults.dropped:
+            lines.append("  injected drops: " + ", ".join(
+                f"{s}->{d} tag={t!r}" for s, d, t in self.faults.dropped
+            ))
+        return "\n".join(lines)
+
+    def _raise_stalled(self, states: List[_RankState]) -> None:
+        """No rank can progress: raise the most specific typed error."""
+        crashed = [st.rank for st in states if st.crashed]
+        diagnosis = self._diagnose(states)
+        if crashed:
+            raise RankFailedError(
+                f"simulated run stalled on crashed rank(s) {crashed}:\n" + diagnosis,
+                ranks=crashed,
+            )
+        if self.faults is not None and self.faults.dropped:
+            raise RankFailedError(
+                "simulated run stalled after injected message drops:\n" + diagnosis,
+                lost_messages=self.faults.dropped,
+            )
+        raise DeadlockError("simulated SPMD program deadlocked:\n" + diagnosis)
+
+    def _raise_deadlock(self, states: List[_RankState]) -> None:
+        raise DeadlockError("simulated SPMD program deadlocked:\n"
+                            + self._diagnose(states))

@@ -38,7 +38,12 @@ class Scope:
     label: str = ""
 
     def merged(self, other: Optional["Scope"]) -> "Scope":
-        """Overlay ``other``'s non-empty fields onto this scope."""
+        """Overlay ``other``'s non-empty fields onto this scope.
+
+        Labels compose ("outer inner") rather than overwrite, so a
+        driver-level label (``size3``, ``failed-attempt1``) survives a
+        rank program's finer annotation (``level2``).
+        """
         if other is None:
             return self
         updates = {}
@@ -47,7 +52,9 @@ class Scope:
             if v is not None:
                 updates[f] = v
         if other.label:
-            updates["label"] = other.label
+            updates["label"] = (
+                f"{self.label} {other.label}" if self.label else other.label
+            )
         return replace(self, **updates) if updates else self
 
     def with_label(self, label: str) -> "Scope":

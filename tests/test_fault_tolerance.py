@@ -1,0 +1,252 @@
+"""Fault-tolerant driver tests: recovery, determinism, and observability."""
+
+import numpy as np
+import pytest
+
+from repro.core.midas import MidasRuntime, detect_path, detect_tree, scan_grid
+from repro.errors import ConfigurationError, RankFailedError
+from repro.graph.generators import erdos_renyi, plant_path
+from repro.graph.templates import TreeTemplate
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import RunReport
+from repro.runtime.faults import (
+    FaultPlan,
+    crash,
+    delay,
+    drop,
+    duplicate,
+    send_fail,
+    straggler,
+)
+from repro.runtime.tracing import TraceRecorder
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = erdos_renyi(36, 110, rng=RngStream(5, name="g"))
+    g, _ = plant_path(g, 4, rng=RngStream(6, name="p"))
+    return g
+
+
+def _rt(**kw):
+    kw.setdefault("mode", "simulated")
+    kw.setdefault("n_processors", 4)
+    kw.setdefault("n1", 2)
+    kw.setdefault("n2", 8)
+    return MidasRuntime(**kw)
+
+
+def _round_values(res):
+    return [r.value for r in res.rounds]
+
+
+class TestConfiguration:
+    def test_fault_plan_requires_simulated_mode(self):
+        with pytest.raises(ConfigurationError, match="simulated"):
+            MidasRuntime(mode="sequential", fault_plan=FaultPlan([drop()]))
+
+    def test_retry_knobs_validated(self):
+        with pytest.raises(ConfigurationError):
+            _rt(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            _rt(retry_backoff=-0.5)
+
+
+class TestRecovery:
+    def test_crash_recovered_bit_identical(self, graph):
+        clean = detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                            runtime=_rt())
+        plan = FaultPlan([crash(rank=1, after_ops=3), drop(src=0, dst=1)],
+                         seed=42)
+        faulty = detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                             runtime=_rt(fault_plan=plan))
+        assert faulty.found == clean.found
+        assert _round_values(faulty) == _round_values(clean)
+        r = faulty.details["resilience"]
+        assert r["phase_failures"] >= 1
+        assert r["retries"] >= 1
+        assert r["faults_injected"].get("crash") == 1
+        assert r["makespan_overhead_seconds"] > 0
+        assert faulty.virtual_seconds > clean.virtual_seconds
+
+    def test_tree_detection_recovers(self, graph):
+        tmpl = TreeTemplate.star(4)
+        clean = detect_tree(graph, tmpl, eps=0.3, rng=RngStream(2, name="t"),
+                            runtime=_rt())
+        plan = FaultPlan([crash(rank=0, after_ops=5)], seed=3)
+        faulty = detect_tree(graph, tmpl, eps=0.3, rng=RngStream(2, name="t"),
+                             runtime=_rt(fault_plan=plan))
+        assert faulty.found == clean.found
+        assert _round_values(faulty) == _round_values(clean)
+
+    def test_scan_grid_recovers(self, graph):
+        w = np.zeros(graph.n, dtype=np.int64)
+        w[:6] = 1
+        clean = scan_grid(graph, w, 3, eps=0.3, rng=RngStream(4, name="s"),
+                          runtime=_rt())
+        plan = FaultPlan([crash(rank=1, after_ops=2), delay(1e-5, p=0.5,
+                                                            max_events=20)],
+                         seed=17)
+        faulty = scan_grid(graph, w, 3, eps=0.3, rng=RngStream(4, name="s"),
+                           runtime=_rt(fault_plan=plan))
+        assert np.array_equal(faulty.detected, clean.detected)
+        assert faulty.details["resilience"]["phase_failures"] >= 1
+
+    def test_unrecoverable_plan_raises_typed_after_retries(self, graph):
+        # a crash that refires on every attempt exhausts the retry budget
+        plan = FaultPlan([crash(rank=0, after_ops=1, max_events=100)], seed=0)
+        with pytest.raises(RankFailedError):
+            detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                        runtime=_rt(fault_plan=plan, max_retries=2))
+
+    def test_zero_retries_fails_on_first_fault(self, graph):
+        plan = FaultPlan([crash(rank=0, after_ops=1)], seed=0)
+        with pytest.raises(RankFailedError):
+            detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                        runtime=_rt(fault_plan=plan, max_retries=0))
+
+    def test_nonfatal_faults_no_retries(self, graph):
+        """Delay/duplicate/straggler perturb timing, never correctness."""
+        plan = FaultPlan(
+            [delay(2e-6, p=0.5, max_events=None), duplicate(p=0.1),
+             straggler(rank=1, factor=2.0)],
+            seed=8,
+        )
+        clean = detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                            runtime=_rt())
+        faulty = detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                             runtime=_rt(fault_plan=plan))
+        assert _round_values(faulty) == _round_values(clean)
+        assert faulty.details["resilience"]["retries"] == 0
+
+
+def _random_plan(rng: np.random.Generator) -> FaultPlan:
+    """A random *recoverable* plan: bounded fatal faults + noise faults."""
+    specs = []
+    n_faults = int(rng.integers(1, 4))
+    for _ in range(n_faults):
+        kind = rng.choice(["crash", "drop", "send_fail", "delay", "duplicate",
+                           "straggler"])
+        if kind == "crash":
+            specs.append(crash(rank=int(rng.integers(0, 2)),
+                               after_ops=int(rng.integers(0, 8))))
+        elif kind == "drop":
+            specs.append(drop(src=int(rng.integers(0, 2)),
+                              p=float(rng.uniform(0.3, 1.0))))
+        elif kind == "send_fail":
+            specs.append(send_fail(p=float(rng.uniform(0.3, 1.0))))
+        elif kind == "delay":
+            specs.append(delay(float(rng.uniform(1e-7, 1e-5)),
+                               p=float(rng.uniform(0.2, 0.8)),
+                               max_events=int(rng.integers(1, 30))))
+        elif kind == "duplicate":
+            specs.append(duplicate(p=float(rng.uniform(0.1, 0.5)),
+                                   max_events=int(rng.integers(1, 10))))
+        else:
+            specs.append(straggler(rank=int(rng.integers(0, 2)),
+                                   factor=float(rng.uniform(1.5, 4.0))))
+    return FaultPlan(specs, seed=int(rng.integers(0, 2**31)))
+
+
+class TestDeterminismProperty:
+    def test_twenty_seeded_plans_bit_identical(self, graph):
+        """Any recoverable plan => results bit-identical to fault-free."""
+        clean = detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                            runtime=_rt())
+        clean_values = _round_values(clean)
+        for seed in range(20):
+            plan = _random_plan(np.random.default_rng(seed))
+            faulty = detect_path(
+                graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                runtime=_rt(fault_plan=plan),
+            )
+            assert faulty.found == clean.found, f"plan seed {seed}"
+            assert _round_values(faulty) == clean_values, f"plan seed {seed}"
+
+    def test_same_plan_same_overheads(self, graph):
+        """Same seed => identical virtual time and resilience accounting."""
+        plan = FaultPlan([crash(rank=1, after_ops=4),
+                          delay(1e-6, p=0.4, max_events=None)], seed=99)
+
+        def run():
+            res = detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                              runtime=_rt(fault_plan=plan))
+            return res.virtual_seconds, res.details["resilience"]
+
+        v1, r1 = run()
+        v2, r2 = run()
+        assert v1 == v2
+        assert r1 == r2
+
+
+class TestObservability:
+    def test_fault_metric_families(self, graph):
+        reg = MetricsRegistry()
+        plan = FaultPlan([crash(rank=1, after_ops=3)], seed=42)
+        detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                    runtime=_rt(fault_plan=plan, metrics=reg))
+        names = set(reg.snapshot().names())
+        assert {"fault_injected_total", "fault_phase_failures_total",
+                "fault_retries_total", "fault_work_lost_seconds_total",
+                "fault_backoff_seconds_total",
+                "fault_work_recomputed_seconds_total"} <= names
+
+    def test_trace_records_failed_attempts(self, graph):
+        rec = TraceRecorder(enabled=True)
+        plan = FaultPlan([crash(rank=1, after_ops=3)], seed=42)
+        detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                    runtime=_rt(fault_plan=plan, recorder=rec))
+        kinds = {e.kind for e in rec.events}
+        assert "fault" in kinds
+        labels = {e.scope.label for e in rec.events
+                  if e.scope is not None and e.scope.label}
+        assert any("failed-attempt" in lbl for lbl in labels)
+
+    def test_report_resilience_section(self, graph):
+        rec = TraceRecorder(enabled=True)
+        reg = MetricsRegistry()
+        plan = FaultPlan([crash(rank=1, after_ops=3)], seed=42)
+        res = detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                          runtime=_rt(fault_plan=plan, recorder=rec,
+                                      metrics=reg))
+        rep = RunReport.build(
+            rec.events, 4, problem="k-path", mode="simulated",
+            metrics=reg.snapshot(), resilience=res.details["resilience"],
+        )
+        text = rep.text()
+        assert "resilience:" in text
+        assert "faults injected: crash=1" in text
+        again = RunReport.from_dict(rep.to_dict())
+        assert again.resilience == rep.resilience
+
+    def test_no_plan_no_resilience(self, graph):
+        res = detect_path(graph, 4, eps=0.3, rng=RngStream(1, name="d"),
+                          runtime=_rt())
+        assert "resilience" not in res.details
+
+
+class TestCli:
+    def test_fault_plan_flag_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(
+            FaultPlan([crash(rank=0, after_ops=4)], seed=11).to_json()
+        )
+        report = tmp_path / "report.json"
+        rc = main([
+            "detect-path", "--er", "40", "--seed", "3", "-k", "4",
+            "--mode", "simulated", "-N", "4", "--n1", "2",
+            "--fault-plan", str(plan_file), "--report-out", str(report),
+        ])
+        out = capsys.readouterr().out
+        assert rc in (0, 1)  # found / not found, not a crash
+        assert "resilience:" in out
+        assert report.exists()
+
+    def test_inline_plan_parse_error_is_configuration_error(self):
+        from repro.runtime.faults import load_fault_plan
+
+        with pytest.raises(ConfigurationError):
+            load_fault_plan('{"seed": 1, "faults": [{"kind": "meteor"}]}')

@@ -3,8 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.errors import DeadlockError
-from repro.runtime.comm import Barrier, Recv, Send
+from repro.errors import DeadlockError, RuntimeSimulationError
+from repro.runtime.comm import (
+    AllReduce,
+    Barrier,
+    Bcast,
+    Gather,
+    Recv,
+    Reduce,
+    Send,
+)
 from repro.runtime.scheduler import Simulator
 
 
@@ -15,8 +23,11 @@ class TestExceptionPropagation:
                 raise ValueError("kernel exploded")
             yield Barrier()
 
-        with pytest.raises(ValueError, match=r"\[rank 2\] kernel exploded"):
+        with pytest.raises(ValueError, match="kernel exploded") as ei:
             Simulator(4, trace=False).run(prog)
+        assert any("[rank 2]" in n for n in ei.value.__notes__)
+        # args are NOT rewritten: the original exception round-trips
+        assert ei.value.args == ("kernel exploded",)
 
     def test_exception_mid_communication(self):
         def prog(ctx):
@@ -26,8 +37,9 @@ class TestExceptionPropagation:
                 raise RuntimeError(f"bad value {got}")
             return got
 
-        with pytest.raises(RuntimeError, match=r"\[rank 1\] bad value"):
+        with pytest.raises(RuntimeError, match="bad value") as ei:
             Simulator(3, trace=False).run(prog)
+        assert any("[rank 1]" in n for n in ei.value.__notes__)
 
     def test_argless_exception(self):
         def prog(ctx):
@@ -35,8 +47,23 @@ class TestExceptionPropagation:
                 raise KeyError()
             yield Barrier()
 
-        with pytest.raises(KeyError, match="rank 0"):
+        with pytest.raises(KeyError) as ei:
             Simulator(2, trace=False).run(prog)
+        assert any("[rank 0]" in n for n in ei.value.__notes__)
+
+    def test_non_string_args_preserved(self):
+        """KeyError(3) keeps its integer arg — the pre-fix annotation
+        rewrote args[0] to a string, breaking ``exc.args`` round-trips."""
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                raise KeyError(3)
+            yield Barrier()
+
+        with pytest.raises(KeyError) as ei:
+            Simulator(2, trace=False).run(prog)
+        assert ei.value.args == (3,)
+        assert any("[rank 1]" in n for n in ei.value.__notes__)
 
 
 class TestPartialFailures:
@@ -61,6 +88,137 @@ class TestPartialFailures:
 
         with pytest.raises(DeadlockError):
             Simulator(2, trace=False).run(prog)
+
+
+class TestCollectiveMisuse:
+    def test_mismatched_collective_types(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield Barrier()
+            else:
+                yield AllReduce(np.uint64(1), op="xor", nbytes=8)
+            return None
+
+        with pytest.raises(RuntimeSimulationError, match="mismatched collective types"):
+            Simulator(2, trace=False).run(prog)
+
+    def test_mismatched_reduce_roots(self):
+        def prog(ctx):
+            yield Reduce(np.uint64(ctx.rank), op="sum", root=ctx.rank)
+            return None
+
+        with pytest.raises(RuntimeSimulationError, match="mismatched reduce roots"):
+            Simulator(2, trace=False).run(prog)
+
+    def test_mismatched_bcast_roots(self):
+        def prog(ctx):
+            yield Bcast(ctx.rank, root=ctx.rank % 2)
+            return None
+
+        with pytest.raises(RuntimeSimulationError, match="mismatched bcast roots"):
+            Simulator(2, trace=False).run(prog)
+
+    def test_mismatched_gather_roots(self):
+        def prog(ctx):
+            yield Gather(ctx.rank, root=ctx.rank)
+            return None
+
+        with pytest.raises(RuntimeSimulationError, match="mismatched gather roots"):
+            Simulator(2, trace=False).run(prog)
+
+    def test_mismatched_call_counts(self):
+        def prog(ctx):
+            yield Barrier()
+            if ctx.rank == 0:
+                yield Barrier()  # extra collective on one rank only
+            yield Barrier()
+            return None
+
+        with pytest.raises(
+            RuntimeSimulationError,
+            match=r"(disagree on collective call count|deadlock)",
+        ):
+            Simulator(2, trace=False).run(prog)
+
+    def test_invalid_destination_rank(self):
+        def prog(ctx):
+            yield Send(ctx.nranks + 3, "x", 1)
+            return None
+
+        with pytest.raises(RuntimeSimulationError, match="invalid rank"):
+            Simulator(2, trace=False).run(prog)
+
+    def test_yielding_non_op_rejected(self):
+        def prog(ctx):
+            yield "not an op"
+
+        with pytest.raises(RuntimeSimulationError, match="not a communication op"):
+            Simulator(1, trace=False).run(prog)
+
+    def test_early_exit_while_others_wait_in_allreduce(self):
+        def prog(ctx):
+            if ctx.rank == 2:
+                return "left early"
+            yield AllReduce(np.uint64(ctx.rank), op="xor", nbytes=8)
+            return "reduced"
+
+        with pytest.raises(DeadlockError):
+            Simulator(3, trace=False).run(prog)
+
+
+class TestGatherAliasing:
+    def test_root_receives_copies_not_aliases(self):
+        """Gather must copy payloads: mutating the root's gathered arrays
+        (or the senders' buffers afterwards) must not affect the other."""
+
+        def prog(ctx):
+            buf = np.full(4, ctx.rank, dtype=np.int64)
+            gathered = yield Gather(buf, root=0)
+            buf[:] = -1  # sender trashes its buffer after the collective
+            if ctx.rank == 0:
+                return [g.copy() for g in gathered]
+            return None
+
+        res = Simulator(3, trace=False).run(prog)
+        for r, arr in enumerate(res.results[0]):
+            assert np.array_equal(arr, np.full(4, r)), "root saw sender mutation"
+
+    def test_root_mutation_does_not_leak_to_sender(self):
+        probe = {}
+
+        def prog(ctx):
+            buf = np.zeros(2, dtype=np.int64)
+            probe[ctx.rank] = buf
+            gathered = yield Gather(buf, root=0)
+            if ctx.rank == 0:
+                for g in gathered:
+                    g += 99  # root scribbles on what it received
+            yield Barrier()
+            return None
+
+        Simulator(2, trace=False).run(prog)
+        assert np.array_equal(probe[1], np.zeros(2)), "root mutated sender buffer"
+
+
+class TestDeadlockDiagnosis:
+    def test_diagnosis_lists_inbox_and_in_flight(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield Send(1, "a", 1)
+                yield Send(1, "b", 2)
+                yield Recv(1, "never")
+            else:
+                yield Recv(0, "a")
+                yield Recv(0, "wrong-tag")
+            return None
+
+        with pytest.raises(DeadlockError) as ei:
+            Simulator(2, trace=False).run(prog)
+        msg = str(ei.value)
+        assert "rank 0: blocked on Recv(src=1, tag='never')" in msg
+        assert "rank 1: blocked on Recv(src=0, tag='wrong-tag')" in msg
+        assert "inbox: 1 undelivered" in msg
+        assert "in flight: 0->1 tag='b'" in msg
 
 
 class TestStress:
