@@ -1,0 +1,71 @@
+"""Ablation: the threaded backend vs sequential wall-clock.
+
+The round → batch → phase decomposition makes a round's phase windows
+independent (they XOR into one accumulator), so the threaded backend runs
+them concurrently on a thread pool.  The GF(2^l) kernels are numpy table
+lookups that release the GIL, so the speedup tracks the host's core
+count; on a single-core host the two modes tie (modulo pool overhead).
+Detection output is bit-identical either way — asserted here on every
+configuration measured.
+"""
+
+import os
+import time
+
+import pytest
+
+from _bench_utils import print_series
+from repro.core.midas import MidasRuntime, detect_path
+from repro.graph.generators import erdos_renyi
+from repro.util.rng import RngStream
+
+K = 12
+N2 = 64
+
+
+def _run(graph, rt, seed):
+    t0 = time.perf_counter()
+    res = detect_path(graph, K, eps=0.5, rng=RngStream(seed, name="bench"),
+                      runtime=rt, early_exit=False)
+    return time.perf_counter() - t0, res
+
+
+def test_threaded_vs_sequential_wall_clock():
+    """One k=12 detection (2^12 iterations, 64 phases/round) per mode."""
+    g = erdos_renyi(3000, m=12000, rng=RngStream(1, name="g"))
+    ncpu = os.cpu_count() or 1
+    rows = []
+    wall_seq, res_seq = _run(g, MidasRuntime(n2=N2), seed=7)
+    rows.append(["sequential", 1, f"{wall_seq:.3f}", "1.00x"])
+    speedups = {}
+    for workers in sorted({1, 2, ncpu}):
+        rt = MidasRuntime(mode="threaded", workers=workers, n2=N2)
+        wall, res = _run(g, rt, seed=7)
+        # bit-identical output is part of the contract being measured
+        assert [r.value for r in res.rounds] == [r.value for r in res_seq.rounds]
+        speedups[workers] = wall_seq / wall
+        rows.append([f"threaded w={workers}", workers, f"{wall:.3f}",
+                     f"{speedups[workers]:.2f}x"])
+    print_series(
+        f"Ablation: threaded backend wall-clock (k={K}, N2={N2}, "
+        f"host has {ncpu} CPU(s))",
+        ["mode", "workers", "wall [s]", "speedup"],
+        rows,
+    )
+    # the contract that must hold on any host: threading never changes the
+    # answer, and its overhead is bounded (no pathological serialization)
+    assert all(s > 0.25 for s in speedups.values())
+    if ncpu >= 4:
+        # on real multi-core hosts the parallel phases must actually win
+        assert speedups[ncpu] > 1.2
+
+
+@pytest.mark.benchmark(group="ablation-threaded")
+@pytest.mark.parametrize("mode", ["sequential", "threaded"])
+def test_round_wall_time(benchmark, mode):
+    """pytest-benchmark series for trend tracking (one full detection)."""
+    g = erdos_renyi(1500, m=6000, rng=RngStream(2, name="g"))
+    rt = (MidasRuntime(n2=N2) if mode == "sequential"
+          else MidasRuntime(mode="threaded", n2=N2))
+    benchmark(lambda: detect_path(g, K, eps=0.5, rng=RngStream(3),
+                                  runtime=rt, early_exit=False).found)

@@ -48,8 +48,11 @@ def _load_graph(args):
 
 
 def _add_runtime_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--mode", choices=["sequential", "simulated", "modeled"],
+    p.add_argument("--mode", choices=["sequential", "simulated", "modeled",
+                                      "threaded"],
                    default="sequential")
+    p.add_argument("--workers", type=int, default=None,
+                   help="thread count for --mode threaded (default: CPU count)")
     p.add_argument("-N", "--processors", type=int, default=1)
     p.add_argument("--n1", type=int, default=1, help="graph partition count N1")
     p.add_argument("--n2", type=int, default=None, help="iteration batch size N2")
@@ -91,6 +94,7 @@ def _runtime(args):
         recorder=recorder, fault_plan=fault_plan,
         max_retries=getattr(args, "max_retries", 5),
         retry_backoff=getattr(args, "retry_backoff", 1e-3),
+        workers=getattr(args, "workers", None),
     )
 
 

@@ -7,15 +7,26 @@
 * :mod:`repro.core.evaluator_tree` — PAREVALUATEPOLYNOMIALTREE (Alg 4);
 * :mod:`repro.core.evaluator_scanstat` — PAREVALUATEPOLYNOMIALSCANSTAT
   (Alg 5);
-* :mod:`repro.core.midas` — the MIDAS driver (Alg 2) in three modes:
-  ``sequential`` (vectorized single-process), ``simulated`` (real SPMD
-  execution on the runtime simulator), ``modeled`` (sequential detection +
-  analytic virtual time for cluster-scale sweeps);
+* :mod:`repro.core.problems` — each application as a :class:`ProblemSpec`
+  (data, not a bespoke driver);
+* :mod:`repro.core.engine` — the unified detection engine: one
+  round → batch → phase loop with pluggable execution backends
+  (``sequential``, ``simulated``, ``modeled``, ``threaded``);
+* :mod:`repro.core.midas` — the MIDAS drivers (Alg 2), thin wrappers
+  over the engine;
 * :mod:`repro.core.model` — the analytic performance model (Theorem 2 with
   calibrated constants);
 * :mod:`repro.core.witness` — witness extraction by deletion peeling.
 """
 
+from repro.core.engine import (
+    DetectionEngine,
+    ExecutionBackend,
+    ModeledBackend,
+    SequentialBackend,
+    SimulatedBackend,
+    ThreadedBackend,
+)
 from repro.core.halo import HaloView, build_halo_views
 from repro.core.mld import (
     CircuitStep,
@@ -33,11 +44,29 @@ from repro.core.midas import (
     sequential_detect_path,
 )
 from repro.core.model import PerformanceEstimate, estimate_runtime
+from repro.core.problems import (
+    ProblemSpec,
+    path_problem,
+    scanstat_problem,
+    tree_problem,
+    weighted_path_problem,
+)
 from repro.core.result import DetectionResult, ScanGridResult
 from repro.core.schedule import PhaseSchedule
 from repro.core.witness import extract_witness
 
 __all__ = [
+    "DetectionEngine",
+    "ExecutionBackend",
+    "SequentialBackend",
+    "SimulatedBackend",
+    "ModeledBackend",
+    "ThreadedBackend",
+    "ProblemSpec",
+    "path_problem",
+    "tree_problem",
+    "weighted_path_problem",
+    "scanstat_problem",
     "HaloView",
     "build_halo_views",
     "CircuitStep",

@@ -1,0 +1,710 @@
+"""The unified detection engine: one round → batch → phase loop for all
+MIDAS problems, with pluggable execution backends.
+
+The paper's contribution is a single execution discipline (Fig. 1,
+Table I) applied uniformly to every application.  This module writes
+that discipline exactly once:
+
+* :class:`MidasRuntime` — the user-facing execution configuration
+  (mode, ``(N, N1, N2)``, cluster, observability, fault tolerance);
+* :class:`DetectionEngine` — owns amplification rounds, seeded RNG-stream
+  derivation, metrics families, run-level trace splicing, fault-tolerance
+  accounting, and the per-stage schedule; consumes a
+  :class:`~repro.core.problems.ProblemSpec`;
+* :class:`ExecutionBackend` subclasses — how one round's phases actually
+  execute:
+
+  ``SequentialBackend``
+      Single-process vectorized evaluation, one phase at a time.
+  ``ThreadedBackend``
+      A round's independent phase windows run concurrently on a
+      :class:`~concurrent.futures.ThreadPoolExecutor`.  The GF(2^l)
+      kernels are numpy table lookups that release the GIL, and XOR
+      accumulation is commutative and associative, so results are
+      bit-identical to sequential regardless of completion order while
+      wall-clock drops on multi-core hosts.
+  ``SimulatedBackend``
+      The real SPMD decomposition on the runtime simulator, with halo
+      messages, XOR all-reduces, checkpoint/retry under fault injection,
+      and virtual-time accounting.
+  ``ModeledBackend``
+      Sequential evaluation plus the analytic Theorem-2 model for
+      virtual time (cluster-scale sweeps).
+
+Every driver in :mod:`repro.core.midas` is a thin wrapper over this
+engine, so every feature — overlap, fault tolerance, metrics, tracing,
+new backends — lands here exactly once and applies to all problems.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.core.model import PartitionStats, PerformanceEstimate, estimate_runtime
+from repro.core.halo import build_halo_views
+from repro.core.problems import ProblemSpec, Value
+from repro.core.schedule import PhaseSchedule, pow2_floor, rounds_for_epsilon
+from repro.errors import ConfigurationError, FaultInjectedError, RankFailedError
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import make_partition
+from repro.obs.metrics import MetricsRegistry, get_default_registry
+from repro.runtime.cluster import VirtualCluster, laptop
+from repro.runtime.costmodel import KernelCalibration
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.scheduler import Simulator
+from repro.runtime.tracing import Scope, TraceRecorder
+from repro.util.log import get_logger
+from repro.util.rng import RngStream
+
+_LOG = get_logger(__name__)
+
+_MODES = ("sequential", "simulated", "modeled", "threaded")
+
+
+@dataclass
+class MidasRuntime:
+    """Parallel execution configuration for the MIDAS driver.
+
+    ``n2=None`` picks a sensible default: the figures' BSMax
+    (``2^k N1 / N``) in simulated/modeled modes, a 64-wide batch in
+    sequential and threaded modes.  ``overlap=True`` uses the
+    communication-overlapping halo exchange (Irecv/Wait with
+    local/ghost-split reductions) in simulated runs of all evaluators;
+    results are bit-identical either way.
+
+    ``mode="threaded"`` executes each round's independent phase windows
+    concurrently on ``workers`` threads (default: the host's CPU count)
+    for real wall-clock speedup on multi-core hosts; detection output is
+    bit-identical to ``sequential`` (property-tested).
+
+    Observability: attach a :class:`~repro.runtime.tracing.TraceRecorder`
+    as ``recorder`` to collect a run-level, schedule-scoped timeline
+    (per-phase simulator recordings spliced onto global ranks and a
+    global clock; per-phase wall timings in other modes).  Driver
+    metrics always land in ``metrics`` when set, else the process-wide
+    :func:`repro.obs.metrics.get_default_registry` — the same registry
+    the kernel-calibration instrumentation writes to.  Neither affects
+    detection output (property-tested bit-identical).
+
+    Fault tolerance (simulated mode only): attach a
+    :class:`~repro.runtime.faults.FaultPlan` as ``fault_plan`` and the
+    engine runs every phase window under injection, checkpointing
+    completed windows and re-executing only the ones whose simulator run
+    died with a :class:`~repro.errors.FaultInjectedError` — with the
+    same seeded randomness, so results under any recoverable plan are
+    bit-identical to the fault-free run.  Retries are bounded by
+    ``max_retries`` per window; each retry adds an exponential-backoff
+    penalty of ``retry_backoff * 2^attempt`` virtual seconds to the
+    makespan, modeling failure detection + restart cost.
+    """
+
+    n_processors: int = 1
+    n1: int = 1
+    n2: Optional[int] = None
+    mode: str = "sequential"
+    cluster: Optional[VirtualCluster] = None
+    partition_method: str = "random"
+    calibration: Optional[KernelCalibration] = None
+    measure_compute: bool = False
+    trace: bool = False
+    partition_seed: int = 7777
+    overlap: bool = False
+    recorder: Optional[TraceRecorder] = None
+    metrics: Optional[MetricsRegistry] = None
+    fault_plan: Optional[FaultPlan] = None
+    max_retries: int = 5
+    retry_backoff: float = 1e-3
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigurationError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.fault_plan is not None and self.mode != "simulated":
+            raise ConfigurationError(
+                f"fault_plan requires mode='simulated' (faults are injected into "
+                f"the runtime simulator), got mode={self.mode!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+
+    def schedule_for(self, k: int) -> PhaseSchedule:
+        total = 1 << k
+        n2 = self.n2
+        if n2 is None:
+            if self.mode in ("sequential", "threaded"):
+                n2 = min(total, 64)
+            else:
+                n2 = PhaseSchedule.bs_max(k, self.n_processors, self.n1)
+        # the divisors of 2^k are exactly the powers of two, so the largest
+        # divisor <= n2 is the largest power of two <= n2
+        n2 = pow2_floor(max(1, min(n2, total)))
+        return PhaseSchedule(k, self.n_processors, self.n1, n2)
+
+    def get_cluster(self) -> VirtualCluster:
+        if self.cluster is not None:
+            return self.cluster
+        # a generously sized default so any (N, N1) fits
+        nodes = max(1, -(-self.n_processors // 8))
+        return laptop(nodes)
+
+    def get_calibration(self) -> KernelCalibration:
+        return self.calibration if self.calibration is not None else KernelCalibration.synthetic()
+
+    def get_metrics(self) -> MetricsRegistry:
+        return self.metrics if self.metrics is not None else get_default_registry()
+
+    def get_recorder(self) -> Optional[TraceRecorder]:
+        """The attached recorder, or None when absent/disabled."""
+        rec = self.recorder
+        return rec if (rec is not None and rec.enabled) else None
+
+    def get_workers(self) -> int:
+        """Thread count for the threaded backend."""
+        return self.workers if self.workers is not None else (os.cpu_count() or 1)
+
+
+def _reduce_cost(rt: MidasRuntime, nbytes: int) -> float:
+    cluster = rt.get_cluster()
+    return cluster.cost_model(min(rt.n_processors, cluster.total_cores)).collective(
+        "allreduce", rt.n_processors, nbytes
+    )
+
+
+class _FaultContext:
+    """Per-detection fault-tolerance state: the shared injector, the
+    ``fault_*`` metric families, and the resilience accounting that ends
+    up in ``details["resilience"]`` / the RunReport.
+
+    ``injector`` is ``None`` when no plan is attached — the phase runner
+    then degenerates to a single plain attempt with zero overhead.
+    """
+
+    def __init__(self, rt: MidasRuntime, reg: MetricsRegistry, problem: str) -> None:
+        self.problem = problem
+        self.injector = FaultInjector(rt.fault_plan) if rt.fault_plan else None
+        self.max_retries = rt.max_retries
+        self.backoff0 = rt.retry_backoff
+        self.injected_ctr = reg.counter(
+            "fault_injected_total", "Faults fired by the injector, by kind"
+        )
+        self.failures_ctr = reg.counter(
+            "fault_phase_failures_total", "Phase attempts killed by injected faults"
+        )
+        self.retries_ctr = reg.counter(
+            "fault_retries_total", "Phase re-executions after a fault"
+        ).labels(problem=problem)
+        self.lost_ctr = reg.counter(
+            "fault_work_lost_seconds_total",
+            "Virtual seconds of partial work discarded with failed attempts",
+        ).labels(problem=problem)
+        self.backoff_ctr = reg.counter(
+            "fault_backoff_seconds_total",
+            "Virtual seconds spent in exponential backoff before retries",
+        ).labels(problem=problem)
+        self.recomputed_ctr = reg.counter(
+            "fault_work_recomputed_seconds_total",
+            "Virtual seconds of successful re-execution after faults",
+        ).labels(problem=problem)
+        # running totals for the resilience report
+        self.injected: dict = {}
+        self.phase_failures = 0
+        self.retries = 0
+        self.work_lost = 0.0
+        self.backoff_seconds = 0.0
+        self.work_recomputed = 0.0
+
+    def record_injected(self, counts: dict) -> None:
+        for kind, n in counts.items():
+            self.injected_ctr.labels(kind=kind, problem=self.problem).inc(n)
+            self.injected[kind] = self.injected.get(kind, 0) + n
+
+    def resilience(self, virtual_total: float) -> dict:
+        """The RunReport resilience section (see module docs)."""
+        overhead = self.work_lost + self.backoff_seconds
+        clean = max(virtual_total - overhead, 0.0)
+        return {
+            "faults_injected": dict(self.injected),
+            "phase_failures": self.phase_failures,
+            "retries": self.retries,
+            "work_lost_seconds": self.work_lost,
+            "work_recomputed_seconds": self.work_recomputed,
+            "backoff_seconds": self.backoff_seconds,
+            "makespan_overhead_seconds": overhead,
+            "overhead_fraction": overhead / clean if clean > 0 else 0.0,
+        }
+
+
+def _run_phase_resilient(rt: MidasRuntime, fc: _FaultContext, prog, key: str,
+                         sim_cost_model, want_trace: bool):
+    """Run one phase window to completion under the fault plan.
+
+    Retries the window (same program, seeded-identical randomness) on any
+    :class:`~repro.errors.FaultInjectedError` — or on a run that
+    "completed" with crashed ranks — up to ``max_retries`` times, adding
+    exponential backoff to the virtual clock.  Returns ``(res, sim,
+    extra_virtual, failed_events)`` where ``extra_virtual`` is the lost +
+    backoff virtual time that precedes the successful attempt on the
+    run-level timeline and ``failed_events`` the (shifted-from-zero)
+    trace events of failed attempts for splicing.
+    """
+    attempt = 0
+    extra = 0.0
+    failed_events = []
+    while True:
+        run_inj = (
+            fc.injector.for_run(f"{key}/a{attempt}") if fc.injector is not None else None
+        )
+        sim = Simulator(
+            rt.n1, cost_model=sim_cost_model,
+            measure_compute=rt.measure_compute,
+            trace=want_trace, faults=run_inj,
+        )
+        err = None
+        res = None
+        try:
+            res = sim.run(prog)
+            if res.crashed_ranks:
+                # the program "finished" but ranks died: their partial
+                # results are unusable — treat like a failed collective
+                err = RankFailedError(
+                    f"rank(s) {list(res.crashed_ranks)} crashed during phase {key}",
+                    ranks=res.crashed_ranks,
+                )
+        except FaultInjectedError as exc:
+            err = exc
+        if run_inj is not None and run_inj.counts:
+            fc.record_injected(run_inj.counts)
+        if err is None:
+            if attempt > 0:
+                fc.work_recomputed += res.makespan
+                fc.recomputed_ctr.inc(res.makespan)
+            return res, sim, extra, failed_events
+        fc.phase_failures += 1
+        fc.failures_ctr.labels(error=type(err).__name__, problem=fc.problem).inc()
+        clocks = sim.partial_clocks
+        lost = float(clocks.max()) if len(clocks) else 0.0
+        fc.work_lost += lost
+        fc.lost_ctr.inc(lost)
+        if want_trace:
+            failed_events.append((extra, attempt, list(sim.trace.events)))
+        if attempt >= fc.max_retries:
+            _LOG.error("phase %s failed after %d attempts: %s", key, attempt + 1, err)
+            raise err
+        backoff = fc.backoff0 * (2.0 ** attempt)
+        extra += lost + backoff
+        fc.backoff_seconds += backoff
+        fc.backoff_ctr.inc(backoff)
+        fc.retries += 1
+        fc.retries_ctr.inc()
+        attempt += 1
+        _LOG.info(
+            "phase %s attempt %d failed (%s: %s); retrying with %.3g s backoff",
+            key, attempt, type(err).__name__, err, backoff,
+        )
+
+
+@dataclass
+class _Stage:
+    """One (spec, schedule) evaluation inside a run — e.g. one grid size."""
+
+    spec: ProblemSpec
+    sched: PhaseSchedule
+    rounds: int
+    key_prefix: str  # fault-injection key namespace ("", "size3/", ...)
+    label: str  # trace-scope label ("", "size3", ...)
+    phase_hist: object  # midas_phase_seconds histogram, pre-labeled
+    estimate: Optional[PerformanceEstimate] = None
+
+
+@dataclass
+class StageResult:
+    """Per-round accumulator values of one engine stage."""
+
+    values: List[Value]
+    virtuals: List[float]
+    schedule: PhaseSchedule
+    estimate: Optional[PerformanceEstimate] = None
+
+    @property
+    def rounds_run(self) -> int:
+        return len(self.values)
+
+
+class ExecutionBackend:
+    """How one amplification round's phases execute.
+
+    Subclasses implement :meth:`run_round`; the engine owns everything
+    else (round loop, RNG, metrics, accumulation, early exit).
+    """
+
+    name = "?"
+
+    def __init__(self, engine: "DetectionEngine") -> None:
+        self.engine = engine
+
+    def prepare(self, stage: _Stage) -> None:
+        """Per-stage setup (partitioning, pools); may be called repeatedly."""
+
+    def run_round(self, stage: _Stage, fp, ell: int):
+        """Execute round ``ell`` and return ``(value, virtual_seconds)``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (thread pools)."""
+
+
+class SequentialBackend(ExecutionBackend):
+    """Single-process vectorized evaluation, one phase window at a time."""
+
+    name = "sequential"
+
+    def run_round(self, stage: _Stage, fp, ell: int):
+        e = self.engine
+        spec, sched = stage.spec, stage.sched
+        rec = e.rec
+        value = spec.acc_init()
+        for t in range(sched.n_phases):
+            q0, q1 = sched.phase_window(t)
+            p0 = time.perf_counter()
+            value = spec.combine(value, spec.seq_phase(fp, q0, sched.n2))
+            dt = time.perf_counter() - p0
+            stage.phase_hist.observe(dt)
+            if rec is not None:
+                rec.record(0, "compute", e.cursor, e.cursor + dt,
+                           scope=Scope(round=ell, phase=t, q0=q0, q1=q1,
+                                       label=stage.label))
+                e.cursor += dt
+        return value, 0.0
+
+
+class ModeledBackend(SequentialBackend):
+    """Sequential evaluation; virtual time from the Theorem-2 model."""
+
+    name = "modeled"
+
+    def run_round(self, stage: _Stage, fp, ell: int):
+        value, _ = super().run_round(stage, fp, ell)
+        virtual = (
+            stage.estimate.total_seconds / stage.rounds
+            if stage.estimate is not None
+            else 0.0
+        )
+        return value, virtual
+
+
+class ThreadedBackend(ExecutionBackend):
+    """Run a round's independent phase windows concurrently.
+
+    The phase kernels are numpy table-lookup pipelines that release the
+    GIL, and the round accumulator is an XOR fold — commutative and
+    associative — so accumulating in completion order is bit-identical
+    to the sequential order while phases execute in parallel.
+    """
+
+    name = "threaded"
+
+    def __init__(self, engine: "DetectionEngine") -> None:
+        super().__init__(engine)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def prepare(self, stage: _Stage) -> None:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.engine.rt.get_workers(),
+                thread_name_prefix="midas-phase",
+            )
+
+    def run_round(self, stage: _Stage, fp, ell: int):
+        e = self.engine
+        spec, sched = stage.spec, stage.sched
+        round0 = time.perf_counter()
+
+        def run_phase(t: int):
+            q0, q1 = sched.phase_window(t)
+            p0 = time.perf_counter()
+            v = spec.seq_phase(fp, q0, sched.n2)
+            p1 = time.perf_counter()
+            return t, q0, q1, v, p0 - round0, p1 - round0, threading.current_thread().name
+
+        futures = [self._pool.submit(run_phase, t) for t in range(sched.n_phases)]
+        value = spec.acc_init()
+        timings = []
+        for fut in as_completed(futures):
+            t, q0, q1, v, s0, s1, worker = fut.result()
+            value = spec.combine(value, v)
+            stage.phase_hist.observe(s1 - s0)
+            timings.append((t, q0, q1, s0, s1, worker))
+        elapsed = time.perf_counter() - round0
+        if e.rec is not None:
+            # record after the barrier (the recorder is not thread-safe):
+            # one timeline lane per worker thread, wall offsets preserved
+            lanes = {w: i for i, w in enumerate(sorted({tm[5] for tm in timings}))}
+            for t, q0, q1, s0, s1, worker in sorted(timings, key=lambda tm: tm[3]):
+                e.rec.record(lanes[worker], "compute", e.cursor + s0, e.cursor + s1,
+                             scope=Scope(round=ell, phase=t, q0=q0, q1=q1,
+                                         label=stage.label))
+            e.cursor += elapsed
+        return value, 0.0
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class SimulatedBackend(ExecutionBackend):
+    """The real SPMD decomposition on the runtime simulator."""
+
+    name = "simulated"
+
+    def __init__(self, engine: "DetectionEngine") -> None:
+        super().__init__(engine)
+        self._cost_model = None
+
+    def prepare(self, stage: _Stage) -> None:
+        e = self.engine
+        e.ensure_views()
+        if self._cost_model is None:
+            self._cost_model = e.rt.get_cluster().cost_model(e.rt.n1)
+
+    def run_round(self, stage: _Stage, fp, ell: int):
+        e = self.engine
+        rt, rec, fc = e.rt, e.rec, e.fc
+        spec, sched = stage.spec, stage.sched
+        factory = (
+            spec.program_factory_overlapped if rt.overlap else spec.program_factory
+        )
+        want_trace = rt.trace or rec is not None
+        value = spec.acc_init()
+        round_virtual = 0.0
+        for bi, batch in enumerate(sched.batches()):
+            batch_time = 0.0
+            for gi, t in enumerate(batch):
+                q0, q1 = sched.phase_window(t)
+                prog = factory(e.views, fp, q0, sched.n2)
+                res, sim, extra, failed = _run_phase_resilient(
+                    rt, fc, prog, f"{stage.key_prefix}r{ell}/b{bi}/p{t}",
+                    self._cost_model, want_trace=want_trace,
+                )
+                value = spec.combine(value, spec.rank_value(res.results[0]))
+                batch_time = max(batch_time, extra + res.makespan)
+                stage.phase_hist.observe(res.makespan)
+                if rt.trace:
+                    e.trace_compute += res.summary.total_compute
+                    e.trace_comm += res.summary.total_comm
+                if rec is not None:
+                    # splice the phase's group onto global ranks/clock;
+                    # failed attempts first, at their own offsets
+                    for shift, attempt, events in failed:
+                        rec.extend(
+                            events, t_shift=e.cursor + shift,
+                            rank_offset=gi * rt.n1,
+                            scope=Scope(round=ell, batch=bi, phase=t, q0=q0,
+                                        q1=q1,
+                                        label=_compose_label(
+                                            stage.label, f"failed-attempt{attempt}")),
+                        )
+                    rec.extend(
+                        sim.trace.events, t_shift=e.cursor + extra,
+                        rank_offset=gi * rt.n1,
+                        scope=Scope(round=ell, batch=bi, phase=t, q0=q0, q1=q1,
+                                    label=stage.label),
+                    )
+                if want_trace:
+                    e.bytes_ctr.inc(res.summary.total_bytes)
+            round_virtual += batch_time
+            e.cursor += batch_time
+        red = _reduce_cost(rt, spec.reduce_nbytes)
+        round_virtual += red
+        if rec is not None:
+            rec.record(-1, "collective", e.cursor, e.cursor + red,
+                       info="round-reduce", nbytes=spec.reduce_nbytes,
+                       scope=Scope(round=ell,
+                                   label=(f"{stage.label} reduce" if stage.label
+                                          else "round-reduce")))
+        e.cursor += red
+        return value, round_virtual
+
+
+def _compose_label(stage_label: str, suffix: str) -> str:
+    return f"{stage_label} {suffix}" if stage_label else suffix
+
+
+_BACKENDS: Dict[str, Type[ExecutionBackend]] = {
+    "sequential": SequentialBackend,
+    "simulated": SimulatedBackend,
+    "modeled": ModeledBackend,
+    "threaded": ThreadedBackend,
+}
+
+
+class DetectionEngine:
+    """The round → batch → phase evaluation loop, written once.
+
+    One engine instance serves one driver call: it owns the lazily built
+    partition/halo views, the run-level virtual clock that trace events
+    are spliced onto, the shared metric families, and (in simulated mode)
+    the fault-tolerance context.  :meth:`run_stage` executes the
+    amplification rounds of one :class:`~repro.core.problems.ProblemSpec`;
+    multi-stage drivers (the scan grid's one-spec-per-size loop) call it
+    repeatedly and all stages share the same run-level accounting.
+
+    Use as a context manager so backend resources (the threaded
+    backend's pool) are released deterministically.
+    """
+
+    def __init__(self, graph: CSRGraph, rt: MidasRuntime, problem: str) -> None:
+        self.graph = graph
+        self.rt = rt
+        self.problem = problem
+        self.rec = rt.get_recorder()
+        self.reg = rt.get_metrics()
+        self.fc = (
+            _FaultContext(rt, self.reg, problem) if rt.mode == "simulated" else None
+        )
+        try:
+            self.backend = _BACKENDS[rt.mode](self)
+        except KeyError:  # unreachable given MidasRuntime validation
+            raise ConfigurationError(f"no backend for mode {rt.mode!r}") from None
+        self.partition = None
+        self.views = None
+        self.cursor = 0.0  # run-level virtual clock for the spliced trace
+        self.virtual_total = 0.0
+        self.trace_compute = 0.0
+        self.trace_comm = 0.0
+        self.rounds_ctr = self.reg.counter(
+            "midas_rounds_total", "Amplification rounds executed"
+        ).labels(problem=problem, mode=rt.mode)
+        self.bytes_ctr = self.reg.counter(
+            "midas_comm_bytes_total", "Wire bytes sent in simulated phases"
+        ).labels(problem=problem)
+
+    # ------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "DetectionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    # ------------------------------------------------------------ resources
+    def ensure_partition(self):
+        if self.partition is None:
+            self.partition = make_partition(
+                self.graph, self.rt.n1, self.rt.partition_method,
+                rng=RngStream(self.rt.partition_seed, name="partition"),
+            )
+        return self.partition
+
+    def ensure_views(self):
+        if self.views is None:
+            self.views = build_halo_views(self.graph, self.ensure_partition())
+        return self.views
+
+    # ------------------------------------------------------------ main loop
+    def run_stage(
+        self,
+        spec: ProblemSpec,
+        rounds: int,
+        rng: RngStream,
+        *,
+        eps: float = 0.2,
+        stop: Optional[Callable[[Value], bool]] = None,
+        key_prefix: str = "",
+        label: str = "",
+        want_estimate: bool = False,
+    ) -> StageResult:
+        """Run ``rounds`` amplification rounds of ``spec``.
+
+        ``rng`` is the stage's stream; round ``ell`` draws its fingerprint
+        from ``rng.child(f"round{ell}")`` — identical in every mode, so
+        answers never depend on the backend or the ``(N, N1, N2)``
+        decomposition.  ``stop`` is the early-exit predicate on the round
+        accumulator (e.g. *any witness* for detection, *this weight cell*
+        for single-cell queries).
+        """
+        rt = self.rt
+        sched = rt.schedule_for(spec.k)
+        phase_hist = self.reg.histogram(
+            "midas_phase_seconds", "Per-phase time (virtual makespan or wall)"
+        ).labels(problem=self.problem, mode=rt.mode, k=spec.k, n1=rt.n1, n2=sched.n2)
+        estimate = None
+        if want_estimate:
+            stats = PartitionStats.from_partition(self.ensure_partition())
+            cluster = rt.get_cluster()
+            estimate = estimate_runtime(
+                stats, sched, rt.get_calibration(),
+                cluster.cost_model(min(rt.n_processors, cluster.total_cores)),
+                eps=eps, problem=spec.model_problem, levels=spec.model_levels,
+                z_axis=spec.model_z_axis,
+            )
+        stage = _Stage(spec, sched, rounds, key_prefix, label, phase_hist, estimate)
+        self.backend.prepare(stage)
+
+        values: List[Value] = []
+        virtuals: List[float] = []
+        for ell in range(rounds):
+            fp = spec.draw_fingerprint(self.graph.n, rng.child(f"round{ell}"))
+            value, round_virtual = self.backend.run_round(stage, fp, ell)
+            self.rounds_ctr.inc()
+            self.virtual_total += round_virtual
+            values.append(value)
+            virtuals.append(round_virtual)
+            _LOG.debug("%s k=%d round %d/%d", self.problem, spec.k, ell + 1, rounds)
+            if stop is not None and stop(value):
+                _LOG.info("%s k=%d: witness found in round %d",
+                          self.problem, spec.k, ell + 1)
+                break
+        return StageResult(values, virtuals, sched, estimate)
+
+    # ------------------------------------------------------------- details
+    def fill_details(self, det: dict, estimate=None) -> dict:
+        """Stamp run-level context (partition stats, trace summary,
+        resilience accounting) into a result's ``details`` dict."""
+        if self.partition is not None:
+            det.setdefault("max_load", self.partition.max_load)
+            det.setdefault("max_deg", self.partition.max_degree)
+        if estimate is not None:
+            det.setdefault("estimate", estimate)
+        if self.rt.mode == "simulated" and self.rt.trace:
+            busy = self.trace_compute + self.trace_comm
+            det.setdefault("trace_compute_seconds", self.trace_compute)
+            det.setdefault("trace_comm_seconds", self.trace_comm)
+            det.setdefault("trace_comm_fraction",
+                           self.trace_comm / busy if busy > 0 else 0.0)
+        if self.fc is not None and self.fc.injector is not None:
+            det["resilience"] = self.fc.resilience(self.virtual_total)
+        return det
+
+    def want_estimate_default(self) -> bool:
+        """The scalar drivers' estimate policy: modeled always, simulated
+        when a recorder is attached (the RunReport wants model-vs-actual)."""
+        return self.rt.mode == "modeled" or (
+            self.rt.mode == "simulated" and self.rec is not None
+        )
+
+
+__all__ = [
+    "MidasRuntime",
+    "DetectionEngine",
+    "ExecutionBackend",
+    "SequentialBackend",
+    "SimulatedBackend",
+    "ModeledBackend",
+    "ThreadedBackend",
+    "StageResult",
+    "rounds_for_epsilon",
+]

@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 from repro.ff.fingerprint import Fingerprint
 from repro.graph.csr import CSRGraph, xor_segment_reduce
 from repro.core.halo import HaloView
-from repro.runtime.comm import AllReduce, Recv, Send
+from repro.runtime.comm import AllReduce, Irecv, Recv, Send, Wait
 
 
 def weighted_path_eval_phase(
@@ -134,6 +134,70 @@ def make_weighted_path_phase_program(
                 ghost[slots] = msg
             combined = np.concatenate([p, ghost], axis=0)
             s = xor_segment_reduce(combined[view.indices], view.indptr)
+            shifted = s[row_idx, src_z_safe, :]
+            shifted[~valid] = 0
+            base_j = fp.level_base_block(j, q_start, n2, nodes=view.own)
+            p = field.mul(base_j[:, None, :], shifted)
+        local = (
+            np.bitwise_xor.reduce(field.xor_sum(p, axis=0), axis=1)
+            if n_own
+            else np.zeros(z_max + 1, dtype=field.dtype)
+        )
+        total = yield AllReduce(local.astype(np.uint8), op="xor")
+        return np.asarray(total, dtype=field.dtype)
+
+    return program
+
+
+def make_weighted_path_phase_program_overlapped(
+    views: List[HaloView], weights: np.ndarray, fp: Fingerprint, z_max: int,
+    q_start: int, n2: int,
+):
+    """Communication-overlapping weight-resolved k-path phase program.
+
+    Per level: send boundary rows, post nonblocking receives, reduce the
+    own-column half of the neighbour sum (over the whole weight axis)
+    during the flight window, fold in the ghost half after the waits,
+    then apply the per-node ``z - w(i)`` shift to the combined sum.
+    Bit-identical to :func:`make_weighted_path_phase_program`.
+    """
+    field = fp.field
+    k = fp.k
+    w = np.asarray(weights, dtype=np.int64)
+
+    def program(ctx):
+        view = views[ctx.rank]
+        iptr_own, idx_own, iptr_gh, idx_gh = view.split_adjacency()
+        own_ids = np.asarray(view.own, dtype=np.int64)
+        n_own = view.n_own
+        w_own = w[own_ids]
+        base0 = fp.level_base_block(0, q_start, n2, nodes=view.own)
+        p = np.zeros((n_own, z_max + 1, n2), dtype=field.dtype)
+        ok = np.nonzero(w_own <= z_max)[0]
+        p[ok, w_own[ok], :] = base0[ok]
+
+        z_grid = np.arange(z_max + 1, dtype=np.int64)
+        src_z = z_grid[None, :] - w_own[:, None]
+        valid = src_z >= 0
+        src_z_safe = np.where(valid, src_z, 0)
+        row_idx = np.arange(n_own, dtype=np.int64)[:, None]
+
+        for j in range(1, k):
+            if ctx.tracer is not None:
+                ctx.annotate(f"level{j}")
+            for peer, idxs in view.send_lists.items():
+                yield Send(peer, ("w", j - 1), p[idxs])
+            requests = {}
+            for peer in view.recv_lists:
+                requests[peer] = yield Irecv(peer, ("w", j - 1))
+            # overlap window: the own-column half needs no remote data
+            s = xor_segment_reduce(p[idx_own], iptr_own)
+            ghost = np.zeros((view.n_ghost, z_max + 1, n2), dtype=field.dtype)
+            for peer, slots in view.recv_lists.items():
+                msg = yield Wait(requests[peer])
+                ghost[slots] = msg
+            if len(idx_gh):
+                s = s ^ xor_segment_reduce(ghost[idx_gh], iptr_gh)
             shifted = s[row_idx, src_z_safe, :]
             shifted[~valid] = 0
             base_j = fp.level_base_block(j, q_start, n2, nodes=view.own)

@@ -1,474 +1,89 @@
-"""The MIDAS driver (paper Algorithm 2).
+"""The MIDAS drivers (paper Algorithm 2), as thin wrappers over the
+unified detection engine.
 
 One entry point per application:
 
 * :func:`detect_path` — is there a simple path on ``k`` vertices?
 * :func:`detect_tree` — does the template tree embed (non-induced)?
+* :func:`max_weight_path` — maximum node weight of any simple k-path;
+* :func:`detect_scan_cell` — one (size, weight) scan-statistics cell;
 * :func:`scan_grid` — which (size ``j <= k``, weight ``z``) connected
   subgraphs exist? (feeds :mod:`repro.scanstat.detect`)
 
-Each runs ``ceil(log(1/eps)/log(5/4))`` amplification rounds; a round draws
-a fresh fingerprint and XORs the polynomial evaluation over all ``2^k``
-iterations, organized by the :class:`~repro.core.schedule.PhaseSchedule`.
-
-Execution modes (:class:`MidasRuntime`):
-
-``sequential``
-    Single-process vectorized evaluation (still batched ``N_2`` wide —
-    batching is a *compute* optimization too).
-``simulated``
-    The real SPMD decomposition: the graph is partitioned into ``N_1``
-    parts and every phase runs as ``N_1`` rank programs on the runtime
-    simulator, with halo messages and an XOR all-reduce.  Detection output
-    is bit-identical to ``sequential`` for the same seed (property-tested);
-    virtual time reflects the modeled network.
-``modeled``
-    Sequential detection plus the analytic Theorem-2 model
-    (:mod:`repro.core.model`) for virtual time — used for cluster-scale
-    sweeps where 512 simulated ranks would be pointlessly slow.
+Each builds a :class:`~repro.core.problems.ProblemSpec` and hands it to
+the :class:`~repro.core.engine.DetectionEngine`, which owns the
+round → batch → phase loop once for all problems; execution modes
+(``sequential`` / ``simulated`` / ``modeled`` / ``threaded``) are
+pluggable backends of the engine — see :mod:`repro.core.engine` for the
+mode semantics and :class:`MidasRuntime` knobs.  Because every driver
+routes through the same engine, all of them honor ``overlap``,
+``fault_plan``, ``recorder``, and ``metrics`` uniformly.
 
 Randomness is *round-scoped*: all modes draw identical fingerprints from
-the caller's stream, so answers never depend on ``(N, N1, N2)``.
+the caller's stream, so answers never depend on ``(N, N1, N2)``, the
+backend, or (for the threaded backend) thread completion order.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, FaultInjectedError, RankFailedError
-from repro.core.evaluator_path import (
-    make_path_phase_program,
-    make_path_phase_program_overlapped,
-    path_phase_value,
+from repro.core.engine import DetectionEngine, MidasRuntime
+from repro.core.problems import (
+    ProblemSpec,
+    path_problem,
+    scanstat_problem,
+    tree_problem,
+    weighted_path_problem,
 )
-from repro.core.evaluator_scanstat import (
-    make_scanstat_phase_program,
-    make_scanstat_phase_program_overlapped,
-    scanstat_phase_value,
-)
-from repro.core.evaluator_tree import (
-    make_tree_phase_program,
-    make_tree_phase_program_overlapped,
-    tree_phase_value,
-)
-from repro.core.evaluator_wpath import (
-    make_weighted_path_phase_program,
-    weighted_path_phase_value,
-)
-from repro.core.halo import build_halo_views
-from repro.core.model import PartitionStats, estimate_runtime
 from repro.core.result import DetectionResult, RoundRecord, ScanGridResult
-from repro.core.schedule import PhaseSchedule, rounds_for_epsilon
-from repro.ff.fingerprint import Fingerprint
-from repro.ff.gf2m import default_field_for_k
+from repro.core.schedule import rounds_for_epsilon
+from repro.errors import ConfigurationError
 from repro.graph.csr import CSRGraph
-from repro.graph.partition import make_partition
-from repro.graph.templates import TreeTemplate, decompose_template
-from repro.obs.metrics import MetricsRegistry, get_default_registry
-from repro.runtime.cluster import VirtualCluster, laptop
-from repro.runtime.costmodel import KernelCalibration
-from repro.runtime.faults import FaultInjector, FaultPlan
-from repro.runtime.scheduler import Simulator
-from repro.runtime.tracing import Scope, TraceRecorder
+from repro.graph.templates import TreeTemplate
 from repro.util.log import get_logger
-from repro.util.rng import RngStream, as_stream
+from repro.util.rng import as_stream
 
 _LOG = get_logger(__name__)
 
-_MODES = ("sequential", "simulated", "modeled")
-
-
-@dataclass
-class MidasRuntime:
-    """Parallel execution configuration for the MIDAS driver.
-
-    ``n2=None`` picks a sensible default: the figures' BSMax
-    (``2^k N1 / N``) in parallel modes, a 64-wide batch sequentially.
-    ``overlap=True`` uses the communication-overlapping halo exchange
-    (Irecv/Wait with local/ghost-split reductions) in simulated runs of
-    all three evaluators; results are bit-identical either way.
-
-    Observability: attach a :class:`~repro.runtime.tracing.TraceRecorder`
-    as ``recorder`` to collect a run-level, schedule-scoped timeline
-    (per-phase simulator recordings spliced onto global ranks and a
-    global clock; per-phase wall timings in sequential/modeled modes).
-    Driver metrics always land in ``metrics`` when set, else the
-    process-wide :func:`repro.obs.metrics.get_default_registry` — the
-    same registry the kernel-calibration instrumentation writes to.
-    Neither affects detection output (property-tested bit-identical).
-
-    Fault tolerance (simulated mode only): attach a
-    :class:`~repro.runtime.faults.FaultPlan` as ``fault_plan`` and the
-    driver runs every phase window under injection, checkpointing
-    completed windows and re-executing only the ones whose simulator run
-    died with a :class:`~repro.errors.FaultInjectedError` — with the
-    same seeded randomness, so results under any recoverable plan are
-    bit-identical to the fault-free run.  Retries are bounded by
-    ``max_retries`` per window; each retry adds an exponential-backoff
-    penalty of ``retry_backoff * 2^attempt`` virtual seconds to the
-    makespan, modeling failure detection + restart cost.
-    """
-
-    n_processors: int = 1
-    n1: int = 1
-    n2: Optional[int] = None
-    mode: str = "sequential"
-    cluster: Optional[VirtualCluster] = None
-    partition_method: str = "random"
-    calibration: Optional[KernelCalibration] = None
-    measure_compute: bool = False
-    trace: bool = False
-    partition_seed: int = 7777
-    overlap: bool = False
-    recorder: Optional[TraceRecorder] = None
-    metrics: Optional[MetricsRegistry] = None
-    fault_plan: Optional[FaultPlan] = None
-    max_retries: int = 5
-    retry_backoff: float = 1e-3
-
-    def __post_init__(self) -> None:
-        if self.mode not in _MODES:
-            raise ConfigurationError(f"mode must be one of {_MODES}, got {self.mode!r}")
-        if self.fault_plan is not None and self.mode != "simulated":
-            raise ConfigurationError(
-                f"fault_plan requires mode='simulated' (faults are injected into "
-                f"the runtime simulator), got mode={self.mode!r}"
-            )
-        if self.max_retries < 0:
-            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
-        if self.retry_backoff < 0:
-            raise ConfigurationError(
-                f"retry_backoff must be >= 0, got {self.retry_backoff}"
-            )
-
-    def schedule_for(self, k: int) -> PhaseSchedule:
-        total = 1 << k
-        n2 = self.n2
-        if n2 is None:
-            if self.mode == "sequential":
-                n2 = min(total, 64)
-            else:
-                n2 = PhaseSchedule.bs_max(k, self.n_processors, self.n1)
-        n2 = min(n2, total)
-        while total % n2:
-            n2 -= 1
-        return PhaseSchedule(k, self.n_processors, self.n1, max(1, n2))
-
-    def get_cluster(self) -> VirtualCluster:
-        if self.cluster is not None:
-            return self.cluster
-        # a generously sized default so any (N, N1) fits
-        nodes = max(1, -(-self.n_processors // 8))
-        return laptop(nodes)
-
-    def get_calibration(self) -> KernelCalibration:
-        return self.calibration if self.calibration is not None else KernelCalibration.synthetic()
-
-    def get_metrics(self) -> MetricsRegistry:
-        return self.metrics if self.metrics is not None else get_default_registry()
-
-    def get_recorder(self) -> Optional[TraceRecorder]:
-        """The attached recorder, or None when absent/disabled."""
-        rec = self.recorder
-        return rec if (rec is not None and rec.enabled) else None
-
-
-def _prepare_parallel(graph: CSRGraph, rt: MidasRuntime):
-    partition = make_partition(
-        graph, rt.n1, rt.partition_method, rng=RngStream(rt.partition_seed, name="partition")
-    )
-    views = build_halo_views(graph, partition)
-    return partition, views
-
-
-def _reduce_cost(rt: MidasRuntime, nbytes: int) -> float:
-    cluster = rt.get_cluster()
-    return cluster.cost_model(min(rt.n_processors, cluster.total_cores)).collective(
-        "allreduce", rt.n_processors, nbytes
-    )
-
-
-class _FaultContext:
-    """Per-detection fault-tolerance state: the shared injector, the
-    ``fault_*`` metric families, and the resilience accounting that ends
-    up in ``details["resilience"]`` / the RunReport.
-
-    ``injector`` is ``None`` when no plan is attached — the phase runner
-    then degenerates to a single plain attempt with zero overhead.
-    """
-
-    def __init__(self, rt: MidasRuntime, reg: MetricsRegistry, problem: str) -> None:
-        self.problem = problem
-        self.injector = FaultInjector(rt.fault_plan) if rt.fault_plan else None
-        self.max_retries = rt.max_retries
-        self.backoff0 = rt.retry_backoff
-        self.injected_ctr = reg.counter(
-            "fault_injected_total", "Faults fired by the injector, by kind"
-        )
-        self.failures_ctr = reg.counter(
-            "fault_phase_failures_total", "Phase attempts killed by injected faults"
-        )
-        self.retries_ctr = reg.counter(
-            "fault_retries_total", "Phase re-executions after a fault"
-        ).labels(problem=problem)
-        self.lost_ctr = reg.counter(
-            "fault_work_lost_seconds_total",
-            "Virtual seconds of partial work discarded with failed attempts",
-        ).labels(problem=problem)
-        self.backoff_ctr = reg.counter(
-            "fault_backoff_seconds_total",
-            "Virtual seconds spent in exponential backoff before retries",
-        ).labels(problem=problem)
-        self.recomputed_ctr = reg.counter(
-            "fault_work_recomputed_seconds_total",
-            "Virtual seconds of successful re-execution after faults",
-        ).labels(problem=problem)
-        # running totals for the resilience report
-        self.injected: dict = {}
-        self.phase_failures = 0
-        self.retries = 0
-        self.work_lost = 0.0
-        self.backoff_seconds = 0.0
-        self.work_recomputed = 0.0
-
-    def record_injected(self, counts: dict) -> None:
-        for kind, n in counts.items():
-            self.injected_ctr.labels(kind=kind, problem=self.problem).inc(n)
-            self.injected[kind] = self.injected.get(kind, 0) + n
-
-    def resilience(self, virtual_total: float) -> dict:
-        """The RunReport resilience section (see module docs)."""
-        overhead = self.work_lost + self.backoff_seconds
-        clean = max(virtual_total - overhead, 0.0)
-        return {
-            "faults_injected": dict(self.injected),
-            "phase_failures": self.phase_failures,
-            "retries": self.retries,
-            "work_lost_seconds": self.work_lost,
-            "work_recomputed_seconds": self.work_recomputed,
-            "backoff_seconds": self.backoff_seconds,
-            "makespan_overhead_seconds": overhead,
-            "overhead_fraction": overhead / clean if clean > 0 else 0.0,
-        }
-
-
-def _run_phase_resilient(rt: MidasRuntime, fc: _FaultContext, prog, key: str,
-                         sim_cost_model, want_trace: bool):
-    """Run one phase window to completion under the fault plan.
-
-    Retries the window (same program, seeded-identical randomness) on any
-    :class:`~repro.errors.FaultInjectedError` — or on a run that
-    "completed" with crashed ranks — up to ``max_retries`` times, adding
-    exponential backoff to the virtual clock.  Returns ``(res, sim,
-    extra_virtual, failed_events)`` where ``extra_virtual`` is the lost +
-    backoff virtual time that precedes the successful attempt on the
-    run-level timeline and ``failed_events`` the (shifted-from-zero)
-    trace events of failed attempts for splicing.
-    """
-    attempt = 0
-    extra = 0.0
-    failed_events = []
-    while True:
-        run_inj = (
-            fc.injector.for_run(f"{key}/a{attempt}") if fc.injector is not None else None
-        )
-        sim = Simulator(
-            rt.n1, cost_model=sim_cost_model,
-            measure_compute=rt.measure_compute,
-            trace=want_trace, faults=run_inj,
-        )
-        err = None
-        res = None
-        try:
-            res = sim.run(prog)
-            if res.crashed_ranks:
-                # the program "finished" but ranks died: their partial
-                # results are unusable — treat like a failed collective
-                err = RankFailedError(
-                    f"rank(s) {list(res.crashed_ranks)} crashed during phase {key}",
-                    ranks=res.crashed_ranks,
-                )
-        except FaultInjectedError as exc:
-            err = exc
-        if run_inj is not None and run_inj.counts:
-            fc.record_injected(run_inj.counts)
-        if err is None:
-            if attempt > 0:
-                fc.work_recomputed += res.makespan
-                fc.recomputed_ctr.inc(res.makespan)
-            return res, sim, extra, failed_events
-        fc.phase_failures += 1
-        fc.failures_ctr.labels(error=type(err).__name__, problem=fc.problem).inc()
-        clocks = sim.partial_clocks
-        lost = float(clocks.max()) if len(clocks) else 0.0
-        fc.work_lost += lost
-        fc.lost_ctr.inc(lost)
-        if want_trace:
-            failed_events.append((extra, attempt, list(sim.trace.events)))
-        if attempt >= fc.max_retries:
-            _LOG.error("phase %s failed after %d attempts: %s", key, attempt + 1, err)
-            raise err
-        backoff = fc.backoff0 * (2.0 ** attempt)
-        extra += lost + backoff
-        fc.backoff_seconds += backoff
-        fc.backoff_ctr.inc(backoff)
-        fc.retries += 1
-        fc.retries_ctr.inc()
-        attempt += 1
-        _LOG.info(
-            "phase %s attempt %d failed (%s: %s); retrying with %.3g s backoff",
-            key, attempt, type(err).__name__, err, backoff,
-        )
-
 
 def _run_scalar_detection(
-    problem: str,
     graph: CSRGraph,
+    spec: ProblemSpec,
     k: int,
     eps: float,
     rng,
     rt: MidasRuntime,
-    levels: int,
-    seq_phase: Callable[[Fingerprint, int, int], int],
-    program_factory,  # (views, fp, q0, n2) -> rank program
     early_exit: bool,
-    details: Optional[dict] = None,
 ) -> DetectionResult:
+    """Shared k-path / k-tree wrapper: engine run -> DetectionResult."""
+    problem = spec.name
     if graph.n < 1:
         raise ConfigurationError("graph must have at least one vertex")
     if k > graph.n:
         # more template vertices than graph vertices: trivially absent
+        det = dict(spec.details)
+        det["reason"] = "k exceeds |V|"
         return DetectionResult(problem, k, False, [], eps, mode=rt.mode,
                                n_processors=rt.n_processors, n1=rt.n1, n2=rt.n2 or 0,
-                               details={"reason": "k exceeds |V|"})
-    sched = rt.schedule_for(k)
+                               details=det)
     rounds = rounds_for_epsilon(eps)
     rng = as_stream(rng, f"{problem}-detect")
-    fld = default_field_for_k(k)
     wall0 = time.perf_counter()
-
-    partition = views = None
-    sim_cost_model = None
-    if rt.mode == "simulated":
-        partition, views = _prepare_parallel(graph, rt)
-        sim_cost_model = rt.get_cluster().cost_model(rt.n1)
-
-    rec = rt.get_recorder()
-    reg = rt.get_metrics()
-    fc = _FaultContext(rt, reg, problem) if rt.mode == "simulated" else None
-    labels = dict(problem=problem, mode=rt.mode, k=k, n1=rt.n1, n2=sched.n2)
-    phase_hist = reg.histogram(
-        "midas_phase_seconds", "Per-phase time (virtual makespan or wall)"
-    ).labels(**labels)
-    rounds_ctr = reg.counter(
-        "midas_rounds_total", "Amplification rounds executed"
-    ).labels(problem=problem, mode=rt.mode)
-    bytes_ctr = reg.counter(
-        "midas_comm_bytes_total", "Wire bytes sent in simulated phases"
-    ).labels(problem=problem)
-
-    estimate = None
-    if rt.mode == "modeled" or (rt.mode == "simulated" and rec is not None):
-        if partition is None:
-            partition = make_partition(
-                graph, rt.n1, rt.partition_method,
-                rng=RngStream(rt.partition_seed, name="partition"),
-            )
-        stats = PartitionStats.from_partition(partition)
-        estimate = estimate_runtime(
-            stats, sched, rt.get_calibration(),
-            rt.get_cluster().cost_model(min(rt.n_processors, rt.get_cluster().total_cores)),
-            eps=eps, problem=problem, levels=levels - 1,
+    with DetectionEngine(graph, rt, problem) as engine:
+        out = engine.run_stage(
+            spec, rounds, rng, eps=eps,
+            stop=spec.hit if early_exit else None,
+            want_estimate=engine.want_estimate_default(),
         )
-
-    records: List[RoundRecord] = []
-    virtual_total = 0.0
-    cursor = 0.0  # run-level virtual clock for the spliced trace
-    trace_compute = trace_comm = 0.0
-    for ell in range(rounds):
-        fp = Fingerprint.draw(graph.n, k, rng.child(f"round{ell}"), levels=levels, field=fld)
-        value = 0
-        round_virtual = 0.0
-        if rt.mode == "simulated":
-            for bi, batch in enumerate(sched.batches()):
-                batch_time = 0.0
-                for gi, t in enumerate(batch):
-                    q0, q1 = sched.phase_window(t)
-                    prog = program_factory(views, fp, q0, sched.n2)
-                    res, sim, extra, failed = _run_phase_resilient(
-                        rt, fc, prog, f"r{ell}/b{bi}/p{t}", sim_cost_model,
-                        want_trace=rt.trace or rec is not None,
-                    )
-                    value ^= int(res.results[0])
-                    batch_time = max(batch_time, extra + res.makespan)
-                    phase_hist.observe(res.makespan)
-                    if rt.trace:
-                        trace_compute += res.summary.total_compute
-                        trace_comm += res.summary.total_comm
-                    if rec is not None:
-                        # splice the phase's group onto global ranks/clock;
-                        # failed attempts first, at their own offsets
-                        for shift, attempt, events in failed:
-                            rec.extend(
-                                events, t_shift=cursor + shift,
-                                rank_offset=gi * rt.n1,
-                                scope=Scope(round=ell, batch=bi, phase=t, q0=q0,
-                                            q1=q1, label=f"failed-attempt{attempt}"),
-                            )
-                        rec.extend(
-                            sim.trace.events, t_shift=cursor + extra,
-                            rank_offset=gi * rt.n1,
-                            scope=Scope(round=ell, batch=bi, phase=t, q0=q0, q1=q1),
-                        )
-                    if rt.trace or rec is not None:
-                        bytes_ctr.inc(res.summary.total_bytes)
-                round_virtual += batch_time
-                cursor += batch_time
-            red = _reduce_cost(rt, 8)
-            round_virtual += red
-            if rec is not None:
-                rec.record(-1, "collective", cursor, cursor + red,
-                           info="round-reduce", nbytes=8,
-                           scope=Scope(round=ell, label="round-reduce"))
-            cursor += red
-        else:
-            for t in range(sched.n_phases):
-                q0, q1 = sched.phase_window(t)
-                p0 = time.perf_counter()
-                value ^= seq_phase(fp, q0, sched.n2)
-                dt = time.perf_counter() - p0
-                phase_hist.observe(dt)
-                if rec is not None:
-                    rec.record(0, "compute", cursor, cursor + dt,
-                               scope=Scope(round=ell, phase=t, q0=q0, q1=q1))
-                    cursor += dt
-            if estimate is not None:
-                round_virtual = estimate.total_seconds / rounds
-        rounds_ctr.inc()
-        virtual_total += round_virtual
-        records.append(RoundRecord(ell, value, round_virtual))
-        _LOG.debug("%s k=%d round %d/%d: value=%d", problem, k, ell + 1, rounds, value)
-        if value != 0 and early_exit:
-            _LOG.info("%s k=%d: witness found in round %d", problem, k, ell + 1)
-            break
-
-    det = details.copy() if details else {}
-    if partition is not None:
-        det.setdefault("max_load", partition.max_load)
-        det.setdefault("max_deg", partition.max_degree)
-    if estimate is not None:
-        det.setdefault("estimate", estimate)
-    if rt.mode == "simulated" and rt.trace:
-        busy = trace_compute + trace_comm
-        det.setdefault("trace_compute_seconds", trace_compute)
-        det.setdefault("trace_comm_seconds", trace_comm)
-        det.setdefault("trace_comm_fraction", trace_comm / busy if busy > 0 else 0.0)
-    if fc is not None and fc.injector is not None:
-        det["resilience"] = fc.resilience(virtual_total)
+        records: List[RoundRecord] = [
+            RoundRecord(i, v, rv)
+            for i, (v, rv) in enumerate(zip(out.values, out.virtuals))
+        ]
+        det = engine.fill_details(dict(spec.details), estimate=out.estimate)
     return DetectionResult(
         problem=problem,
         k=k,
@@ -478,8 +93,8 @@ def _run_scalar_detection(
         mode=rt.mode,
         n_processors=rt.n_processors,
         n1=rt.n1,
-        n2=sched.n2,
-        virtual_seconds=virtual_total,
+        n2=out.schedule.n2,
+        virtual_seconds=engine.virtual_total,
         wall_seconds=time.perf_counter() - wall0,
         details=det,
     )
@@ -499,14 +114,8 @@ def detect_path(
     wrong with probability at most ``eps``.
     """
     rt = runtime or MidasRuntime()
-    factory = (
-        make_path_phase_program_overlapped if rt.overlap else make_path_phase_program
-    )
     return _run_scalar_detection(
-        "k-path", graph, k, eps, rng, rt, levels=k,
-        seq_phase=lambda fp, q0, n2: path_phase_value(graph, fp, q0, n2),
-        program_factory=factory,
-        early_exit=early_exit,
+        graph, path_problem(graph, k), k, eps, rng, rt, early_exit
     )
 
 
@@ -520,19 +129,8 @@ def detect_tree(
 ) -> DetectionResult:
     """Decide whether the template tree has a non-induced embedding."""
     rt = runtime or MidasRuntime()
-    specs = decompose_template(template)
-    tree_factory = (
-        make_tree_phase_program_overlapped if rt.overlap else make_tree_phase_program
-    )
-
     return _run_scalar_detection(
-        "k-tree", graph, template.k, eps, rng, rt, levels=template.k,
-        seq_phase=lambda fp, q0, n2: tree_phase_value(graph, template, fp, q0, n2, specs),
-        program_factory=lambda views, fp, q0, n2: tree_factory(
-            views, template, fp, q0, n2, specs
-        ),
-        early_exit=early_exit,
-        details={"template": template.name, "n_subtrees": len(specs)},
+        graph, tree_problem(graph, template), template.k, eps, rng, rt, early_exit
     )
 
 
@@ -570,34 +168,12 @@ def max_weight_path(
         z_max = int(np.sort(w)[-k:].sum())
     rounds = rounds_for_epsilon(eps)
     rng = as_stream(rng, "max-weight-path")
-    sched = rt.schedule_for(k)
-    fld = default_field_for_k(k)
-
-    views = sim_cost_model = None
-    if rt.mode == "simulated":
-        _partition, views = _prepare_parallel(graph, rt)
-        sim_cost_model = rt.get_cluster().cost_model(rt.n1)
-
+    spec = weighted_path_problem(graph, w, k, z_max)
+    with DetectionEngine(graph, rt, spec.name) as engine:
+        out = engine.run_stage(spec, rounds, rng, eps=eps,
+                               want_estimate=engine.want_estimate_default())
     hit = np.zeros(z_max + 1, dtype=bool)
-    for ell in range(rounds):
-        fp = Fingerprint.draw(graph.n, k, rng.child(f"round{ell}"), levels=k, field=fld)
-        acc = np.zeros(z_max + 1, dtype=fld.dtype)
-        if rt.mode == "simulated":
-            for batch in sched.batches():
-                for t in batch:
-                    q0, _ = sched.phase_window(t)
-                    prog = make_weighted_path_phase_program(
-                        views, w, fp, z_max, q0, sched.n2
-                    )
-                    sim = Simulator(
-                        rt.n1, cost_model=sim_cost_model,
-                        measure_compute=rt.measure_compute, trace=rt.trace,
-                    )
-                    acc ^= np.asarray(sim.run(prog).results[0], dtype=fld.dtype)
-        else:
-            for t in range(sched.n_phases):
-                q0, _ = sched.phase_window(t)
-                acc ^= weighted_path_phase_value(graph, w, fp, z_max, q0, sched.n2)
+    for acc in out.values:
         hit |= acc != 0
     zs = np.nonzero(hit)[0]
     return int(zs.max()) if len(zs) else None
@@ -627,18 +203,11 @@ def detect_scan_cell(
         return False
     rounds = rounds_for_epsilon(eps)
     rng = as_stream(rng, "scan-cell")
-    sched = rt.schedule_for(size)
-    fld = default_field_for_k(max(size, 2))
-    for ell in range(rounds):
-        fp = Fingerprint.draw(graph.n, size, rng.child(f"round{ell}"), levels=size + 1,
-                              field=fld)
-        acc = np.zeros(weight + 1, dtype=fld.dtype)
-        for t in range(sched.n_phases):
-            q0, _ = sched.phase_window(t)
-            acc ^= scanstat_phase_value(graph, w, fp, weight, q0, sched.n2)
-        if acc[weight] != 0:
-            return True
-    return False
+    spec = scanstat_problem(graph, w, size, z_max=weight)
+    with DetectionEngine(graph, rt, spec.name) as engine:
+        out = engine.run_stage(spec, rounds, rng, eps=eps,
+                               stop=lambda acc: acc[weight] != 0)
+    return bool(out.values and out.values[-1][weight] != 0)
 
 
 def scan_grid(
@@ -677,129 +246,27 @@ def scan_grid(
     rng = as_stream(rng, "scan-grid")
     wall0 = time.perf_counter()
 
-    partition = views = sim_cost_model = None
-    if rt.mode == "simulated":
-        partition, views = _prepare_parallel(graph, rt)
-        sim_cost_model = rt.get_cluster().cost_model(rt.n1)
-    elif rt.mode == "modeled":
-        partition = make_partition(
-            graph, rt.n1, rt.partition_method,
-            rng=RngStream(rt.partition_seed, name="partition"),
-        )
-
     if sizes is None:
         sizes = range(1, k + 1)
     sizes = sorted({int(j) for j in sizes})
     if sizes and (sizes[0] < 1 or sizes[-1] > k):
         raise ConfigurationError(f"sizes must lie in [1, {k}], got {sizes}")
 
-    rec = rt.get_recorder()
-    reg = rt.get_metrics()
-    fc = _FaultContext(rt, reg, "scanstat") if rt.mode == "simulated" else None
-    rounds_ctr = reg.counter(
-        "midas_rounds_total", "Amplification rounds executed"
-    ).labels(problem="scanstat", mode=rt.mode)
-    bytes_ctr = reg.counter(
-        "midas_comm_bytes_total", "Wire bytes sent in simulated phases"
-    ).labels(problem="scanstat")
-
     detected = np.zeros((k + 1, z_max + 1), dtype=bool)
-    virtual_total = 0.0
-    cursor = 0.0  # run-level virtual clock for the spliced trace
-    for j in sizes:
-        sub_rt = MidasRuntime(
-            n_processors=rt.n_processors, n1=rt.n1, n2=rt.n2, mode=rt.mode,
-            cluster=rt.cluster, partition_method=rt.partition_method,
-            calibration=rt.calibration, measure_compute=rt.measure_compute,
-            trace=rt.trace, partition_seed=rt.partition_seed,
-            overlap=rt.overlap,
-        )
-        sched = sub_rt.schedule_for(j)
-        fld = default_field_for_k(max(j, 2))
-        size_rng = rng.child(f"size{j}")
-        phase_hist = reg.histogram(
-            "midas_phase_seconds", "Per-phase time (virtual makespan or wall)"
-        ).labels(problem="scanstat", mode=rt.mode, k=j, n1=rt.n1, n2=sched.n2)
-        estimate = None
-        if rt.mode == "modeled":
-            stats = PartitionStats.from_partition(partition)
-            estimate = estimate_runtime(
-                stats, sched, rt.get_calibration(),
-                rt.get_cluster().cost_model(min(rt.n_processors, rt.get_cluster().total_cores)),
-                eps=eps, problem="scanstat", z_axis=z_max + 1,
+    with DetectionEngine(graph, rt, "scanstat") as engine:
+        for j in sizes:
+            out = engine.run_stage(
+                scanstat_problem(graph, w, j, z_max), rounds,
+                rng.child(f"size{j}"), eps=eps,
+                key_prefix=f"size{j}/", label=f"size{j}",
+                want_estimate=(rt.mode == "modeled"),
             )
-        for ell in range(rounds):
-            fp = Fingerprint.draw(
-                graph.n, j, size_rng.child(f"round{ell}"), levels=j + 1, field=fld
-            )
-            acc = np.zeros(z_max + 1, dtype=fld.dtype)
-            round_virtual = 0.0
-            if rt.mode == "simulated":
-                scan_factory = (
-                    make_scanstat_phase_program_overlapped
-                    if rt.overlap
-                    else make_scanstat_phase_program
-                )
-                for bi, batch in enumerate(sched.batches()):
-                    batch_time = 0.0
-                    for gi, t in enumerate(batch):
-                        q0, q1 = sched.phase_window(t)
-                        prog = scan_factory(views, w, fp, z_max, q0, sched.n2)
-                        res, sim, extra, failed = _run_phase_resilient(
-                            rt, fc, prog, f"size{j}/r{ell}/b{bi}/p{t}",
-                            sim_cost_model,
-                            want_trace=rt.trace or rec is not None,
-                        )
-                        acc ^= np.asarray(res.results[0], dtype=fld.dtype)
-                        batch_time = max(batch_time, extra + res.makespan)
-                        phase_hist.observe(res.makespan)
-                        if rec is not None:
-                            for shift, attempt, events in failed:
-                                rec.extend(
-                                    events, t_shift=cursor + shift,
-                                    rank_offset=gi * rt.n1,
-                                    scope=Scope(round=ell, batch=bi, phase=t,
-                                                q0=q0, q1=q1,
-                                                label=f"size{j} failed-attempt{attempt}"),
-                                )
-                            rec.extend(
-                                sim.trace.events, t_shift=cursor + extra,
-                                rank_offset=gi * rt.n1,
-                                scope=Scope(round=ell, batch=bi, phase=t,
-                                            q0=q0, q1=q1, label=f"size{j}"),
-                            )
-                        if rt.trace or rec is not None:
-                            bytes_ctr.inc(res.summary.total_bytes)
-                    round_virtual += batch_time
-                    cursor += batch_time
-                red = _reduce_cost(rt, 8 * (z_max + 1))
-                round_virtual += red
-                if rec is not None:
-                    rec.record(-1, "collective", cursor, cursor + red,
-                               info="round-reduce", nbytes=8 * (z_max + 1),
-                               scope=Scope(round=ell, label=f"size{j} reduce"))
-                cursor += red
-            else:
-                for t in range(sched.n_phases):
-                    q0, q1 = sched.phase_window(t)
-                    p0 = time.perf_counter()
-                    acc ^= scanstat_phase_value(graph, w, fp, z_max, q0, sched.n2)
-                    dt = time.perf_counter() - p0
-                    phase_hist.observe(dt)
-                    if rec is not None:
-                        rec.record(0, "compute", cursor, cursor + dt,
-                                   scope=Scope(round=ell, phase=t, q0=q0, q1=q1,
-                                               label=f"size{j}"))
-                        cursor += dt
-                if estimate is not None:
-                    round_virtual = estimate.total_seconds / rounds
-            rounds_ctr.inc()
-            detected[j] |= acc != 0
-            virtual_total += round_virtual
-
-    grid_details = {"weights_total": int(w.sum())}
-    if fc is not None and fc.injector is not None:
-        grid_details["resilience"] = fc.resilience(virtual_total)
+            for acc in out.values:
+                detected[j] |= acc != 0
+        grid_details = engine.fill_details({"weights_total": int(w.sum())})
+        # the grid result keeps only run-wide keys, not per-size partition stats
+        grid_details.pop("max_load", None)
+        grid_details.pop("max_deg", None)
     return ScanGridResult(
         k=k,
         z_max=z_max,
@@ -810,7 +277,18 @@ def scan_grid(
         n_processors=rt.n_processors,
         n1=rt.n1,
         n2=rt.n2 or 0,
-        virtual_seconds=virtual_total,
+        virtual_seconds=engine.virtual_total,
         wall_seconds=time.perf_counter() - wall0,
         details=grid_details,
     )
+
+
+__all__ = [
+    "MidasRuntime",
+    "detect_path",
+    "detect_tree",
+    "sequential_detect_path",
+    "max_weight_path",
+    "detect_scan_cell",
+    "scan_grid",
+]

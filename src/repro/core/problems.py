@@ -1,0 +1,220 @@
+"""The problem layer of the unified detection engine.
+
+Every MIDAS application — k-path, k-tree, weighted k-path, scan
+statistics — is the *same* Koutis/Williams evaluation loop over a
+different DP: ``2^k`` iterations organized round → batch → phase, a
+fresh fingerprint per amplification round, XOR accumulation of the
+per-phase polynomial values.  A :class:`ProblemSpec` captures everything
+that differs between applications as data:
+
+* the iteration-space exponent ``k`` (``2^k`` iterations);
+* how to draw the round fingerprint (``levels``, ``field``);
+* the accumulator semantics — a scalar GF(2^l) value XORed per phase
+  (path/tree) or a ``(z_max + 1)``-wide weight-axis vector XORed
+  elementwise (weighted paths, scan statistics);
+* the sequential phase kernel and the SPMD program factories (plain and
+  communication-overlapped) the simulated backend feeds to the runtime
+  simulator;
+* the analytic-model parameters (Theorem 2) for the modeled backend.
+
+The :class:`~repro.core.engine.DetectionEngine` consumes a spec and runs
+it on any backend; the drivers in :mod:`repro.core.midas` are thin
+wrappers that build a spec and post-process the per-round values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.evaluator_path import (
+    make_path_phase_program,
+    make_path_phase_program_overlapped,
+    path_phase_value,
+)
+from repro.core.evaluator_scanstat import (
+    make_scanstat_phase_program,
+    make_scanstat_phase_program_overlapped,
+    scanstat_phase_value,
+)
+from repro.core.evaluator_tree import (
+    make_tree_phase_program,
+    make_tree_phase_program_overlapped,
+    tree_phase_value,
+)
+from repro.core.evaluator_wpath import (
+    make_weighted_path_phase_program,
+    make_weighted_path_phase_program_overlapped,
+    weighted_path_phase_value,
+)
+from repro.ff.fingerprint import Fingerprint
+from repro.ff.gf2m import default_field_for_k
+from repro.graph.csr import CSRGraph
+from repro.graph.templates import TreeTemplate, decompose_template
+
+#: a per-phase contribution / per-round accumulator: GF scalar or weight axis
+Value = Union[int, np.ndarray]
+
+
+@dataclass
+class ProblemSpec:
+    """One MIDAS application, expressed as data for the detection engine.
+
+    ``payload == 1`` means the accumulator is a scalar GF(2^l) value
+    (plain detection); ``payload == z_max + 1`` means it is a weight-axis
+    vector and all combination is elementwise XOR.  Both are commutative
+    and associative, which is what lets the threaded backend accumulate
+    phase results in completion order yet stay bit-identical.
+    """
+
+    name: str  # metrics / trace label family ("k-path", "scanstat", ...)
+    k: int  # iteration-space exponent: the round covers 2^k iterations
+    levels: int  # fingerprint levels to draw per round
+    field: Any  # GF(2^l) arithmetic table set
+    payload: int  # accumulator width: 1 = scalar, else z_max + 1
+    seq_phase: Callable[[Fingerprint, int, int], Value]  # (fp, q0, n2) -> value
+    program_factory: Callable[..., Any]  # (views, fp, q0, n2) -> rank program
+    program_factory_overlapped: Callable[..., Any]
+    model_problem: str = "path"  # `problem` arg of estimate_runtime
+    model_levels: Optional[int] = None  # `levels` arg of estimate_runtime
+    model_z_axis: int = 1  # `z_axis` arg of estimate_runtime
+    details: Dict[str, object] = dc_field(default_factory=dict)
+
+    # ------------------------------------------------------------ semantics
+    @property
+    def scalar(self) -> bool:
+        return self.payload == 1
+
+    @property
+    def reduce_nbytes(self) -> int:
+        """Wire bytes of the per-round XOR all-reduce."""
+        return 8 * self.payload
+
+    def draw_fingerprint(self, n: int, rng) -> Fingerprint:
+        return Fingerprint.draw(n, self.k, rng, levels=self.levels, field=self.field)
+
+    def acc_init(self) -> Value:
+        if self.scalar:
+            return 0
+        return np.zeros(self.payload, dtype=self.field.dtype)
+
+    def combine(self, acc: Value, contribution: Value) -> Value:
+        """XOR-fold one phase contribution into the round accumulator."""
+        return acc ^ contribution
+
+    def rank_value(self, raw) -> Value:
+        """Coerce a rank program's all-reduced result to accumulator form."""
+        if self.scalar:
+            return int(raw)
+        return np.asarray(raw, dtype=self.field.dtype)
+
+    def hit(self, value: Value) -> bool:
+        """Does this round's accumulator certify a witness?"""
+        if self.scalar:
+            return value != 0
+        return bool(np.any(np.asarray(value) != 0))
+
+
+# -------------------------------------------------------------- instances
+def path_problem(graph: CSRGraph, k: int) -> ProblemSpec:
+    """Simple k-vertex path detection (paper Algorithm 3)."""
+    fld = default_field_for_k(k)
+    return ProblemSpec(
+        name="k-path",
+        k=k,
+        levels=k,
+        field=fld,
+        payload=1,
+        seq_phase=lambda fp, q0, n2: path_phase_value(graph, fp, q0, n2),
+        program_factory=make_path_phase_program,
+        program_factory_overlapped=make_path_phase_program_overlapped,
+        model_problem="k-path",
+        model_levels=k - 1,
+    )
+
+
+def tree_problem(graph: CSRGraph, template: TreeTemplate) -> ProblemSpec:
+    """Non-induced tree template embedding (paper Algorithm 4)."""
+    specs = decompose_template(template)
+    k = template.k
+    fld = default_field_for_k(k)
+    return ProblemSpec(
+        name="k-tree",
+        k=k,
+        levels=k,
+        field=fld,
+        payload=1,
+        seq_phase=lambda fp, q0, n2: tree_phase_value(
+            graph, template, fp, q0, n2, specs
+        ),
+        program_factory=lambda views, fp, q0, n2: make_tree_phase_program(
+            views, template, fp, q0, n2, specs
+        ),
+        program_factory_overlapped=lambda views, fp, q0, n2: (
+            make_tree_phase_program_overlapped(views, template, fp, q0, n2, specs)
+        ),
+        model_problem="k-tree",
+        model_levels=k - 1,
+        details={"template": template.name, "n_subtrees": len(specs)},
+    )
+
+
+def weighted_path_problem(
+    graph: CSRGraph, weights: np.ndarray, k: int, z_max: int
+) -> ProblemSpec:
+    """Weight-resolved k-path detection (Problem 1's max-weight variant)."""
+    w = np.asarray(weights, dtype=np.int64)
+    fld = default_field_for_k(k)
+    return ProblemSpec(
+        name="weighted-path",
+        k=k,
+        levels=k,
+        field=fld,
+        payload=z_max + 1,
+        seq_phase=lambda fp, q0, n2: weighted_path_phase_value(
+            graph, w, fp, z_max, q0, n2
+        ),
+        program_factory=lambda views, fp, q0, n2: make_weighted_path_phase_program(
+            views, w, fp, z_max, q0, n2
+        ),
+        program_factory_overlapped=lambda views, fp, q0, n2: (
+            make_weighted_path_phase_program_overlapped(views, w, fp, z_max, q0, n2)
+        ),
+        model_problem="k-path",
+        model_levels=k - 1,
+        model_z_axis=z_max + 1,
+    )
+
+
+def scanstat_problem(
+    graph: CSRGraph, weights: np.ndarray, size: int, z_max: int
+) -> ProblemSpec:
+    """One size row of the scan-statistics grid (paper Algorithm 5).
+
+    ``size`` is the group dimension: the evaluation runs ``2^size``
+    iterations and resolves every weight cell ``z <= z_max`` of that row
+    at once (the driver assembles the full grid from one spec per size).
+    """
+    w = np.asarray(weights, dtype=np.int64)
+    fld = default_field_for_k(max(size, 2))
+    return ProblemSpec(
+        name="scanstat",
+        k=size,
+        levels=size + 1,  # base row + per-size join coefficients
+        field=fld,
+        payload=z_max + 1,
+        seq_phase=lambda fp, q0, n2: scanstat_phase_value(
+            graph, w, fp, z_max, q0, n2
+        ),
+        program_factory=lambda views, fp, q0, n2: make_scanstat_phase_program(
+            views, w, fp, z_max, q0, n2
+        ),
+        program_factory_overlapped=lambda views, fp, q0, n2: (
+            make_scanstat_phase_program_overlapped(views, w, fp, z_max, q0, n2)
+        ),
+        model_problem="scanstat",
+        model_levels=None,
+        model_z_axis=z_max + 1,
+    )

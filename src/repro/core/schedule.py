@@ -26,6 +26,18 @@ from repro.errors import ConfigurationError
 from repro.util.validation import check_positive_int, check_probability
 
 
+def pow2_floor(n: int) -> int:
+    """The largest power of two ``<= n`` (``n >= 1``).
+
+    Because the divisors of ``2^k`` are exactly the powers of two, this is
+    also the largest divisor of any ``2^k >= n`` that is ``<= n`` — the
+    O(1) replacement for the drivers' old decrement-until-divides search.
+    """
+    if n < 1:
+        raise ConfigurationError(f"pow2_floor needs n >= 1, got {n}")
+    return 1 << (int(n).bit_length() - 1)
+
+
 def rounds_for_epsilon(eps: float) -> int:
     """Number of amplification rounds: ``ceil(log(1/eps) / log(5/4))``.
 
@@ -123,13 +135,9 @@ class PhaseSchedule:
         clamped to at least 1 and to divide 2^k.
         """
         total = 1 << k
-        conc = max(1, n_processors // n1)
         n2 = max(1, total * n1 // n_processors) if n_processors <= total * n1 else 1
-        n2 = min(n2, total)
-        # ensure divisibility (N, N1 powers of two in all experiments)
-        while total % n2:
-            n2 -= 1
-        return max(1, n2)
+        # round down to a power of two: exactly the divisors of 2^k
+        return pow2_floor(min(n2, total))
 
     def describe(self) -> str:
         return (

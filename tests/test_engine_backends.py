@@ -1,0 +1,216 @@
+"""Cross-backend equivalence of the unified detection engine.
+
+Every driver routes through :class:`repro.core.engine.DetectionEngine`,
+and randomness is round-scoped, so the *answer* — every per-round
+accumulator value, not just the boolean — must be bit-identical across
+``sequential``, ``simulated``, ``threaded`` (and ``modeled``) backends,
+on any graph and any seed.  These tests pin that contract, plus the
+regression that :func:`detect_scan_cell` actually honors
+``runtime.mode`` (it used to silently run sequentially).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.midas import (
+    MidasRuntime,
+    detect_path,
+    detect_scan_cell,
+    detect_tree,
+    max_weight_path,
+    scan_grid,
+)
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, plant_path
+from repro.graph.templates import TreeTemplate
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.faults import FaultPlan, crash, drop
+from repro.runtime.tracing import TraceRecorder
+from repro.util.rng import RngStream
+
+COMMON = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.data_too_large],
+)
+
+
+def small_graph(seed: int, n_max: int = 14, density: float = 1.5) -> CSRGraph:
+    rng = RngStream(seed, name="eng")
+    n = 5 + seed % (n_max - 5)
+    m = int(n * density)
+    return erdos_renyi(n, m=min(m, n * (n - 1) // 2), rng=rng)
+
+
+def backends():
+    """One runtime per backend, identically answering configurations."""
+    return [
+        MidasRuntime(),
+        MidasRuntime(n_processors=4, n1=2, n2=4, mode="simulated"),
+        MidasRuntime(n_processors=4, n1=2, n2=4, mode="simulated", overlap=True),
+        MidasRuntime(mode="threaded", workers=3, n2=8),
+        MidasRuntime(n_processors=8, n1=4, mode="modeled"),
+    ]
+
+
+def _round_values(res):
+    return [r.value for r in res.rounds]
+
+
+class TestEquivalenceMatrix:
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=3, max_value=6))
+    @settings(**COMMON)
+    def test_path_bit_identical(self, seed, k):
+        g = small_graph(seed)
+        outs = [
+            detect_path(g, k, eps=0.3, rng=RngStream(seed ^ 0x51), runtime=rt,
+                        early_exit=False)
+            for rt in backends()
+        ]
+        ref = _round_values(outs[0])
+        for out in outs[1:]:
+            assert _round_values(out) == ref
+            assert out.found == outs[0].found
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(**COMMON)
+    def test_tree_bit_identical(self, seed):
+        g = small_graph(seed)
+        tmpl = TreeTemplate.star(4) if seed % 2 else TreeTemplate.binary(5)
+        outs = [
+            detect_tree(g, tmpl, eps=0.3, rng=RngStream(seed ^ 0x52), runtime=rt,
+                        early_exit=False)
+            for rt in backends()
+        ]
+        ref = _round_values(outs[0])
+        for out in outs[1:]:
+            assert _round_values(out) == ref
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(**COMMON)
+    def test_max_weight_path_identical(self, seed):
+        g = small_graph(seed)
+        w = RngStream(seed, name="w").integers(0, 3, size=g.n)
+        outs = [
+            max_weight_path(g, 3, w, eps=0.3, rng=RngStream(seed ^ 0x53), runtime=rt)
+            for rt in backends()
+        ]
+        assert all(o == outs[0] for o in outs[1:])
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(**COMMON)
+    def test_scan_grid_identical(self, seed):
+        g = small_graph(seed, n_max=12)
+        w = RngStream(seed, name="gw").integers(0, 2, size=g.n)
+        outs = [
+            scan_grid(g, w, k=3, eps=0.3, rng=RngStream(seed ^ 0x54), runtime=rt)
+            for rt in backends()
+        ]
+        for out in outs[1:]:
+            assert np.array_equal(out.detected, outs[0].detected)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(**COMMON)
+    def test_scan_cell_identical(self, seed):
+        g = small_graph(seed, n_max=12)
+        w = RngStream(seed, name="cw").integers(0, 2, size=g.n)
+        z = int(w.max()) + 1
+        outs = [
+            detect_scan_cell(g, w, 2, z, eps=0.3, rng=RngStream(seed ^ 0x55), runtime=rt)
+            for rt in backends()
+        ]
+        assert all(o == outs[0] for o in outs[1:])
+
+
+class TestScanCellHonorsMode:
+    """Regression: detect_scan_cell used to ignore runtime.mode entirely
+    and always evaluate sequentially — a simulated runtime produced no
+    simulator activity at all."""
+
+    def test_simulated_mode_runs_rank_programs(self):
+        g = erdos_renyi(20, 50, rng=RngStream(9, name="g"))
+        w = RngStream(10, name="w").integers(0, 2, size=g.n)
+        rec = TraceRecorder()
+        reg = MetricsRegistry()
+        rt = MidasRuntime(n_processors=4, n1=2, n2=4, mode="simulated",
+                          recorder=rec, metrics=reg)
+        detect_scan_cell(g, w, 3, 1, eps=0.4, rng=RngStream(11), runtime=rt)
+        kinds = {ev.kind for ev in rec.events}
+        # collectives (the per-round XOR reduce) only exist on the SPMD
+        # path; the old sequential-only code never produced them
+        assert "collective" in kinds
+        assert any(ev.rank > 0 for ev in rec.events), "only one rank ran"
+        rounds = reg.get("midas_rounds_total")
+        assert any(labels.get("mode") == "simulated" and child.value > 0
+                   for labels, child in rounds.children())
+
+    def test_simulated_cell_agrees_with_sequential_on_planted_hit(self):
+        g = erdos_renyi(20, 50, rng=RngStream(21, name="g"))
+        g, _ = plant_path(g, 3, rng=RngStream(22, name="p"))
+        w = np.ones(g.n, dtype=np.int64)
+        # a 3-vertex connected subgraph of total weight 3 certainly exists
+        seq = detect_scan_cell(g, w, 3, 3, eps=0.1, rng=RngStream(23))
+        sim = detect_scan_cell(
+            g, w, 3, 3, eps=0.1, rng=RngStream(23),
+            runtime=MidasRuntime(n_processors=2, n1=2, n2=4, mode="simulated"),
+        )
+        assert seq is True and sim is True
+
+
+class TestFaultEquivalence:
+    def test_max_weight_path_recovers_bit_identical(self):
+        g = erdos_renyi(30, 90, rng=RngStream(31, name="g"))
+        g, _ = plant_path(g, 4, rng=RngStream(32, name="p"))
+        w = RngStream(33, name="w").integers(0, 4, size=g.n)
+        kw = dict(eps=0.3, rng=RngStream(34))
+
+        def rt(**extra):
+            return MidasRuntime(n_processors=4, n1=2, n2=8, mode="simulated",
+                                **extra)
+
+        clean = max_weight_path(g, 4, w, runtime=rt(),
+                                **{**kw, "rng": RngStream(34)})
+        plan = FaultPlan([crash(rank=1, after_ops=3), drop(src=0, dst=1)],
+                         seed=77)
+        faulty = max_weight_path(g, 4, w, runtime=rt(fault_plan=plan),
+                                 **{**kw, "rng": RngStream(34)})
+        assert faulty == clean
+
+
+class TestThreadedConfig:
+    def test_workers_validated(self):
+        with pytest.raises(ConfigurationError):
+            MidasRuntime(mode="threaded", workers=0)
+
+    def test_fault_plan_rejected_in_threaded_mode(self):
+        with pytest.raises(ConfigurationError, match="simulated"):
+            MidasRuntime(mode="threaded", fault_plan=FaultPlan([drop()]))
+
+    def test_get_workers_defaults_to_cpu_count(self):
+        rt = MidasRuntime(mode="threaded")
+        assert rt.get_workers() >= 1
+        assert MidasRuntime(mode="threaded", workers=5).get_workers() == 5
+
+    def test_threaded_pool_released_and_reusable(self):
+        g = erdos_renyi(16, 36, rng=RngStream(41, name="g"))
+        rt = MidasRuntime(mode="threaded", workers=2)
+        a = detect_path(g, 4, eps=0.3, rng=RngStream(42), runtime=rt)
+        b = detect_path(g, 4, eps=0.3, rng=RngStream(42), runtime=rt)
+        assert _round_values(a) == _round_values(b)
+
+    def test_threaded_trace_records_phase_windows(self):
+        g = erdos_renyi(16, 36, rng=RngStream(51, name="g"))
+        rec = TraceRecorder()
+        rt = MidasRuntime(mode="threaded", workers=2, n2=4, recorder=rec)
+        res = detect_path(g, 4, eps=0.4, rng=RngStream(52), runtime=rt,
+                          early_exit=False)
+        sched_phases = 16 // 4
+        computes = [ev for ev in rec.events if ev.kind == "compute"]
+        assert len(computes) == sched_phases * len(res.rounds)
+        # every phase window of round 0 appears exactly once
+        r0 = sorted((ev.scope.q0, ev.scope.q1) for ev in computes
+                    if ev.scope.round == 0)
+        assert r0 == [(i * 4, (i + 1) * 4) for i in range(sched_phases)]

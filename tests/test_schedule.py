@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.schedule import PhaseSchedule, rounds_for_epsilon
+from repro.core.schedule import PhaseSchedule, pow2_floor, rounds_for_epsilon
 from repro.errors import ConfigurationError
 
 
@@ -109,3 +109,84 @@ class TestBsMax:
         n2 = PhaseSchedule.bs_max(3, 512, 1)
         assert n2 >= 1
         PhaseSchedule(3, 512, 1, n2)  # must validate
+
+
+class TestPow2Floor:
+    def test_exact_powers(self):
+        for e in range(20):
+            assert pow2_floor(1 << e) == 1 << e
+
+    def test_rounds_down(self):
+        assert pow2_floor(3) == 2
+        assert pow2_floor(63) == 32
+        assert pow2_floor(65) == 64
+        assert pow2_floor((1 << 30) - 1) == 1 << 29
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            pow2_floor(0)
+        with pytest.raises(ConfigurationError):
+            pow2_floor(-4)
+
+    @given(st.integers(min_value=1, max_value=1 << 40))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference(self, n):
+        # the old drivers decremented until the candidate divided 2^k;
+        # for any 2^k >= n the result is the largest power of two <= n
+        p = pow2_floor(n)
+        assert p <= n < 2 * p
+        assert (1 << 40) % p == 0
+
+
+def _bs_max_reference(k: int, n_processors: int, n1: int) -> int:
+    """The pre-refactor implementation: decrement until it divides 2^k."""
+    total = 1 << k
+    if n_processors <= total * n1:
+        n2 = max(1, total * n1 // n_processors)
+    else:
+        n2 = 1
+    n2 = min(n2, total)
+    while total % n2:
+        n2 -= 1
+    return n2
+
+
+class TestBsMaxGrid:
+    @pytest.mark.parametrize("k", [1, 2, 4, 6, 8, 10])
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 16, 48, 128, 1000])
+    @pytest.mark.parametrize("n1", [1, 2, 4, 16])
+    def test_matches_old_search_on_grid(self, k, n, n1):
+        if n1 > n:
+            pytest.skip("N1 <= N required")
+        assert PhaseSchedule.bs_max(k, n, n1) == _bs_max_reference(k, n, n1)
+
+    def test_large_k_fast(self):
+        # the old linear decrement was O(2^k) when N didn't divide 2^k N1;
+        # the closed form must be instant even at the k=30 ceiling
+        assert PhaseSchedule.bs_max(30, 3, 1) == pow2_floor((1 << 30) // 3)
+
+
+class TestRuntimeScheduleFor:
+    def test_default_n2_clamped_to_pow2(self):
+        from repro.core.midas import MidasRuntime
+
+        # explicit non-power-of-two N2 is rounded down to a divisor of 2^k
+        s = MidasRuntime(n2=48).schedule_for(8)
+        assert s.n2 == 32
+        # ... even at the largest supported k, instantly
+        s = MidasRuntime(n2=(1 << 30) - 1).schedule_for(30)
+        assert s.n2 == 1 << 29
+
+    def test_grid_against_reference(self):
+        from repro.core.midas import MidasRuntime
+
+        for k in (3, 5, 8):
+            for n, n1 in ((1, 1), (4, 2), (16, 4), (64, 16)):
+                for mode in ("sequential", "simulated"):
+                    s = MidasRuntime(n_processors=n, n1=n1, mode=mode).schedule_for(k)
+                    total = 1 << k
+                    assert total % s.n2 == 0
+                    if mode == "sequential":
+                        assert s.n2 == pow2_floor(min(total, 64))
+                    else:
+                        assert s.n2 == _bs_max_reference(k, n, n1)
