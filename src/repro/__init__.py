@@ -49,6 +49,15 @@ from repro.obs import MetricsRegistry, RunReport, get_default_registry
 from repro.runtime.cluster import VirtualCluster, juliet, laptop, shadowfax
 from repro.runtime.costmodel import KernelCalibration
 from repro.runtime.tracing import Scope, TraceRecorder
+from repro.sanitize import (
+    CertificationReport,
+    CommSanitizer,
+    DigestLog,
+    ReplayReport,
+    ResultCertifier,
+    SanitizerReport,
+    verify_replay,
+)
 from repro.scanstat.detect import AnomalyDetector, AnomalyResult
 from repro.scanstat.statistics import (
     BerkJones,
@@ -102,6 +111,13 @@ __all__ = [
     "get_default_registry",
     "Scope",
     "TraceRecorder",
+    "CertificationReport",
+    "CommSanitizer",
+    "DigestLog",
+    "ReplayReport",
+    "ResultCertifier",
+    "SanitizerReport",
+    "verify_replay",
     "AnomalyDetector",
     "AnomalyResult",
     "BerkJones",

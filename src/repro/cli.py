@@ -9,7 +9,9 @@ Commands map one-to-one to the library's top-level workflows:
 * ``scan`` — anomaly detection with a chosen statistic;
 * ``calibrate`` — measure and print the c1(N2) kernel calibration;
 * ``model`` — evaluate the Theorem-2 performance model for a
-  ``(dataset, k, N, N1, N2)`` configuration.
+  ``(dataset, k, N, N1, N2)`` configuration;
+* ``verify`` — run the full correctness tooling on one instance:
+  sanitized detection, cross-backend replay, witness certification.
 """
 
 from __future__ import annotations
@@ -74,6 +76,10 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--retry-backoff", type=float, default=1e-3,
                    help="base virtual-seconds backoff before a retry; doubles "
                         "per attempt (default 1e-3)")
+    p.add_argument("--sanitize", choices=["off", "warn", "strict"],
+                   default="off",
+                   help="runtime comm sanitizer: strict raises on the first "
+                        "violation, warn accumulates a report (default off)")
 
 
 def _runtime(args):
@@ -95,10 +101,12 @@ def _runtime(args):
         max_retries=getattr(args, "max_retries", 5),
         retry_backoff=getattr(args, "retry_backoff", 1e-3),
         workers=getattr(args, "workers", None),
+        sanitize=getattr(args, "sanitize", "off"),
     )
 
 
-def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None) -> None:
+def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None,
+               sanitizer=None) -> None:
     """Emit --trace-out / --metrics-out / --report-out artifacts."""
     if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)
             or getattr(args, "report_out", None)):
@@ -127,7 +135,8 @@ def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None) -> N
 
         rep = RunReport.build(rt.recorder.events, nranks, problem=problem,
                               mode=rt.mode, metrics=snap, estimate=estimate,
-                              meta={"n1": rt.n1}, resilience=resilience)
+                              meta={"n1": rt.n1}, resilience=resilience,
+                              sanitizer=sanitizer)
         dump_result(rep, args.report_out)
         print(f"report written: {args.report_out}")
 
@@ -140,6 +149,16 @@ def _print_resilience(r: dict) -> None:
           f"failures={r.get('phase_failures', 0)} retries={r.get('retries', 0)}  "
           f"overhead={r.get('makespan_overhead_seconds', 0.0):.3g}s "
           f"({r.get('overhead_fraction', 0.0):.1%})")
+
+
+def _print_sanitizer(sn: dict) -> None:
+    status = "clean" if sn.get("clean", True) else "VIOLATIONS"
+    kinds = ", ".join(f"{k}={v}" for k, v in sorted(sn.get("violations", {}).items()))
+    tail = f"  [{kinds}]" if kinds else ""
+    print(f"sanitizer: {status} ({sn.get('ops_checked', 0)} ops, "
+          f"{sn.get('runs', 0)} run(s)){tail}")
+    for finding in sn.get("findings", [])[:8]:
+        print(f"  {finding}")
 
 
 def cmd_datasets(args) -> int:
@@ -170,8 +189,11 @@ def cmd_detect_path(args) -> int:
     resilience = res.details.get("resilience")
     if resilience:
         _print_resilience(resilience)
+    sanitizer = res.details.get("sanitizer")
+    if sanitizer:
+        _print_sanitizer(sanitizer)
     _write_obs(args, rt, problem="k-path", estimate=res.details.get("estimate"),
-               resilience=resilience)
+               resilience=resilience, sanitizer=sanitizer)
     return 0 if res.found else 1
 
 
@@ -195,8 +217,11 @@ def cmd_detect_tree(args) -> int:
     resilience = res.details.get("resilience")
     if resilience:
         _print_resilience(resilience)
+    sanitizer = res.details.get("sanitizer")
+    if sanitizer:
+        _print_sanitizer(sanitizer)
     _write_obs(args, rt, problem="k-tree", estimate=res.details.get("estimate"),
-               resilience=resilience)
+               resilience=resilience, sanitizer=sanitizer)
     return 0 if res.found else 1
 
 
@@ -227,7 +252,11 @@ def cmd_scan(args) -> int:
     resilience = res.grid.details.get("resilience")
     if resilience:
         _print_resilience(resilience)
-    _write_obs(args, rt, problem="scanstat", resilience=resilience)
+    sanitizer = res.grid.details.get("sanitizer")
+    if sanitizer:
+        _print_sanitizer(sanitizer)
+    _write_obs(args, rt, problem="scanstat", resilience=resilience,
+               sanitizer=sanitizer)
     return 0
 
 
@@ -299,6 +328,78 @@ def cmd_report(args) -> int:
     print(f"{args.path}: serialized {type(obj).__name__}, not a RunReport "
           "or MetricsSnapshot", file=sys.stderr)
     return 1
+
+
+def cmd_verify(args) -> int:
+    """Run the full correctness tooling on one k-path instance:
+    sanitized detection, cross-backend replay, independent certification.
+    Exit 0 when everything checks out, 2 on any violation."""
+    from repro.core.midas import detect_path
+    from repro.core.witness import extract_witness
+    from repro.errors import DetectionError, ReplayMismatchError, SanitizerError
+    from repro.sanitize import ResultCertifier, verify_replay
+
+    g, rng = _load_graph(args)
+    print(f"graph: {g}")
+    rt = _runtime(args)
+    failures = 0
+
+    # 1. sanitized detection on the requested backend
+    try:
+        res = detect_path(g, args.k, eps=args.eps, rng=rng.child("detect"),
+                          runtime=rt)
+    except SanitizerError as exc:
+        print(f"FAIL sanitizer: {exc}")
+        return 2
+    print(res.summary())
+    sn = res.details.get("sanitizer")
+    if sn:
+        _print_sanitizer(sn)
+        if not sn.get("clean", True):
+            failures += 1
+
+    # 2. deterministic replay against the reference backend
+    try:
+        rep = verify_replay(detect_path, g, args.k, runtime=rt,
+                            reference_mode=args.reference_mode,
+                            seed=args.seed, strict=False, eps=args.eps)
+        print(rep.text())
+        if not rep.ok:
+            failures += 1
+    except ReplayMismatchError as exc:  # pragma: no cover - strict=False above
+        print(f"FAIL replay: {exc}")
+        failures += 1
+
+    # 3. independent certification: a witness when found, the exact
+    #    oracle spot-check when not (small instances only)
+    cert = ResultCertifier(g, mode="warn")
+    if res.found:
+        query_rng = rng.child("witness")
+
+        def feasible(masked) -> bool:
+            return detect_path(
+                masked, args.k, eps=0.01,
+                rng=query_rng.child(f"q{masked.num_edges}"),
+            ).found
+
+        try:
+            witness = extract_witness(g, feasible, args.k,
+                                      rng=rng.child("peel"))
+        except DetectionError as exc:
+            print(f"witness extraction failed: {exc}")
+            failures += 1
+        else:
+            ordered = cert.path_witness(witness, args.k)
+            if ordered is not None:
+                print(f"witness certified: path {ordered}")
+    elif g.n <= 200:
+        cert.negative_path(args.k)
+    print(cert.report.text())
+    if not cert.report.clean:
+        failures += 1
+
+    print("verify: " + ("OK" if failures == 0 else f"{failures} FAILURE(S)"))
+    return 0 if failures == 0 else 2
 
 
 def cmd_figures(args) -> int:
@@ -384,6 +485,19 @@ def build_parser() -> argparse.ArgumentParser:
     mo.add_argument("--measure", action="store_true",
                     help="calibrate live instead of using the synthetic curve")
     mo.set_defaults(fn=cmd_model)
+
+    vf = sub.add_parser(
+        "verify",
+        help="sanitized detection + cross-backend replay + certification",
+    )
+    _add_graph_args(vf)
+    _add_runtime_args(vf)
+    vf.add_argument("-k", type=int, required=True)
+    vf.add_argument("--reference-mode",
+                    choices=["sequential", "threaded", "simulated", "modeled"],
+                    default="sequential",
+                    help="backend the replay check compares against")
+    vf.set_defaults(fn=cmd_verify)
 
     rp = sub.add_parser("report", help="render a RunReport/metrics JSON as text")
     rp.add_argument("path", help="file written by --report-out or --metrics-out")

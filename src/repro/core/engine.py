@@ -64,6 +64,7 @@ from repro.util.rng import RngStream
 _LOG = get_logger(__name__)
 
 _MODES = ("sequential", "simulated", "modeled", "threaded")
+_SANITIZE = ("off", "warn", "strict")
 
 
 @dataclass
@@ -101,6 +102,18 @@ class MidasRuntime:
     ``max_retries`` per window; each retry adds an exponential-backoff
     penalty of ``retry_backoff * 2^attempt`` virtual seconds to the
     makespan, modeling failure detection + restart cost.
+
+    Sanitization: ``sanitize="warn"`` or ``"strict"`` attaches a
+    :class:`~repro.sanitize.CommSanitizer` to every simulated run (comm
+    discipline checked on every yielded op; strict raises a typed
+    :class:`~repro.errors.SanitizerError` at the first violation, warn
+    accumulates a report) and stamps a ``sanitizer`` section into result
+    details / the RunReport plus ``sanitizer_*`` metric families.
+    Sanitizer hooks charge no virtual time, so sanitized runs keep
+    identical clocks and results.  ``digest_log`` optionally attaches a
+    :class:`~repro.sanitize.DigestLog` that records per-phase and
+    per-round accumulator digests for deterministic-replay verification
+    (:func:`repro.sanitize.verify_replay`).
     """
 
     n_processors: int = 1
@@ -120,10 +133,16 @@ class MidasRuntime:
     max_retries: int = 5
     retry_backoff: float = 1e-3
     workers: Optional[int] = None
+    sanitize: str = "off"
+    digest_log: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ConfigurationError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.sanitize not in _SANITIZE:
+            raise ConfigurationError(
+                f"sanitize must be one of {_SANITIZE}, got {self.sanitize!r}"
+            )
         if self.fault_plan is not None and self.mode != "simulated":
             raise ConfigurationError(
                 f"fault_plan requires mode='simulated' (faults are injected into "
@@ -246,7 +265,7 @@ class _FaultContext:
 
 
 def _run_phase_resilient(rt: MidasRuntime, fc: _FaultContext, prog, key: str,
-                         sim_cost_model, want_trace: bool):
+                         sim_cost_model, want_trace: bool, sanitizer=None):
     """Run one phase window to completion under the fault plan.
 
     Retries the window (same program, seeded-identical randomness) on any
@@ -268,7 +287,7 @@ def _run_phase_resilient(rt: MidasRuntime, fc: _FaultContext, prog, key: str,
         sim = Simulator(
             rt.n1, cost_model=sim_cost_model,
             measure_compute=rt.measure_compute,
-            trace=want_trace, faults=run_inj,
+            trace=want_trace, faults=run_inj, sanitizer=sanitizer,
         )
         err = None
         res = None
@@ -377,9 +396,11 @@ class SequentialBackend(ExecutionBackend):
         for t in range(sched.n_phases):
             q0, q1 = sched.phase_window(t)
             p0 = time.perf_counter()
-            value = spec.combine(value, spec.seq_phase(fp, q0, sched.n2))
+            contrib = spec.seq_phase(fp, q0, sched.n2)
+            value = spec.combine(value, contrib)
             dt = time.perf_counter() - p0
             stage.phase_hist.observe(dt)
+            e.note_phase(stage, ell, t, contrib)
             if rec is not None:
                 rec.record(0, "compute", e.cursor, e.cursor + dt,
                            scope=Scope(round=ell, phase=t, q0=q0, q1=q1,
@@ -445,6 +466,8 @@ class ThreadedBackend(ExecutionBackend):
             value = spec.combine(value, v)
             stage.phase_hist.observe(s1 - s0)
             timings.append((t, q0, q1, s0, s1, worker))
+            # digests are keyed by phase index, so completion order is moot
+            e.note_phase(stage, ell, t, v)
         elapsed = time.perf_counter() - round0
         if e.rec is not None:
             # record after the barrier (the recorder is not thread-safe):
@@ -495,9 +518,11 @@ class SimulatedBackend(ExecutionBackend):
                 prog = factory(e.views, fp, q0, sched.n2)
                 res, sim, extra, failed = _run_phase_resilient(
                     rt, fc, prog, f"{stage.key_prefix}r{ell}/b{bi}/p{t}",
-                    self._cost_model, want_trace=want_trace,
+                    self._cost_model, want_trace=want_trace, sanitizer=e.san,
                 )
-                value = spec.combine(value, spec.rank_value(res.results[0]))
+                contrib = spec.rank_value(res.results[0])
+                value = spec.combine(value, contrib)
+                e.note_phase(stage, ell, t, contrib)
                 batch_time = max(batch_time, extra + res.makespan)
                 stage.phase_hist.observe(res.makespan)
                 if rt.trace:
@@ -573,6 +598,22 @@ class DetectionEngine:
         self.fc = (
             _FaultContext(rt, self.reg, problem) if rt.mode == "simulated" else None
         )
+        self.san = None
+        self.san_report = None
+        self._san_synced = False
+        self.digests = rt.digest_log
+        self._value_digest = None
+        if rt.sanitize != "off" or self.digests is not None:
+            # imported lazily: repro.sanitize.replay imports this module
+            from repro.sanitize.comm import CommSanitizer, SanitizerReport
+            from repro.sanitize.replay import value_digest
+            self._value_digest = value_digest
+            if rt.sanitize != "off":
+                self.san_report = SanitizerReport()
+                if rt.mode == "simulated":
+                    # comm checking only has a substrate in simulated mode;
+                    # other modes still get the report/metrics plumbing
+                    self.san = CommSanitizer(rt.sanitize, self.san_report)
         try:
             self.backend = _BACKENDS[rt.mode](self)
         except KeyError:  # unreachable given MidasRuntime validation
@@ -599,6 +640,40 @@ class DetectionEngine:
 
     def close(self) -> None:
         self.backend.close()
+        self._sync_sanitizer_metrics()
+
+    def _sync_sanitizer_metrics(self) -> None:
+        """Publish the sanitizer report into ``sanitizer_*`` metric families
+        (once; drivers that never call :meth:`fill_details` still report)."""
+        rep = self.san_report
+        if rep is None or self._san_synced:
+            return
+        self._san_synced = True
+        self.reg.counter(
+            "sanitizer_ops_checked_total", "Ops inspected by the comm sanitizer"
+        ).labels(problem=self.problem, mode=self.rt.mode).inc(rep.ops_checked)
+        self.reg.counter(
+            "sanitizer_runs_total", "Simulated runs executed under the sanitizer"
+        ).labels(problem=self.problem, mode=self.rt.mode).inc(rep.runs)
+        for kind, n in rep.counts().items():
+            self.reg.counter(
+                "sanitizer_violations_total", "Sanitizer violations, by kind"
+            ).labels(kind=kind, problem=self.problem).inc(n)
+
+    # ------------------------------------------------------------- digests
+    def note_phase(self, stage: "_Stage", ell: int, t: int, contribution) -> None:
+        """Record one phase contribution's digest (no-op without a log)."""
+        if self.digests is not None:
+            self.digests.record_phase(
+                stage.label, ell, t // stage.sched.concurrency, t,
+                self._value_digest(contribution),
+            )
+
+    def note_round(self, stage: "_Stage", ell: int, value) -> None:
+        """Record one round accumulator's digest (no-op without a log)."""
+        if self.digests is not None:
+            self.digests.record_round(stage.label, ell,
+                                      self._value_digest(value))
 
     # ------------------------------------------------------------ resources
     def ensure_partition(self):
@@ -659,6 +734,7 @@ class DetectionEngine:
         for ell in range(rounds):
             fp = spec.draw_fingerprint(self.graph.n, rng.child(f"round{ell}"))
             value, round_virtual = self.backend.run_round(stage, fp, ell)
+            self.note_round(stage, ell, value)
             self.rounds_ctr.inc()
             self.virtual_total += round_virtual
             values.append(value)
@@ -687,6 +763,8 @@ class DetectionEngine:
                            self.trace_comm / busy if busy > 0 else 0.0)
         if self.fc is not None and self.fc.injector is not None:
             det["resilience"] = self.fc.resilience(self.virtual_total)
+        if self.san_report is not None:
+            det["sanitizer"] = self.san_report.to_dict()
         return det
 
     def want_estimate_default(self) -> bool:

@@ -80,12 +80,16 @@ class ProblemSpec:
     model_problem: str = "path"  # `problem` arg of estimate_runtime
     model_levels: Optional[int] = None  # `levels` arg of estimate_runtime
     model_z_axis: int = 1  # `z_axis` arg of estimate_runtime
+    vector: bool = False  # accumulator is a weight axis even when payload == 1
     details: Dict[str, object] = dc_field(default_factory=dict)
 
     # ------------------------------------------------------------ semantics
     @property
     def scalar(self) -> bool:
-        return self.payload == 1
+        # `payload == 1` alone is wrong: a weight-axis problem with
+        # z_max = 0 (all-zero weights) has a length-1 vector accumulator,
+        # not a GF scalar
+        return self.payload == 1 and not self.vector
 
     @property
     def reduce_nbytes(self) -> int:
@@ -185,6 +189,7 @@ def weighted_path_problem(
         model_problem="k-path",
         model_levels=k - 1,
         model_z_axis=z_max + 1,
+        vector=True,
     )
 
 
@@ -217,4 +222,5 @@ def scanstat_problem(
         model_problem="scanstat",
         model_levels=None,
         model_z_axis=z_max + 1,
+        vector=True,
     )

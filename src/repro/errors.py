@@ -101,6 +101,52 @@ class SendFailedError(FaultInjectedError):
         self.tag = tag
 
 
+class SanitizerError(ReproError, RuntimeError):
+    """The runtime sanitizer detected a communication-discipline violation.
+
+    Raised by :class:`repro.sanitize.CommSanitizer` in ``strict`` mode at
+    the first violation; ``kind`` is the violation class (one of
+    :data:`repro.sanitize.comm.VIOLATION_KINDS`), ``rank`` the offending
+    rank, and ``op``/``tag`` describe the operation.  Deliberately *not* a
+    :class:`FaultInjectedError`: a sanitizer finding is a program bug, so
+    the fault-tolerant driver must never retry it away.
+    """
+
+    def __init__(self, message: str, kind: str = "", rank=None, op: str = "",
+                 tag=None):
+        super().__init__(message)
+        self.kind = kind
+        self.rank = rank
+        self.op = op
+        self.tag = tag
+
+
+class CertificationError(ReproError, RuntimeError):
+    """An engine output failed independent re-validation.
+
+    Raised by :mod:`repro.sanitize.certify` when a returned witness does
+    not check out against the graph (missing edge, duplicate vertex,
+    wrong size/weight, disconnected cluster) or a recomputed score
+    disagrees with the reported one.  The message names the exact
+    offending element (e.g. the missing edge).
+    """
+
+
+class ReplayMismatchError(ReproError, RuntimeError):
+    """Deterministic replay diverged between two execution backends.
+
+    Raised by :func:`repro.sanitize.verify_replay` in strict mode;
+    ``round_index``/``batch``/``phase`` locate the first divergent
+    phase window (``None`` coordinates mean the round-level accumulator).
+    """
+
+    def __init__(self, message: str, round_index=None, batch=None, phase=None):
+        super().__init__(message)
+        self.round_index = round_index
+        self.batch = batch
+        self.phase = phase
+
+
 class ResourceExhaustedError(ReproError, RuntimeError):
     """A modeled resource limit (e.g. per-node memory) was exceeded.
 

@@ -98,6 +98,7 @@ class RunReport:
     estimate: Optional[PerformanceEstimate] = None
     meta: dict = field(default_factory=dict)
     resilience: Optional[dict] = None
+    sanitizer: Optional[dict] = None
 
     # ------------------------------------------------------------- builders
     @staticmethod
@@ -110,6 +111,7 @@ class RunReport:
         estimate: Optional[PerformanceEstimate] = None,
         meta: Optional[dict] = None,
         resilience: Optional[dict] = None,
+        sanitizer: Optional[dict] = None,
     ) -> "RunReport":
         return RunReport(
             problem=problem,
@@ -121,6 +123,7 @@ class RunReport:
             estimate=estimate,
             meta=dict(meta or {}),
             resilience=dict(resilience) if resilience else None,
+            sanitizer=dict(sanitizer) if sanitizer else None,
         )
 
     # ------------------------------------------------------------- analysis
@@ -217,6 +220,18 @@ class RunReport:
                 f"{format_seconds(r.get('makespan_overhead_seconds', 0.0))} "
                 f"({r.get('overhead_fraction', 0.0):.1%} of fault-free)"
             )
+        if self.sanitizer:
+            sn = self.sanitizer
+            lines.append("sanitizer:")
+            status = "clean" if sn.get("clean", True) else "VIOLATIONS"
+            lines.append(
+                f"  {status}: {sn.get('ops_checked', 0)} ops across "
+                f"{sn.get('runs', 0)} run(s)"
+            )
+            for kind, n in sorted(sn.get("violations", {}).items()):
+                lines.append(f"  {kind}: {n}")
+            for finding in sn.get("findings", [])[:8]:
+                lines.append(f"    {finding}")
         if self.metrics is not None:
             lines.append(f"metrics: {len(self.metrics.metrics)} families "
                          f"({', '.join(self.metrics.names()[:6])}"
@@ -254,6 +269,7 @@ class RunReport:
                          if self.estimate is not None else None),
             "meta": self.meta,
             "resilience": self.resilience,
+            "sanitizer": self.sanitizer,
         }
 
     @staticmethod
@@ -292,4 +308,5 @@ class RunReport:
             estimate=estimate,
             meta=data.get("meta", {}),
             resilience=data.get("resilience"),
+            sanitizer=data.get("sanitizer"),
         )

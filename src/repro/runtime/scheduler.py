@@ -91,6 +91,7 @@ class RankContext:
 class _Message:
     payload: Any
     arrive: float
+    san: Any = None  # sanitizer send-record, when a sanitizer is attached
 
 
 def _annotate_rank(exc: BaseException, rank: int) -> None:
@@ -181,6 +182,10 @@ class Simulator:
         :class:`~repro.runtime.faults.FaultInjector`, or
         :class:`~repro.runtime.faults.RunInjector` describing faults to
         inject into this run (``None`` = perfect machine).
+    sanitizer:
+        A :class:`~repro.sanitize.CommSanitizer` to consult on every
+        yielded op (``None`` = no checking).  Hooks charge no virtual
+        time, so a sanitized run has identical clocks to a bare one.
     """
 
     def __init__(
@@ -191,6 +196,7 @@ class Simulator:
         copy_payloads: bool = True,
         trace: bool = True,
         faults=None,
+        sanitizer=None,
     ) -> None:
         if nranks < 1:
             raise RuntimeSimulationError(f"need >= 1 rank, got {nranks}")
@@ -200,6 +206,7 @@ class Simulator:
         self.copy_payloads = copy_payloads
         self.trace = TraceRecorder(enabled=trace)
         self.faults: Optional[RunInjector] = as_run_injector(faults)
+        self.sanitizer = sanitizer
         self._states: List[_RankState] = []
 
     # ---------------------------------------------------------------- run
@@ -211,6 +218,8 @@ class Simulator:
             for r in range(self.nranks)
         ]
         self._states = states
+        if self.sanitizer is not None:
+            self.sanitizer.begin_run(self.nranks)
         c_scale = self.cost.spec.c_scale
         if self.faults is not None:
             rank_node = self.cost.rank_node
@@ -241,6 +250,9 @@ class Simulator:
                 if not runnable and not self._fire_earliest_timeout(states):
                     self._raise_stalled(states)
 
+        if self.sanitizer is not None:
+            fired = self.faults is not None and self.faults.any_fired
+            self.sanitizer.on_run_end(states, fired)
         clocks = np.array([st.clock for st in states])
         return SimResult(
             results=[st.result for st in states],
@@ -306,6 +318,8 @@ class Simulator:
                 raise
             self._charge_compute(st, time.perf_counter() - t0, c_scale)
             st.ops_done += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_op(st.rank, op, st.collective_idx)
 
             if isinstance(op, Charge):
                 t = st.clock
@@ -393,8 +407,11 @@ class Simulator:
                               info=f"duplicate->{op.dst}")
         dst = states[op.dst]
         q = dst.inbox.setdefault((st.rank, op.tag), deque())
+        rec = None
+        if self.sanitizer is not None:
+            rec = self.sanitizer.on_send(st.rank, op, copies)
         for _ in range(copies):
-            q.append(_Message(payload, arrive))
+            q.append(_Message(payload, arrive, san=rec))
         # wake the receiver if it was blocked on exactly this message
         if dst.blocked_recv is not None:
             br = dst.blocked_recv
@@ -422,6 +439,8 @@ class Simulator:
             self._expire_recv(st, op, deadline)
             return True
         q.popleft()
+        if self.sanitizer is not None and msg.san is not None:
+            self.sanitizer.on_deliver(st.rank, msg.san)
         t = st.clock
         if msg.arrive > st.clock:
             if self.trace.enabled:
@@ -483,6 +502,13 @@ class Simulator:
                         f"involves crashed rank(s) {crashed}:\n"
                         + self._diagnose(states),
                         ranks=crashed,
+                    )
+                if self.sanitizer is not None:
+                    waiting = [st.rank for st in pend]
+                    exited = [st.rank for st in states
+                              if st.finished and not st.crashed]
+                    self.sanitizer.on_collective_abandoned(
+                        waiting, exited, pend[0].pending_collective
                     )
                 self._raise_deadlock(states)
             return False

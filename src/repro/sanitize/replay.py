@@ -1,0 +1,228 @@
+"""Deterministic-replay verification for the detection engine.
+
+PR 3's engine claims every backend is *bit-identical*: randomness is
+round-scoped, XOR accumulation is order-free, so sequential, threaded,
+simulated, and modeled runs of the same seed agree exactly.  That claim
+is property-tested, but nothing made it a checkable *runtime* property
+of a particular run.  This module does:
+
+* :class:`DigestLog` — a sink the engine fills with CRC digests of every
+  per-phase contribution (keyed ``(stage label, round, batch, phase)``)
+  and every per-round accumulator, when attached via
+  ``MidasRuntime.digest_log``;
+* :func:`verify_replay` — run a driver once under the caller's runtime
+  and once on a *reference* backend with the same seed and a pinned
+  schedule, then diff the two logs and report the first divergent
+  coordinate (phases first, in schedule order, then round accumulators).
+
+The schedule is pinned by resolving ``n2`` to a concrete power of two
+before either run: ``MidasRuntime.schedule_for`` caps an explicit ``n2``
+identically in every mode, so both executions decompose each round into
+the same (batch, phase) windows and the digest keys align.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReplayMismatchError
+
+#: backends verify_replay accepts (modeled == sequential values + a model)
+REPLAY_MODES = ("sequential", "threaded", "simulated", "modeled")
+
+
+def value_digest(value: Any) -> int:
+    """CRC digest of a phase contribution / round accumulator.
+
+    Accumulators are GF(2^l) scalars (Python ints) or weight-axis numpy
+    vectors; both digest by content, so equal values always collide and
+    any single-bit difference (whp) does not.
+    """
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        return zlib.crc32(arr.tobytes(), zlib.crc32(str(arr.dtype).encode()))
+    return zlib.crc32(int(value).to_bytes(16, "little", signed=True))
+
+
+class DigestLog:
+    """Per-phase and per-round digests of one engine execution."""
+
+    def __init__(self) -> None:
+        # (label, round, batch, phase) -> digest of the phase contribution
+        self.phases: Dict[Tuple[str, int, int, int], int] = {}
+        # (label, round) -> digest of the round accumulator
+        self.rounds: Dict[Tuple[str, int], int] = {}
+
+    def record_phase(self, label: str, round_index: int, batch: int,
+                     phase: int, digest: int) -> None:
+        self.phases[(label, round_index, batch, phase)] = digest
+
+    def record_round(self, label: str, round_index: int, digest: int) -> None:
+        self.rounds[(label, round_index)] = digest
+
+    def __len__(self) -> int:
+        return len(self.phases) + len(self.rounds)
+
+
+@dataclass(frozen=True)
+class ReplayDivergence:
+    """The first coordinate where two digest logs disagree.
+
+    ``what`` is ``"phase"`` (a single phase window's contribution
+    differs, or exists in only one run) or ``"round"`` (a round
+    accumulator differs — possible with matching phase digests only if
+    accumulation itself is broken, e.g. a non-commutative combine).
+    """
+
+    what: str
+    label: str
+    round_index: int
+    batch: Optional[int]
+    primary: Optional[int]
+    reference: Optional[int]
+    phase: Optional[int] = None
+
+    def message(self) -> str:
+        where = f"round {self.round_index}"
+        if self.what == "phase":
+            where += f", batch {self.batch}, phase {self.phase}"
+        if self.label:
+            where = f"stage {self.label!r}, " + where
+        def fmt(d):
+            return "missing" if d is None else f"{d:#010x}"
+        return (f"replay diverged at {where} ({self.what} digest): "
+                f"primary {fmt(self.primary)} != reference {fmt(self.reference)}")
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of :func:`verify_replay`."""
+
+    primary_mode: str
+    reference_mode: str
+    phases_checked: int
+    rounds_checked: int
+    divergence: Optional[ReplayDivergence] = None
+    primary_result: Any = None
+    reference_result: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def text(self) -> str:
+        head = (f"replay {self.primary_mode} vs {self.reference_mode}: "
+                f"{self.phases_checked} phase / {self.rounds_checked} round "
+                f"digests compared")
+        if self.ok:
+            return head + " — identical"
+        return head + "\n  " + self.divergence.message()
+
+    def raise_if_divergent(self) -> None:
+        d = self.divergence
+        if d is not None:
+            raise ReplayMismatchError(
+                d.message(), round_index=d.round_index, batch=d.batch,
+                phase=d.phase,
+            )
+
+
+def diff_digest_logs(primary: DigestLog,
+                     reference: DigestLog) -> Optional[ReplayDivergence]:
+    """First divergent coordinate between two logs, or ``None``.
+
+    Phase digests are compared first, in (label, round, batch, phase)
+    order, so a single corrupted phase is pinpointed rather than blamed
+    on the round accumulator it poisons.  A key present in only one log
+    (early exit at different rounds, mismatched schedules) counts as a
+    divergence at that key.
+    """
+    for key in sorted(set(primary.phases) | set(reference.phases)):
+        a = primary.phases.get(key)
+        b = reference.phases.get(key)
+        if a != b:
+            label, ell, batch, phase = key
+            return ReplayDivergence("phase", label, ell, batch, a, b,
+                                    phase=phase)
+    for key in sorted(set(primary.rounds) | set(reference.rounds)):
+        a = primary.rounds.get(key)
+        b = reference.rounds.get(key)
+        if a != b:
+            label, ell = key
+            return ReplayDivergence("round", label, ell, None, a, b)
+    return None
+
+
+def verify_replay(
+    driver: Callable,
+    graph,
+    *args,
+    runtime=None,
+    reference_mode: str = "sequential",
+    seed: int = 20260806,
+    strict: bool = True,
+    **kwargs,
+) -> ReplayReport:
+    """Execute ``driver`` twice — primary and reference backend — and diff
+    per-phase/per-round digests.
+
+    ``driver`` is any engine driver that accepts ``rng=`` and ``runtime=``
+    keywords (:func:`~repro.core.midas.detect_path`, ``detect_tree``,
+    ``max_weight_path``, ``detect_scan_cell``, ``scan_grid``); positional
+    ``args`` and extra ``kwargs`` are passed through to both runs.  Both
+    runs draw from the same integer ``seed``, so their round fingerprints
+    are identical and every digest must match.
+
+    The reference run drops the primary's fault plan and recorder (the
+    reference is a clean machine) but keeps ``(N, N1)`` and the resolved
+    ``n2``, so the schedules align.  Returns a :class:`ReplayReport`;
+    with ``strict`` a divergence raises
+    :class:`~repro.errors.ReplayMismatchError` locating the first
+    divergent (round, batch, phase).
+    """
+    from repro.core.engine import MidasRuntime
+    from repro.errors import ConfigurationError
+
+    if reference_mode not in REPLAY_MODES:
+        raise ConfigurationError(
+            f"reference_mode must be one of {REPLAY_MODES}, got {reference_mode!r}"
+        )
+    rt = runtime if runtime is not None else MidasRuntime()
+    # pin the schedule: an explicit n2 resolves identically in every mode
+    n2 = rt.n2 if rt.n2 is not None else 64
+    pri_log, ref_log = DigestLog(), DigestLog()
+    pri_rt = dataclasses.replace(rt, n2=n2, digest_log=pri_log, recorder=None)
+    ref_rt = dataclasses.replace(
+        rt, mode=reference_mode, n2=n2, digest_log=ref_log,
+        recorder=None, fault_plan=None,
+    )
+    primary_result = driver(graph, *args, rng=seed, runtime=pri_rt, **kwargs)
+    reference_result = driver(graph, *args, rng=seed, runtime=ref_rt, **kwargs)
+    report = ReplayReport(
+        primary_mode=rt.mode,
+        reference_mode=reference_mode,
+        phases_checked=len(set(pri_log.phases) | set(ref_log.phases)),
+        rounds_checked=len(set(pri_log.rounds) | set(ref_log.rounds)),
+        divergence=diff_digest_logs(pri_log, ref_log),
+        primary_result=primary_result,
+        reference_result=reference_result,
+    )
+    if strict:
+        report.raise_if_divergent()
+    return report
+
+
+__all__ = [
+    "DigestLog",
+    "ReplayDivergence",
+    "ReplayReport",
+    "REPLAY_MODES",
+    "diff_digest_logs",
+    "value_digest",
+    "verify_replay",
+]

@@ -77,6 +77,11 @@ def extract_cluster(
     detection (:func:`repro.core.midas.detect_scan_cell`), so this is meant
     for analysis-sized graphs (the paper's Fig 13 use case), not the
     scaling benchmarks.
+
+    When the runtime has ``sanitize != "off"``, the returned cluster is
+    independently certified against the graph — exact size, exact total
+    weight, connectivity — and a bogus one raises
+    :class:`~repro.errors.CertificationError` instead of being returned.
     """
     from repro.core.midas import detect_scan_cell
     from repro.core.witness import extract_witness
@@ -91,7 +96,13 @@ def extract_cluster(
             rng=query_rng.child(f"q{masked.num_edges}"), runtime=runtime,
         )
 
-    return extract_witness(graph, feasible, size, rng=rng, max_queries=max_queries)
+    cluster = extract_witness(graph, feasible, size, rng=rng,
+                              max_queries=max_queries)
+    if runtime is not None and runtime.sanitize != "off":
+        from repro.sanitize.certify import certify_cluster
+
+        certify_cluster(graph, w, cluster, size, weight)
+    return cluster
 
 
 class AnomalyDetector:

@@ -1,0 +1,320 @@
+"""Witness / result certification tests.
+
+Every witness produced over the oracle instance grid must certify
+against the raw graph; corrupted artifacts must be rejected with a
+diagnostic naming the exact offending element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _test_oracles import connected_subgraph_cells, has_k_path
+from repro.core.engine import MidasRuntime
+from repro.core.midas import detect_path, max_weight_path, scan_grid
+from repro.core.witness import extract_witness
+from repro.errors import CertificationError, ConfigurationError
+from repro.exact import max_weight_path as exact_max_weight
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi,
+    plant_cluster,
+    plant_path,
+    plant_tree,
+)
+from repro.graph.templates import TreeTemplate
+from repro.sanitize import CertificationReport, ResultCertifier
+from repro.sanitize.certify import (
+    certify_cluster,
+    certify_max_weight,
+    certify_ordered_path,
+    certify_path_witness,
+    certify_scan_grid,
+    certify_scan_score,
+    certify_tree_witness,
+)
+from repro.scanstat.statistics import ElevatedMean
+from repro.util.rng import RngStream
+
+
+def drop_edge(g: CSRGraph, u: int, v: int) -> CSRGraph:
+    kept = [(a, b) for a, b in g.edges() if {int(a), int(b)} != {u, v}]
+    return CSRGraph.from_edges(g.n, kept, name=f"{g.name}-edge")
+
+
+# ------------------------------------------------- instance-grid witnesses
+INSTANCES = [(20, 35, 3, 11), (20, 35, 4, 12), (30, 55, 4, 13),
+             (30, 55, 5, 14), (40, 70, 6, 15)]
+
+
+@pytest.mark.parametrize("n,m,k,seed", INSTANCES)
+def test_every_grid_witness_certifies(n, m, k, seed):
+    base = erdos_renyi(n, m=m, rng=RngStream(seed))
+    g, planted = plant_path(base, k, rng=RngStream(seed + 100))
+    assert has_k_path(g, k)
+    witness = extract_witness(
+        g, lambda masked: has_k_path(masked, k), k, rng=RngStream(seed + 200)
+    )
+    order = certify_path_witness(g, witness, k)
+    assert sorted(order) == sorted(int(v) for v in witness)
+    certify_ordered_path(g, order)  # the returned ordering is itself valid
+
+
+@pytest.mark.parametrize("n,m,k,seed", INSTANCES[:2])
+def test_detection_driven_witness_certifies(n, m, k, seed):
+    base = erdos_renyi(n, m=m, rng=RngStream(seed))
+    g, _ = plant_path(base, k, rng=RngStream(seed + 100))
+
+    def feasible(masked):
+        return detect_path(masked, k, eps=0.01,
+                           rng=RngStream(seed + masked.num_edges)).found
+
+    witness = extract_witness(g, feasible, k, rng=RngStream(seed + 300))
+    certify_path_witness(g, witness, k)
+
+
+# -------------------------------------------------------- precise rejects
+class TestPathWitnessRejection:
+    @pytest.fixture
+    def planted(self):
+        base = erdos_renyi(25, m=30, rng=RngStream(7))
+        g, nodes = plant_path(base, 5, rng=RngStream(8))
+        return g, [int(v) for v in nodes]
+
+    def test_corrupting_one_edge_names_it(self, planted):
+        g, nodes = planted
+        broken = drop_edge(g, nodes[1], nodes[2])
+        with pytest.raises(CertificationError) as ei:
+            certify_ordered_path(broken, nodes)
+        msg = str(ei.value)
+        assert f"({nodes[1]}, {nodes[2]})" in msg
+        assert "is not an edge" in msg
+
+    def test_wrong_size(self, planted):
+        g, nodes = planted
+        with pytest.raises(CertificationError, match="expected 5 vertices, got 4"):
+            certify_path_witness(g, nodes[:4], 5)
+
+    def test_duplicate_vertex_named(self, planted):
+        g, nodes = planted
+        bad = nodes[:4] + [nodes[0]]
+        with pytest.raises(CertificationError,
+                           match=f"vertex {nodes[0]} appears more than once"):
+            certify_path_witness(g, bad, 5)
+
+    def test_out_of_range_vertex_named(self, planted):
+        g, nodes = planted
+        with pytest.raises(CertificationError, match="out of range"):
+            certify_path_witness(g, nodes[:4] + [g.n + 3], 5)
+
+    def test_isolated_vertex_named(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (1, 2), (4, 5)], name="iso")
+        with pytest.raises(CertificationError,
+                           match="vertex 3 is isolated within the witness"):
+            certify_path_witness(g, [0, 1, 2, 3], 4)
+
+    def test_disconnected_witness_names_components(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (2, 3)], name="2comp")
+        with pytest.raises(CertificationError, match="disconnected"):
+            certify_path_witness(g, [0, 1, 2, 3], 4)
+
+    def test_connected_but_no_ordering(self):
+        # a star: connected, every vertex has a neighbour, no 4-path
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)], name="star4")
+        with pytest.raises(CertificationError, match="no\\s+simple path"):
+            certify_path_witness(g, [0, 1, 2, 3], 4)
+
+    def test_oversized_witness_refused(self):
+        g = erdos_renyi(40, m=80, rng=RngStream(1))
+        with pytest.raises(ConfigurationError, match="exhaustive"):
+            certify_path_witness(g, list(range(17)), 17)
+
+
+# ----------------------------------------------------------- tree witness
+class TestTreeWitness:
+    def test_planted_tree_certifies(self):
+        t = TreeTemplate(4, [(0, 1), (0, 2), (0, 3)])
+        base = erdos_renyi(25, m=35, rng=RngStream(21))
+        g, mapping = plant_tree(base, t, rng=RngStream(22))
+        certify_tree_witness(g, mapping, t)
+
+    def test_non_embedding_rejected(self):
+        t = TreeTemplate(4, [(0, 1), (0, 2), (0, 3)])
+        # a path graph cannot host a 3-star
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)], name="p4")
+        with pytest.raises(CertificationError, match="no embedding"):
+            certify_tree_witness(g, [0, 1, 2, 3], t)
+
+
+# --------------------------------------------------------------- clusters
+class TestCluster:
+    @pytest.fixture
+    def setup(self):
+        g = erdos_renyi(30, m=60, rng=RngStream(31))
+        w = RngStream(32).integers(0, 4, size=g.n).astype(np.int64)
+        vs = plant_cluster(g, 5, rng=RngStream(33))
+        return g, w, [int(v) for v in vs]
+
+    def test_true_cluster_certifies(self, setup):
+        g, w, vs = setup
+        certify_cluster(g, w, vs, 5, int(w[vs].sum()))
+
+    def test_wrong_weight_recomputed(self, setup):
+        g, w, vs = setup
+        true = int(w[vs].sum())
+        with pytest.raises(CertificationError,
+                           match=f"recomputed weight {true}"):
+            certify_cluster(g, w, vs, 5, true + 1)
+
+    def test_disconnected_cluster_rejected(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (3, 4)], name="cc")
+        w = np.ones(6, dtype=np.int64)
+        with pytest.raises(CertificationError, match="not connected"):
+            certify_cluster(g, w, [0, 1, 3, 4], 4, 4)
+
+
+# ------------------------------------------------- one-sided value checks
+class TestOneSidedChecks:
+    @pytest.fixture
+    def weighted(self):
+        base = erdos_renyi(20, m=35, rng=RngStream(41))
+        g, _ = plant_path(base, 4, rng=RngStream(42))
+        w = RngStream(43).integers(0, 3, size=g.n).astype(np.int64)
+        return g, w
+
+    def test_exact_max_weight_passes(self, weighted):
+        g, w = weighted
+        certify_max_weight(g, w, 4, exact_max_weight(g, 4, w))
+
+    def test_lower_reported_is_permitted_miss(self, weighted):
+        g, w = weighted
+        true = exact_max_weight(g, 4, w)
+        certify_max_weight(g, w, 4, max(true - 1, 0))  # no raise
+
+    def test_higher_reported_is_unsound(self, weighted):
+        g, w = weighted
+        true = exact_max_weight(g, 4, w)
+        with pytest.raises(CertificationError, match="exceeds the exact"):
+            certify_max_weight(g, w, 4, true + 1)
+
+    def test_none_reported_always_fine(self, weighted):
+        g, w = weighted
+        certify_max_weight(g, w, 4, None)
+
+    def test_scan_grid_cells_all_feasible(self, weighted):
+        g, w = weighted
+        grid = scan_grid(g, w, 3, eps=0.2, rng=RngStream(44))
+        checked = certify_scan_grid(g, w, grid)
+        assert checked == int(np.asarray(grid.detected).sum())
+
+    def test_scan_grid_fabricated_cell_rejected(self, weighted):
+        g, w = weighted
+        grid = scan_grid(g, w, 3, eps=0.2, rng=RngStream(44))
+        det = np.asarray(grid.detected)
+        feasible = connected_subgraph_cells(g, w, grid.k)
+        bogus = next(
+            (j, z)
+            for j in range(det.shape[0])
+            for z in range(det.shape[1])
+            if (j, z) not in feasible
+        )
+        det[bogus] = True
+        with pytest.raises(CertificationError, match="not realizable"):
+            certify_scan_grid(g, w, grid)
+
+    def test_scan_score_recomputed(self):
+        stat = ElevatedMean()
+        certify_scan_score(stat, stat.score(6, 3), 6, 3)
+        with pytest.raises(CertificationError, match="recomputed"):
+            certify_scan_score(stat, stat.score(6, 3) + 0.5, 6, 3)
+
+
+# ----------------------------------------------- z_max = 0 regression
+class TestZeroWeightRegression:
+    """All-zero weights give a length-1 weight axis (z_max = 0); the spec
+    must still treat the accumulator as a vector, not a GF scalar."""
+
+    def test_scan_grid_zero_weights_simulated(self):
+        g = erdos_renyi(20, m=40, rng=RngStream(51))
+        w = np.zeros(g.n, dtype=np.int64)
+        rt = MidasRuntime(mode="simulated", n_processors=4, n1=2)
+        grid = scan_grid(g, w, 3, eps=0.2, rng=RngStream(52), runtime=rt)
+        certify_scan_grid(g, w, grid)
+        det = np.asarray(grid.detected)
+        assert det.shape[1] == 1
+        assert det[1, 0]  # single vertices at weight 0 always exist
+
+    def test_max_weight_zero_weights(self):
+        base = erdos_renyi(20, m=35, rng=RngStream(53))
+        g, _ = plant_path(base, 4, rng=RngStream(54))
+        assert max_weight_path(g, 4, np.zeros(g.n, dtype=np.int64),
+                               eps=0.05, rng=RngStream(55)) == 0
+
+
+# -------------------------------------------------------- ResultCertifier
+class TestResultCertifier:
+    @pytest.fixture
+    def planted(self):
+        base = erdos_renyi(25, m=30, rng=RngStream(61))
+        g, nodes = plant_path(base, 4, rng=RngStream(62))
+        return g, [int(v) for v in nodes]
+
+    def test_strict_raises_and_records(self, planted):
+        g, nodes = planted
+        cert = ResultCertifier(g, mode="strict")
+        cert.path_witness(nodes, 4)
+        with pytest.raises(CertificationError):
+            cert.path_witness(nodes[:3] + [nodes[0]], 4)
+        assert len(cert.report.passed) == 1
+        assert len(cert.report.failures) == 1
+
+    def test_warn_accumulates(self, planted):
+        g, nodes = planted
+        rep = CertificationReport()
+        cert = ResultCertifier(g, mode="warn", report=rep)
+        cert.path_witness(nodes, 4)
+        cert.path_witness(nodes[:3] + [g.n + 1], 4)
+        cert.ordered_path(nodes)
+        assert not rep.clean
+        assert len(rep.passed) == 2
+        text = rep.text()
+        assert "PASS" in text and "FAIL" in text
+        d = rep.to_dict()
+        assert d["clean"] is False
+        assert len(d["failures"]) == 1
+
+    def test_wrapper_methods_route_through_report(self):
+        t = TreeTemplate(4, [(0, 1), (0, 2), (0, 3)])
+        base = erdos_renyi(25, m=35, rng=RngStream(63))
+        g, mapping = plant_tree(base, t, rng=RngStream(64))
+        w = RngStream(65).integers(0, 3, size=g.n).astype(np.int64)
+        vs = plant_cluster(g, 4, rng=RngStream(66))
+        cert = ResultCertifier(g, mode="warn")
+        cert.tree_witness(mapping, t)
+        cert.cluster(w, vs, 4, int(w[np.asarray(vs)].sum()))
+        cert.max_weight(w, 4, None)
+        grid = scan_grid(g, w, 3, eps=0.2, rng=RngStream(67))
+        cert.scan_grid(w, grid)
+        assert cert.report.clean
+        assert len(cert.report.passed) == 4
+
+    def test_negative_path_agreement(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)],
+                                name="star5")
+        cert = ResultCertifier(g)
+        assert cert.negative_path(4) is True  # a star has no 4-path
+        assert cert.report.clean
+
+    def test_negative_path_contradiction_is_miss_not_failure(self, planted):
+        g, _ = planted
+        cert = ResultCertifier(g, mode="strict")
+        assert cert.negative_path(4) is False
+        assert cert.report.clean  # one-sided miss, not an error
+        assert len(cert.report.misses) == 1
+        assert "MISS" in cert.report.text()
+
+    def test_invalid_mode(self, planted):
+        g, _ = planted
+        with pytest.raises(ConfigurationError):
+            ResultCertifier(g, mode="silent")

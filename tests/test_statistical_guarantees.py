@@ -1,0 +1,106 @@
+"""Statistical guarantees of the one-sided Monte Carlo detector.
+
+The paper's Koutis/Williams argument gives each detection round a
+success probability of at least ~1/4 on a yes-instance (we test against
+the more conservative p = 0.2), and *zero* false-positive probability on
+a no-instance.  Both sides are checked empirically over 400 seeded
+single-round runs:
+
+* yes side: the hit count must clear the one-in-a-million binomial
+  lower bound ``scipy.stats.binom.ppf(1e-6, 400, 0.2)`` (= 44), i.e. the
+  test only fails with probability ~1e-6 if the true per-round success
+  rate really is >= 0.2 — flakiness is engineered out by choosing the
+  bound, not by retrying;
+* no side: positives are certificates, so 400 runs on graphs with no
+  k-path must produce exactly zero "found" answers.
+
+``eps = 0.8`` makes :func:`repro.core.schedule.rounds_for_epsilon`
+schedule exactly one round, so each run is one independent Bernoulli
+trial of the per-round detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import binom
+
+from _test_oracles import has_k_path
+from repro.core.midas import detect_path
+from repro.core.schedule import rounds_for_epsilon
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, plant_path
+from repro.util.rng import RngStream
+
+N_RUNS = 400
+P_LOWER = 0.2  # conservative per-round success bound (paper: >= 1/4)
+ALPHA = 1e-6  # chance of a false test failure when p == P_LOWER
+SINGLE_ROUND_EPS = 0.8  # rounds_for_epsilon(0.8) == 1
+
+
+def single_round_hits(graph: CSRGraph, k: int, n_runs: int = N_RUNS) -> int:
+    hits = 0
+    for i in range(n_runs):
+        res = detect_path(graph, k, eps=SINGLE_ROUND_EPS, rng=RngStream(i))
+        assert len(res.rounds) == 1  # one Bernoulli trial per run
+        hits += bool(res.found)
+    return hits
+
+
+def test_eps_choice_gives_exactly_one_round():
+    assert rounds_for_epsilon(SINGLE_ROUND_EPS) == 1
+
+
+def test_single_round_detection_rate_clears_binomial_bound():
+    base = erdos_renyi(24, m=40, rng=RngStream(90))
+    g, _ = plant_path(base, 5, rng=RngStream(91))
+    assert has_k_path(g, 5)
+    threshold = int(binom.ppf(ALPHA, N_RUNS, P_LOWER))
+    assert threshold == 44  # pin the bound so a scipy change is visible
+    hits = single_round_hits(g, 5)
+    assert hits >= threshold, (
+        f"{hits}/{N_RUNS} single-round detections — below the "
+        f"p>={P_LOWER} binomial {ALPHA:g}-quantile ({threshold})"
+    )
+
+
+def test_detection_rate_on_dense_yes_instance():
+    # many disjoint k-paths push the per-round rate well above the bound
+    g = erdos_renyi(30, m=90, rng=RngStream(92))
+    assert has_k_path(g, 4)
+    threshold = int(binom.ppf(ALPHA, N_RUNS, P_LOWER))
+    assert single_round_hits(g, 4) >= threshold
+
+
+@pytest.mark.parametrize(
+    "make_graph,k",
+    [
+        # a star: longest simple path has 3 vertices
+        (lambda: CSRGraph.from_edges(
+            12, [(0, i) for i in range(1, 12)], name="star12"), 4),
+        # disjoint edges: longest simple path has 2 vertices
+        (lambda: CSRGraph.from_edges(
+            10, [(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)], name="matching"), 3),
+    ],
+)
+def test_no_instance_never_reports_found(make_graph, k):
+    g = make_graph()
+    assert not has_k_path(g, k)
+    for i in range(N_RUNS):
+        res = detect_path(g, k, eps=SINGLE_ROUND_EPS, rng=RngStream(10_000 + i))
+        assert not res.found, f"false positive at seed {10_000 + i}"
+
+
+def test_multi_round_miss_rate_within_eps():
+    """With eps = 0.2 (4 rounds at p >= 0.2 per round) the miss rate over
+    100 runs stays under the binomial upper bound for miss prob 0.8^4."""
+    base = erdos_renyi(24, m=40, rng=RngStream(93))
+    g, _ = plant_path(base, 5, rng=RngStream(94))
+    n = 100
+    misses = sum(
+        not detect_path(g, 5, eps=0.2, rng=RngStream(20_000 + i)).found
+        for i in range(n)
+    )
+    p_miss = (1 - P_LOWER) ** rounds_for_epsilon(0.2)
+    bound = int(binom.ppf(1 - ALPHA, n, p_miss))
+    assert misses <= bound
