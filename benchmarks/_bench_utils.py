@@ -35,8 +35,16 @@ def emit_bench_json(name: str, header: list, rows: list):
     envelope (readable with ``repro.serialization.load_result`` or the
     ``repro report`` CLI): one gauge family per series, one sample per
     (row, numeric column) pair, labeled by the first column's value.
-    Returns the written path, or None when disabled.
+    The envelope is stamped with the producing commit's ``git_sha`` and
+    the series' ``config_hash`` (from the header shape and BENCH_SCALE)
+    so files from different commits stay joinable with the RunStore;
+    readers ignore the extra keys.  The same numeric cells are also
+    appended as a :class:`repro.obs.store.RunRecord` to
+    ``$BENCH_JSON_DIR/bench_runs.jsonl`` (scenario ``bench:<slug>``) for
+    ``repro history`` / ``repro compare``.  Returns the written path, or
+    None when disabled.
     """
+    import json
     import os
 
     out_dir = os.environ.get("BENCH_JSON_DIR")
@@ -45,11 +53,20 @@ def emit_bench_json(name: str, header: list, rows: list):
     from pathlib import Path
 
     from repro.obs.metrics import MetricsRegistry
-    from repro.serialization import dump_result
+    from repro.obs.store import (
+        RunRecord, RunStore, config_fingerprint, current_git_sha,
+    )
+    from repro.serialization import result_to_dict
+
+    config = {"bench": _slug(name), "columns": [_slug(h) for h in header],
+              "scale": BENCH_SCALE}
+    git_sha = current_git_sha()
+    config_hash = config_fingerprint(config)
 
     reg = MetricsRegistry()
     fam = reg.gauge(f"bench_{_slug(name)}", f"benchmark series {name!r}")
     key = _slug(header[0]) if header else "row"
+    values = {}
     for r in rows:
         for h, v in zip(header[1:], r[1:]):
             try:
@@ -59,8 +76,18 @@ def emit_bench_json(name: str, header: list, rows: list):
             if val != val or val in (float("inf"), float("-inf")):
                 continue
             fam.labels(**{key: r[0], "column": _slug(h)}).set(val)
+            values[f"{_slug(r[0])}:{_slug(h)}"] = val
+    doc = result_to_dict(reg.snapshot())
+    doc["git_sha"] = git_sha
+    doc["config_hash"] = config_hash
     path = Path(out_dir) / f"BENCH_{_slug(name)}.json"
-    dump_result(reg.snapshot(), path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2))
+    RunStore(Path(out_dir) / "bench_runs.jsonl").append(RunRecord(
+        scenario=f"bench:{_slug(name)}", git_sha=git_sha,
+        config_hash=config_hash, values=values,
+        meta={"source": "benchmarks", "scale": str(BENCH_SCALE)},
+    ))
     return path
 
 

@@ -45,7 +45,17 @@ from repro.graph.generators import (
 )
 from repro.graph.partition import Partition, make_partition
 from repro.graph.templates import TreeTemplate
-from repro.obs import MetricsRegistry, RunReport, get_default_registry
+from repro.obs import (
+    MetricsRegistry,
+    RunRecord,
+    RunReport,
+    RunStore,
+    analyze_run,
+    compare_runs,
+    compare_to_baseline,
+    extract_critical_path,
+    get_default_registry,
+)
 from repro.runtime.cluster import VirtualCluster, juliet, laptop, shadowfax
 from repro.runtime.costmodel import KernelCalibration
 from repro.runtime.tracing import Scope, TraceRecorder
@@ -107,7 +117,13 @@ __all__ = [
     "shadowfax",
     "KernelCalibration",
     "MetricsRegistry",
+    "RunRecord",
     "RunReport",
+    "RunStore",
+    "analyze_run",
+    "compare_runs",
+    "compare_to_baseline",
+    "extract_critical_path",
     "get_default_registry",
     "Scope",
     "TraceRecorder",

@@ -63,9 +63,18 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
                    help="write the run timeline as Chrome trace_event JSON "
                         "(open at https://ui.perfetto.dev)")
     p.add_argument("--metrics-out", metavar="PATH", default=None,
-                   help="write the metrics-registry snapshot as JSON")
+                   help="write the metrics-registry snapshot")
+    p.add_argument("--metrics-format", choices=["json", "prom"], default="json",
+                   help="--metrics-out format: the versioned JSON envelope or "
+                        "Prometheus text exposition (default json)")
     p.add_argument("--report-out", metavar="PATH", default=None,
                    help="write a RunReport JSON (render with `repro report`)")
+    p.add_argument("--store", metavar="PATH", default=None,
+                   help="append a compact RunRecord to this JSONL run-history "
+                        "store (inspect with `repro history` / `repro compare`)")
+    p.add_argument("--scenario", metavar="NAME", default=None,
+                   help="scenario key for --store records (default: derived "
+                        "from the command and graph)")
     p.add_argument("--fault-plan", metavar="PLAN", default=None,
                    help="fault-injection plan: a JSON file path or an inline "
                         'JSON object, e.g. \'{"seed": 7, "faults": '
@@ -86,7 +95,8 @@ def _runtime(args):
     from repro.core.midas import MidasRuntime
 
     recorder = None
-    if getattr(args, "trace_out", None) or getattr(args, "report_out", None):
+    if (getattr(args, "trace_out", None) or getattr(args, "report_out", None)
+            or getattr(args, "store", None)):
         from repro.runtime.tracing import TraceRecorder
 
         recorder = TraceRecorder(enabled=True)
@@ -107,9 +117,9 @@ def _runtime(args):
 
 def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None,
                sanitizer=None) -> None:
-    """Emit --trace-out / --metrics-out / --report-out artifacts."""
+    """Emit --trace-out / --metrics-out / --report-out / --store artifacts."""
     if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)
-            or getattr(args, "report_out", None)):
+            or getattr(args, "report_out", None) or getattr(args, "store", None)):
         return
     from pathlib import Path
 
@@ -128,17 +138,51 @@ def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None,
                                 "n1": rt.n1, "n2": rt.n2 or 0})
         print(f"trace written: {args.trace_out}")
     if args.metrics_out:
-        dump_result(snap, args.metrics_out)
+        if getattr(args, "metrics_format", "json") == "prom":
+            Path(args.metrics_out).write_text(snap.to_prometheus())
+        else:
+            dump_result(snap, args.metrics_out)
         print(f"metrics written: {args.metrics_out}")
-    if args.report_out:
+    rep = None
+    if args.report_out or getattr(args, "store", None):
         from repro.obs.report import RunReport
 
         rep = RunReport.build(rt.recorder.events, nranks, problem=problem,
                               mode=rt.mode, metrics=snap, estimate=estimate,
                               meta={"n1": rt.n1}, resilience=resilience,
-                              sanitizer=sanitizer)
+                              sanitizer=sanitizer, edges=rt.recorder.edges,
+                              fault_plan=rt.fault_plan, n1=rt.n1)
+    if args.report_out:
         dump_result(rep, args.report_out)
         print(f"report written: {args.report_out}")
+    if getattr(args, "store", None):
+        from repro.obs.store import RunRecord, RunStore
+
+        scenario = args.scenario or _default_scenario(args, problem)
+        record = RunRecord.from_report(
+            rep, scenario, config=_store_config(args, rt, problem)
+        )
+        RunStore(args.store).append(record)
+        print(f"run recorded: {args.store} [{scenario}]")
+
+
+def _default_scenario(args, problem: str) -> str:
+    graph = (getattr(args, "dataset", None) or getattr(args, "edge_list", None)
+             or (f"er{args.er}" if getattr(args, "er", None) else "graph"))
+    k = getattr(args, "k", None)
+    return f"{problem}:{graph}" + (f":k{k}" if k is not None else "")
+
+
+def _store_config(args, rt, problem: str) -> dict:
+    """The fields whose change makes two runs non-comparable."""
+    return {
+        "problem": problem, "mode": rt.mode, "N": rt.n_processors,
+        "n1": rt.n1, "n2": rt.n2 or 0, "k": getattr(args, "k", 0),
+        "eps": getattr(args, "eps", 0.0), "seed": getattr(args, "seed", 0),
+        "dataset": getattr(args, "dataset", None) or "",
+        "scale": getattr(args, "scale", 0.0),
+        "er": getattr(args, "er", None) or 0,
+    }
 
 
 def _print_resilience(r: dict) -> None:
@@ -330,6 +374,81 @@ def cmd_report(args) -> int:
     return 1
 
 
+def cmd_history(args) -> int:
+    """List a run-history store's trajectory, newest last."""
+    from repro.errors import ConfigurationError
+    from repro.obs.store import RunStore
+
+    store = RunStore(args.store)
+    try:
+        records = store.load(args.scenario)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if not records:
+        where = f" for scenario {args.scenario!r}" if args.scenario else ""
+        print(f"{args.store}: no records{where}")
+        return 1
+    if args.scenario is None:
+        print(f"{len(records)} record(s), "
+              f"{len(store.scenarios())} scenario(s): "
+              + ", ".join(store.scenarios()))
+    for rec in records[-args.last:] if args.last else records:
+        print(rec.describe())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Compare two runs (or newest vs rolling baseline); exit 3 on
+    regression beyond tolerance."""
+    import json as _json
+
+    from repro.errors import ConfigurationError
+    from repro.obs.store import RunStore, compare_runs, compare_to_baseline
+
+    store = RunStore(args.store)
+    try:
+        if args.ref is not None or args.new is not None:
+            records = store.load(args.scenario)
+            if not records:
+                raise ConfigurationError(
+                    f"{args.store}: no records"
+                    + (f" for scenario {args.scenario!r}" if args.scenario else "")
+                )
+            ref_i = args.ref if args.ref is not None else -2
+            new_i = args.new if args.new is not None else -1
+            try:
+                cmp = compare_runs(records[ref_i], records[new_i],
+                                   tolerance=args.tolerance)
+            except IndexError:
+                raise ConfigurationError(
+                    f"record index out of range (have {len(records)})"
+                ) from None
+        else:
+            scenario = args.scenario
+            if scenario is None:
+                names = store.scenarios()
+                if len(names) != 1:
+                    raise ConfigurationError(
+                        f"--scenario required: store holds {len(names)} "
+                        f"scenario(s)" + (f" ({', '.join(names)})" if names else "")
+                    )
+                scenario = names[0]
+            cmp = compare_to_baseline(store, scenario,
+                                      tolerance=args.tolerance,
+                                      window=args.window)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json_out:
+        from pathlib import Path
+
+        Path(args.json_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json_out).write_text(_json.dumps(cmp.to_dict(), indent=2))
+    print(cmp.markdown())
+    return 0 if cmp.ok else 3
+
+
 def cmd_verify(args) -> int:
     """Run the full correctness tooling on one k-path instance:
     sanitized detection, cross-backend replay, independent certification.
@@ -504,6 +623,36 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--max-phases", type=int, default=12,
                     help="phase-table rows to show (default 12)")
     rp.set_defaults(fn=cmd_report)
+
+    hi = sub.add_parser("history", help="list a run-history store's records")
+    hi.add_argument("store", help="JSONL store written with --store")
+    hi.add_argument("--scenario", default=None, help="filter to one scenario")
+    hi.add_argument("--last", type=int, default=0,
+                    help="only the newest N records (default all)")
+    hi.set_defaults(fn=cmd_history)
+
+    cp = sub.add_parser(
+        "compare",
+        help="diff two stored runs (or newest vs rolling baseline); "
+             "exit 3 on regression",
+    )
+    cp.add_argument("store", help="JSONL store written with --store")
+    cp.add_argument("--scenario", default=None,
+                    help="scenario to compare (required unless the store "
+                         "holds exactly one)")
+    cp.add_argument("--tolerance", type=float, default=0.25,
+                    help="relative growth beyond which a metric regresses "
+                         "(default 0.25 = +25%%)")
+    cp.add_argument("--ref", type=int, default=None,
+                    help="baseline record index (negatives from the end; "
+                         "default: rolling-baseline mean of prior runs)")
+    cp.add_argument("--new", type=int, default=None,
+                    help="candidate record index (default -1, the newest)")
+    cp.add_argument("--window", type=int, default=5,
+                    help="rolling-baseline window (default 5)")
+    cp.add_argument("--json-out", metavar="PATH", default=None,
+                    help="also write the comparison as JSON")
+    cp.set_defaults(fn=cmd_compare)
 
     fg = sub.add_parser("figures", help="regenerate the paper's figure series")
     fg.add_argument("name", nargs="?", default=None,

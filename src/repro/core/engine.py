@@ -316,7 +316,9 @@ def _run_phase_resilient(rt: MidasRuntime, fc: _FaultContext, prog, key: str,
         fc.work_lost += lost
         fc.lost_ctr.inc(lost)
         if want_trace:
-            failed_events.append((extra, attempt, list(sim.trace.events)))
+            failed_events.append(
+                (extra, attempt, list(sim.trace.events), list(sim.trace.edges))
+            )
         if attempt >= fc.max_retries:
             _LOG.error("phase %s failed after %d attempts: %s", key, attempt + 1, err)
             raise err
@@ -477,6 +479,11 @@ class ThreadedBackend(ExecutionBackend):
                 e.rec.record(lanes[worker], "compute", e.cursor + s0, e.cursor + s1,
                              scope=Scope(round=ell, phase=t, q0=q0, q1=q1,
                                          label=stage.label))
+            if timings:
+                # the round's accumulator join waits on the slowest phase
+                slow = max(timings, key=lambda tm: tm[4])
+                e.rec.record_edge("barrier", lanes[slow[5]], e.cursor + slow[4],
+                                  0, e.cursor + elapsed, info=f"r{ell} join")
             e.cursor += elapsed
         return value, 0.0
 
@@ -512,7 +519,15 @@ class SimulatedBackend(ExecutionBackend):
         value = spec.acc_init()
         round_virtual = 0.0
         for bi, batch in enumerate(sched.batches()):
+            if rec is not None and e.last_join is not None:
+                # phase barrier: every rank of this batch starts when the
+                # previous batch's slowest phase (or the round reduce) ended
+                jr, jt = e.last_join
+                for r in range(len(batch) * rt.n1):
+                    rec.record_edge("barrier", jr, jt, r, e.cursor,
+                                    info=f"r{ell}/b{bi}")
             batch_time = 0.0
+            batch_slow = (0, 0.0)  # (global rank, end time) of slowest phase
             for gi, t in enumerate(batch):
                 q0, q1 = sched.phase_window(t)
                 prog = factory(e.views, fp, q0, sched.n2)
@@ -523,7 +538,11 @@ class SimulatedBackend(ExecutionBackend):
                 contrib = spec.rank_value(res.results[0])
                 value = spec.combine(value, contrib)
                 e.note_phase(stage, ell, t, contrib)
-                batch_time = max(batch_time, extra + res.makespan)
+                phase_end = extra + res.makespan
+                if phase_end >= batch_time:
+                    slow_local = int(res.clocks.argmax()) if len(res.clocks) else 0
+                    batch_slow = (gi * rt.n1 + slow_local, phase_end)
+                batch_time = max(batch_time, phase_end)
                 stage.phase_hist.observe(res.makespan)
                 if rt.trace:
                     e.trace_compute += res.summary.total_compute
@@ -531,7 +550,7 @@ class SimulatedBackend(ExecutionBackend):
                 if rec is not None:
                     # splice the phase's group onto global ranks/clock;
                     # failed attempts first, at their own offsets
-                    for shift, attempt, events in failed:
+                    for shift, attempt, events, fedges in failed:
                         rec.extend(
                             events, t_shift=e.cursor + shift,
                             rank_offset=gi * rt.n1,
@@ -539,26 +558,34 @@ class SimulatedBackend(ExecutionBackend):
                                         q1=q1,
                                         label=_compose_label(
                                             stage.label, f"failed-attempt{attempt}")),
+                            edges=fedges,
                         )
                     rec.extend(
                         sim.trace.events, t_shift=e.cursor + extra,
                         rank_offset=gi * rt.n1,
                         scope=Scope(round=ell, batch=bi, phase=t, q0=q0, q1=q1,
                                     label=stage.label),
+                        edges=sim.trace.edges,
                     )
                 if want_trace:
                     e.bytes_ctr.inc(res.summary.total_bytes)
             round_virtual += batch_time
             e.cursor += batch_time
+            e.last_join = (batch_slow[0], e.cursor)
         red = _reduce_cost(rt, spec.reduce_nbytes)
         round_virtual += red
         if rec is not None:
+            if e.last_join is not None:
+                # the round reduce joins on the slowest phase of the batch
+                rec.record_edge("collective", e.last_join[0], e.cursor,
+                                -1, e.cursor + red, info="round-reduce")
             rec.record(-1, "collective", e.cursor, e.cursor + red,
                        info="round-reduce", nbytes=spec.reduce_nbytes,
                        scope=Scope(round=ell,
                                    label=(f"{stage.label} reduce" if stage.label
                                           else "round-reduce")))
         e.cursor += red
+        e.last_join = (-1, e.cursor)
         return value, round_virtual
 
 
@@ -621,6 +648,7 @@ class DetectionEngine:
         self.partition = None
         self.views = None
         self.cursor = 0.0  # run-level virtual clock for the spliced trace
+        self.last_join = None  # (rank, time) the next batch's barrier hangs on
         self.virtual_total = 0.0
         self.trace_compute = 0.0
         self.trace_comm = 0.0

@@ -11,13 +11,28 @@ Three complementary views of one MIDAS run:
   bytes-on-the-wire counter track);
 * :mod:`repro.obs.report` — :class:`RunReport` joins the trace, a
   metrics snapshot, and the Theorem-2 model prediction into a single
-  artifact with text and JSON renderers.
+  artifact with text and JSON renderers;
+* :mod:`repro.obs.analyze` — critical-path extraction over the
+  happens-before edges the scheduler records, makespan blame, slack,
+  load-imbalance and communication-matrix analytics;
+* :mod:`repro.obs.store` — append-only JSONL :class:`RunStore` of
+  compact :class:`RunRecord` perf fingerprints with baseline
+  comparison (``repro history`` / ``repro compare``).
 
 CLI: ``python -m repro detect-path ... --trace-out run.json
 --metrics-out metrics.json --report-out report.json`` and
 ``python -m repro report report.json``.
 """
 
+from repro.obs.analyze import (
+    CriticalPath,
+    PathSegment,
+    RunAnalysis,
+    analyze_run,
+    communication_matrix,
+    extract_critical_path,
+    slack_histogram,
+)
 from repro.obs.chrome_trace import (
     dump_chrome_trace,
     to_chrome_trace,
@@ -34,18 +49,41 @@ from repro.obs.metrics import (
     log_buckets,
 )
 from repro.obs.report import RunReport
+from repro.obs.store import (
+    RunComparison,
+    RunRecord,
+    RunStore,
+    compare_runs,
+    compare_to_baseline,
+    config_fingerprint,
+    current_git_sha,
+)
 
 __all__ = [
     "Counter",
+    "CriticalPath",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "PathSegment",
+    "RunAnalysis",
+    "RunComparison",
+    "RunRecord",
     "RunReport",
+    "RunStore",
+    "analyze_run",
+    "communication_matrix",
+    "compare_runs",
+    "compare_to_baseline",
+    "config_fingerprint",
+    "current_git_sha",
     "dump_chrome_trace",
+    "extract_critical_path",
     "get_default_registry",
     "log_buckets",
+    "slack_histogram",
     "to_chrome_trace",
     "validate_chrome_trace",
 ]

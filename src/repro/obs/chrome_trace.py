@@ -141,7 +141,13 @@ def validate_chrome_trace(data: Union[dict, list]) -> int:
 
     Accepts both the object form (``{"traceEvents": [...]}``) and the
     bare array form; raises :class:`~repro.errors.ConfigurationError` on
-    any malformed event.  Used by the unit tests and the CI smoke job.
+    any malformed event.  Beyond per-event shape it checks stream-level
+    invariants viewers rely on: timestamps of timed events must be
+    monotonically non-decreasing in stream order (Perfetto's importer
+    tolerates disorder; ``chrome://tracing``'s does not), and ``B``/``E``
+    duration events must nest — every ``E`` matches an open ``B`` on the
+    same ``(pid, tid)``, none left open at the end.  Used by the unit
+    tests and the CI smoke job.
     """
     if isinstance(data, dict):
         events = data.get("traceEvents")
@@ -152,6 +158,8 @@ def validate_chrome_trace(data: Union[dict, list]) -> int:
     else:
         raise ConfigurationError(f"trace must be an object or array, got {type(data).__name__}")
 
+    last_ts: Optional[float] = None
+    open_spans: Dict[tuple, List[int]] = {}  # (pid, tid) -> stack of B indices
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             raise ConfigurationError(f"traceEvents[{i}] is not an object")
@@ -169,6 +177,11 @@ def validate_chrome_trace(data: Union[dict, list]) -> int:
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)):
             raise ConfigurationError(f"traceEvents[{i}] lacks a numeric ts")
+        if last_ts is not None and ts < last_ts:
+            raise ConfigurationError(
+                f"traceEvents[{i}]: ts {ts} goes backwards (previous {last_ts})"
+            )
+        last_ts = ts
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
@@ -183,6 +196,22 @@ def validate_chrome_trace(data: Union[dict, list]) -> int:
                 raise ConfigurationError(
                     f"traceEvents[{i}]: counter event needs numeric args"
                 )
-        elif ph not in ("B", "E", "I", "i", "b", "e", "n", "s", "t", "f"):
+        elif ph == "B":
+            open_spans.setdefault((ev.get("pid"), ev.get("tid")), []).append(i)
+        elif ph == "E":
+            stack = open_spans.get((ev.get("pid"), ev.get("tid")))
+            if not stack:
+                raise ConfigurationError(
+                    f"traceEvents[{i}]: 'E' with no open 'B' on "
+                    f"pid={ev.get('pid')} tid={ev.get('tid')}"
+                )
+            stack.pop()
+        elif ph not in ("I", "i", "b", "e", "n", "s", "t", "f"):
             raise ConfigurationError(f"traceEvents[{i}]: unknown phase {ph!r}")
+    for (pid, tid), stack in open_spans.items():
+        if stack:
+            raise ConfigurationError(
+                f"traceEvents[{stack[-1]}]: 'B' never closed on "
+                f"pid={pid} tid={tid} ({len(stack)} open)"
+            )
     return len(events)

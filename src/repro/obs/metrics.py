@@ -334,6 +334,56 @@ class MetricsSnapshot:
                 return {k: v for k, v in s.items() if k != "labels"}
         return None
 
+    # ----------------------------------------------------------- exposition
+    def to_prometheus(self) -> str:
+        """Render as Prometheus text exposition format (version 0.0.4).
+
+        Histograms convert the internal non-cumulative buckets to the
+        cumulative ``_bucket{le=...}`` series Prometheus expects, ending
+        with ``le="+Inf"`` plus ``_sum`` and ``_count``.  Label values
+        are escaped per the spec (backslash, double-quote, newline).
+        """
+        def esc(v: str) -> str:
+            return (str(v).replace("\\", "\\\\").replace('"', '\\"')
+                    .replace("\n", "\\n"))
+
+        def fmt_labels(labels: Mapping[str, str], extra: str = "") -> str:
+            parts = [f'{k}="{esc(v)}"' for k, v in sorted(labels.items())]
+            if extra:
+                parts.append(extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        def num(v: float) -> str:
+            if v == math.inf:
+                return "+Inf"
+            if v == -math.inf:
+                return "-Inf"
+            f = float(v)
+            return repr(int(f)) if f == int(f) and abs(f) < 1e15 else repr(f)
+
+        lines: List[str] = []
+        for fam in self.metrics:
+            name, kind = fam["name"], fam["kind"]
+            if fam.get("help"):
+                lines.append(f"# HELP {name} {esc(fam['help'])}")
+            lines.append(f"# TYPE {name} {kind}")
+            for s in fam["samples"]:
+                labels = s.get("labels", {})
+                if kind in ("counter", "gauge"):
+                    lines.append(f"{name}{fmt_labels(labels)} {num(s['value'])}")
+                    continue
+                cum = 0
+                for bound, cnt in s.get("buckets", []):
+                    cum += cnt
+                    le = 'le="%s"' % num(bound)
+                    lines.append(f"{name}_bucket{fmt_labels(labels, le)} {cum}")
+                cum += s.get("overflow", 0)
+                inf = 'le="+Inf"'
+                lines.append(f"{name}_bucket{fmt_labels(labels, inf)} {cum}")
+                lines.append(f"{name}_sum{fmt_labels(labels)} {num(s['sum'])}")
+                lines.append(f"{name}_count{fmt_labels(labels)} {s['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
     # ------------------------------------------------------- serialization
     def to_dict(self) -> dict:
         from repro.serialization import SCHEMA_VERSION  # local: avoid cycle

@@ -99,6 +99,7 @@ class RunReport:
     meta: dict = field(default_factory=dict)
     resilience: Optional[dict] = None
     sanitizer: Optional[dict] = None
+    analysis: Optional[dict] = None
 
     # ------------------------------------------------------------- builders
     @staticmethod
@@ -112,7 +113,24 @@ class RunReport:
         meta: Optional[dict] = None,
         resilience: Optional[dict] = None,
         sanitizer: Optional[dict] = None,
+        analysis: Optional[dict] = None,
+        edges: Optional[Sequence] = None,
+        fault_plan=None,
+        n1: Optional[int] = None,
     ) -> "RunReport":
+        """Build a report from a recording.
+
+        Pass ``analysis`` as a ready-made dict, or pass the recorder's
+        ``edges`` to have :func:`repro.obs.analyze.analyze_run` compute
+        the critical-path / imbalance section here (``fault_plan`` and
+        ``n1`` feed its straggler cross-referencing).
+        """
+        if analysis is None and edges is not None:
+            from repro.obs.analyze import analyze_run  # local: avoid cycle
+
+            analysis = analyze_run(
+                events, edges, nranks=nranks, fault_plan=fault_plan, n1=n1
+            ).to_dict()
         return RunReport(
             problem=problem,
             mode=mode,
@@ -124,6 +142,7 @@ class RunReport:
             meta=dict(meta or {}),
             resilience=dict(resilience) if resilience else None,
             sanitizer=dict(sanitizer) if sanitizer else None,
+            analysis=dict(analysis) if analysis else None,
         )
 
     # ------------------------------------------------------------- analysis
@@ -220,6 +239,37 @@ class RunReport:
                 f"{format_seconds(r.get('makespan_overhead_seconds', 0.0))} "
                 f"({r.get('overhead_fraction', 0.0):.1%} of fault-free)"
             )
+        if self.analysis:
+            a = self.analysis
+            cp = a.get("critical_path", {})
+            lines.append("analysis:")
+            lines.append(
+                f"  critical path: {format_seconds(cp.get('length', 0.0))} over "
+                f"{cp.get('n_segments', 0)} segment(s) "
+                f"({cp.get('coverage', 0.0):.1%} of makespan)"
+            )
+            for b in cp.get("blame", [])[:5]:
+                ph = f" phase {b['phase']}" if b.get("phase") is not None else ""
+                lines.append(
+                    f"    rank {b['rank']}{ph} {b['kind']}: "
+                    f"{format_seconds(b['seconds'])} ({b['fraction']:.1%})"
+                )
+            lines.append(
+                f"  imbalance (busy t_max/t_avg): "
+                f"{a.get('imbalance_ratio', 1.0):.2f}"
+            )
+            sl = a.get("slack", {})
+            if sl.get("count"):
+                lines.append(
+                    f"  off-path slack: {sl['count']} event(s), median "
+                    f"{format_seconds(sl['p50'])}, p90 {format_seconds(sl['p90'])}"
+                )
+            for srow in a.get("stragglers", [])[:4]:
+                tag = " [injected fault]" if srow.get("injected") else ""
+                lines.append(
+                    f"  straggler: rank {srow['rank']} "
+                    f"({srow['ratio_to_median']:.2f}x median busy){tag}"
+                )
         if self.sanitizer:
             sn = self.sanitizer
             lines.append("sanitizer:")
@@ -270,6 +320,7 @@ class RunReport:
             "meta": self.meta,
             "resilience": self.resilience,
             "sanitizer": self.sanitizer,
+            "analysis": self.analysis,
         }
 
     @staticmethod
@@ -309,4 +360,5 @@ class RunReport:
             meta=data.get("meta", {}),
             resilience=data.get("resilience"),
             sanitizer=data.get("sanitizer"),
+            analysis=data.get("analysis"),
         )

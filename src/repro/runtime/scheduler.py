@@ -92,6 +92,8 @@ class _Message:
     payload: Any
     arrive: float
     san: Any = None  # sanitizer send-record, when a sanitizer is attached
+    sender: int = -1
+    t_send: float = 0.0  # sender's clock at send start (dependency origin)
 
 
 def _annotate_rank(exc: BaseException, rank: int) -> None:
@@ -411,7 +413,7 @@ class Simulator:
         if self.sanitizer is not None:
             rec = self.sanitizer.on_send(st.rank, op, copies)
         for _ in range(copies):
-            q.append(_Message(payload, arrive, san=rec))
+            q.append(_Message(payload, arrive, san=rec, sender=st.rank, t_send=t))
         # wake the receiver if it was blocked on exactly this message
         if dst.blocked_recv is not None:
             br = dst.blocked_recv
@@ -445,6 +447,12 @@ class Simulator:
         if msg.arrive > st.clock:
             if self.trace.enabled:
                 self.trace.record(st.rank, "wait", t, msg.arrive, info=f"<-{op.src}")
+                # the arrival bound this rank: a critical-path dependency
+                # from the sender's clock at send start to the arrival
+                self.trace.record_edge(
+                    "message", msg.sender, msg.t_send, st.rank, msg.arrive,
+                    info=f"tag={op.tag!r}",
+                )
             st.clock = msg.arrive
         if self.trace.enabled:
             self.trace.record(st.rank, "recv", st.clock, st.clock, info=f"<-{op.src}")
@@ -574,6 +582,17 @@ class Simulator:
         else:  # pragma: no cover - unreachable
             raise RuntimeSimulationError(f"unhandled collective {kind}")
 
+        if self.trace.enabled:
+            # the join is bound by the latest-entering rank (ties -> lowest)
+            latest = min(
+                (st.rank for st in states if st.clock == t_sync),
+                default=states[0].rank,
+            )
+            for st in states:
+                self.trace.record_edge(
+                    "collective", latest, t_sync, st.rank, t_sync + cost,
+                    info=kind.__name__,
+                )
         for st, res in zip(states, results):
             if self.trace.enabled:
                 self.trace.record(

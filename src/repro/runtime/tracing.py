@@ -108,6 +108,39 @@ class TraceEvent:
         return self.t_end - self.t_start
 
 
+@dataclass(frozen=True)
+class DepEdge:
+    """A happens-before edge between two rank timelines.
+
+    ``(src_rank, t_src)`` is where the dependency left its source (e.g.
+    the sender's clock at send start); ``(dst_rank, t_dst)`` is where it
+    *bound* the destination (e.g. the message arrival a blocked receiver
+    resumed at).  ``t_dst - t_src`` is therefore the modeled cost carried
+    by the edge itself — network flight time for messages, the log-tree
+    cost for collectives, zero for pure ordering barriers.
+
+    Kinds: ``"message"`` (send -> blocking recv/wait), ``"collective"``
+    (latest-entering rank -> every participant's completion),
+    ``"barrier"`` (phase/batch/round joins recorded by the engine).
+
+    Only *binding* dependencies are recorded: a message delivered to a
+    rank that had already passed its arrival time constrains nothing and
+    produces no edge.  This is exactly the set the critical-path
+    extraction in :mod:`repro.obs.analyze` needs.
+    """
+
+    kind: str  # "message" | "collective" | "barrier"
+    src_rank: int
+    t_src: float
+    dst_rank: int
+    t_dst: float
+    info: str = ""
+
+    @property
+    def weight(self) -> float:
+        return self.t_dst - self.t_src
+
+
 class TraceRecorder:
     """Collects :class:`TraceEvent`s; cheap to disable.
 
@@ -122,11 +155,12 @@ class TraceRecorder:
     costs one attribute check.
     """
 
-    __slots__ = ("enabled", "events", "_scope", "_rank_labels")
+    __slots__ = ("enabled", "events", "edges", "_scope", "_rank_labels")
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.events: List[TraceEvent] = []
+        self.edges: List[DepEdge] = []
         self._scope: Optional[Scope] = None
         self._rank_labels: Dict[int, str] = {}
 
@@ -161,12 +195,26 @@ class TraceRecorder:
                 )
             self.events.append(TraceEvent(rank, kind, t_start, t_end, info, nbytes, scope))
 
+    def record_edge(
+        self,
+        kind: str,
+        src_rank: int,
+        t_src: float,
+        dst_rank: int,
+        t_dst: float,
+        info: str = "",
+    ) -> None:
+        """Record a happens-before edge (no-op when disabled)."""
+        if self.enabled and t_dst >= t_src:
+            self.edges.append(DepEdge(kind, src_rank, t_src, dst_rank, t_dst, info))
+
     def extend(
         self,
         events: Iterable[TraceEvent],
         t_shift: float = 0.0,
         rank_offset: int = 0,
         scope: Optional[Scope] = None,
+        edges: Iterable[DepEdge] = (),
     ) -> None:
         """Append another recording, shifted in time/rank and re-scoped.
 
@@ -176,7 +224,8 @@ class TraceRecorder:
         ``rank_offset`` maps the phase's processor group onto global
         ranks, and ``scope`` stamps the schedule coordinates (merged with
         any finer scope the event already carries, e.g. a DP-level
-        label).
+        label).  ``edges`` carries the phase recording's happens-before
+        edges, shifted onto the same global clock and ranks.
         """
         if not self.enabled:
             return
@@ -193,9 +242,21 @@ class TraceRecorder:
                     merged,
                 )
             )
+        for d in edges:
+            self.edges.append(
+                DepEdge(
+                    d.kind,
+                    d.src_rank + rank_offset if d.src_rank >= 0 else d.src_rank,
+                    d.t_src + t_shift,
+                    d.dst_rank + rank_offset if d.dst_rank >= 0 else d.dst_rank,
+                    d.t_dst + t_shift,
+                    d.info,
+                )
+            )
 
     def clear(self) -> None:
         self.events.clear()
+        self.edges.clear()
         self._rank_labels.clear()
         self._scope = None
 

@@ -98,6 +98,56 @@ class TestValidate:
         with pytest.raises(ConfigurationError):
             validate_chrome_trace(bad)
 
+    def test_accepts_balanced_nesting(self):
+        assert validate_chrome_trace([
+            {"ph": "B", "name": "outer", "pid": 1, "tid": 0, "ts": 0},
+            {"ph": "B", "name": "inner", "pid": 1, "tid": 0, "ts": 1},
+            {"ph": "E", "name": "inner", "pid": 1, "tid": 0, "ts": 2},
+            {"ph": "B", "name": "other-thread", "pid": 1, "tid": 1, "ts": 2},
+            {"ph": "E", "name": "other-thread", "pid": 1, "tid": 1, "ts": 3},
+            {"ph": "E", "name": "outer", "pid": 1, "tid": 0, "ts": 4},
+        ]) == 6
+
+    def test_rejects_end_without_begin(self):
+        with pytest.raises(ConfigurationError, match="no open 'B'"):
+            validate_chrome_trace([
+                {"ph": "E", "name": "a", "pid": 1, "tid": 0, "ts": 0},
+            ])
+
+    def test_rejects_end_on_wrong_tid(self):
+        with pytest.raises(ConfigurationError, match="no open 'B'"):
+            validate_chrome_trace([
+                {"ph": "B", "name": "a", "pid": 1, "tid": 0, "ts": 0},
+                {"ph": "E", "name": "a", "pid": 1, "tid": 1, "ts": 1},
+            ])
+
+    def test_rejects_unclosed_begin(self):
+        with pytest.raises(ConfigurationError, match="never closed"):
+            validate_chrome_trace([
+                {"ph": "B", "name": "a", "pid": 1, "tid": 0, "ts": 0},
+            ])
+
+    def test_rejects_backwards_timestamps(self):
+        with pytest.raises(ConfigurationError, match="goes backwards"):
+            validate_chrome_trace([
+                {"ph": "X", "name": "a", "pid": 1, "tid": 0, "ts": 5, "dur": 1},
+                {"ph": "X", "name": "b", "pid": 1, "tid": 0, "ts": 4, "dur": 1},
+            ])
+
+    def test_metadata_exempt_from_ts_order(self):
+        # M events carry no ts; interleaving them must not trip the check
+        assert validate_chrome_trace([
+            {"ph": "X", "name": "a", "pid": 1, "tid": 0, "ts": 5, "dur": 1},
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 9,
+             "args": {"name": "late metadata"}},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 0, "ts": 5, "dur": 1},
+        ]) == 3
+
+    def test_exporter_output_is_monotonic(self):
+        # shuffled input events must still export in sorted ts order
+        doc = to_chrome_trace(list(reversed(_events())), nranks=2)
+        assert validate_chrome_trace(doc) == len(doc["traceEvents"])
+
 
 class TestEndToEnd:
     def test_dump_from_simulated_run(self, tmp_path):

@@ -159,6 +159,52 @@ class TestSnapshot:
             MetricsSnapshot.from_dict({"type": "RunReport"})
 
 
+class TestPrometheusExposition:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("runs_total", "runs").labels(problem="k-path").inc(3)
+        reg.gauge("ghosts", "ghost nodes").labels(n1=4).set(17)
+        h = reg.histogram("phase_seconds", "phase time", buckets=[1e-3, 1e-2])
+        h.observe(5e-3)
+        h.observe(2.0)
+        return reg
+
+    def test_counter_and_gauge_lines(self):
+        text = self._populated().snapshot().to_prometheus()
+        assert "# TYPE runs_total counter" in text
+        assert '# HELP runs_total runs' in text
+        assert 'runs_total{problem="k-path"} 3' in text
+        assert "# TYPE ghosts gauge" in text
+        assert 'ghosts{n1="4"} 17' in text
+        assert text.endswith("\n")
+
+    def test_histogram_is_cumulative_with_inf(self):
+        text = self._populated().snapshot().to_prometheus()
+        assert 'phase_seconds_bucket{le="0.001"} 0' in text
+        assert 'phase_seconds_bucket{le="0.01"} 1' in text
+        assert 'phase_seconds_bucket{le="+Inf"} 2' in text  # overflow included
+        assert "phase_seconds_count 2" in text
+        assert "phase_seconds_sum 2.005" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c").labels(path='a"b\\c\nd').inc()
+        text = reg.snapshot().to_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        assert "\nd" not in text.split('c{')[1].split("}")[0]
+
+    def test_empty_snapshot(self):
+        assert MetricsSnapshot().to_prometheus() == ""
+
+    def test_every_sample_line_parses(self):
+        import re
+
+        line_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9].*$|^# .*$')
+        for line in self._populated().snapshot().to_prometheus().splitlines():
+            assert line_re.match(line), line
+
+
 class TestDisabledOverhead:
     """The acceptance budget: observability off must cost < 5% of a phase."""
 

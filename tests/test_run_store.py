@@ -1,0 +1,245 @@
+"""Run-history store: record round-trips, baselines, regression
+detection (the ISSUE acceptance criteria: a 2x phase slowdown is
+flagged, identical-seed reruns pass), and the CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.obs.store import (
+    RunRecord,
+    RunStore,
+    compare_runs,
+    compare_to_baseline,
+    config_fingerprint,
+)
+
+
+def rec(scenario="s", mk=1.0, **values):
+    values.setdefault("makespan", mk)
+    return RunRecord(scenario=scenario, git_sha="abc", config_hash="cfg",
+                     values=values)
+
+
+class TestRunRecord:
+    def test_round_trip(self, tmp_path):
+        r = RunRecord(scenario="x", git_sha="deadbeef", config_hash="c0ffee",
+                      problem="k-path", mode="simulated", nranks=8,
+                      values={"makespan": 1.5, "span:r0p1": 0.2},
+                      meta={"n1": "4"})
+        r2 = RunRecord.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert r2 == r
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            RunRecord.from_dict({"type": "Other"})
+        with pytest.raises(ConfigurationError):
+            RunRecord.from_dict({"type": "RunRecord"})
+
+    def test_config_fingerprint_stable_and_sensitive(self):
+        a = config_fingerprint({"k": 5, "n1": 4})
+        assert a == config_fingerprint({"n1": 4, "k": 5})  # order-free
+        assert a == config_fingerprint({"k": "5", "n1": "4"})  # type-free
+        assert a != config_fingerprint({"k": 6, "n1": 4})
+        assert len(a) == 12
+
+
+class TestRunStore:
+    def test_append_load_filter(self, tmp_path):
+        st = RunStore(tmp_path / "runs.jsonl")
+        assert st.load() == []
+        st.append(rec("a", 1.0))
+        st.append(rec("b", 2.0))
+        st.append(rec("a", 1.1))
+        assert len(st.load()) == 3
+        assert [r.values["makespan"] for r in st.load("a")] == [1.0, 1.1]
+        assert st.scenarios() == ["a", "b"]
+        assert st.latest("a").values["makespan"] == 1.1
+
+    def test_bad_line_raises_with_location(self, tmp_path):
+        p = tmp_path / "runs.jsonl"
+        p.write_text('{"type": "RunRecord", "scenario": "a"}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="runs.jsonl:2"):
+            RunStore(p).load()
+
+    def test_rolling_baseline_means_priors(self, tmp_path):
+        st = RunStore(tmp_path / "runs.jsonl")
+        for mk in (1.0, 2.0, 3.0, 100.0):
+            st.append(rec("s", mk))
+        base = st.rolling_baseline("s", window=3)
+        assert base.values["makespan"] == pytest.approx(2.0)  # mean(1,2,3)
+        assert st.rolling_baseline("missing") is None
+        one = RunStore(tmp_path / "one.jsonl")
+        one.append(rec("s", 1.0))
+        assert one.rolling_baseline("s") is None  # nothing before the newest
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        a = rec(mk=1.0, comm=0.5)
+        cmp = compare_runs(a, a, tolerance=0.25)
+        assert cmp.ok and not cmp.regressions
+        assert all(r["status"] == "ok" for r in cmp.rows)
+
+    def test_2x_slowdown_detected(self):
+        """The ISSUE acceptance criterion: a 2x slowdown on one phase
+        must fail the default tolerance."""
+        a = rec(mk=1.0, **{"span:r0p1": 0.4, "span:r0p2": 0.4})
+        b = rec(mk=1.4, **{"span:r0p1": 0.8, "span:r0p2": 0.4})
+        cmp = compare_runs(a, b, tolerance=0.25)
+        assert not cmp.ok
+        names = [r["metric"] for r in cmp.regressions]
+        assert "span:r0p1" in names and "makespan" in names
+        assert "span:r0p2" not in names
+
+    def test_improvement_never_fails(self):
+        cmp = compare_runs(rec(mk=2.0), rec(mk=0.5), tolerance=0.25)
+        assert cmp.ok
+        assert cmp.improvements[0]["metric"] == "makespan"
+
+    def test_within_tolerance_ok(self):
+        assert compare_runs(rec(mk=1.0), rec(mk=1.2), tolerance=0.25).ok
+        assert not compare_runs(rec(mk=1.0), rec(mk=1.3), tolerance=0.25).ok
+
+    def test_added_removed_metrics_never_fail(self):
+        cmp = compare_runs(rec(mk=1.0, old=1.0), rec(mk=1.0, new=1.0))
+        assert cmp.ok
+        statuses = {r["metric"]: r["status"] for r in cmp.rows}
+        assert statuses["old"] == "removed" and statuses["new"] == "added"
+
+    def test_zero_baseline(self):
+        assert compare_runs(rec(mk=0.0), rec(mk=0.0)).ok
+        assert not compare_runs(rec(mk=0.0), rec(mk=1.0)).ok
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_runs(rec(), rec(), tolerance=-0.1)
+
+    def test_markdown_and_dict(self):
+        cmp = compare_runs(rec(mk=1.0), rec(mk=3.0), tolerance=0.25)
+        md = cmp.markdown()
+        assert "REGRESSION" in md and "| makespan |" in md
+        d = cmp.to_dict()
+        assert d["ok"] is False and d["n_regressions"] == 1
+
+    def test_compare_to_baseline(self, tmp_path):
+        st = RunStore(tmp_path / "runs.jsonl")
+        for mk in (1.0, 1.02, 0.99, 2.5):
+            st.append(rec("s", mk))
+        cmp = compare_to_baseline(st, "s", tolerance=0.25)
+        assert not cmp.ok
+        with pytest.raises(ConfigurationError):
+            compare_to_baseline(st, "missing")
+
+
+class TestCli:
+    def _run_once(self, store, seed=3, capsys=None):
+        code = main(["detect-path", "--er", "30", "--seed", str(seed),
+                     "-k", "4", "--mode", "simulated", "-N", "4", "--n1", "2",
+                     "--store", str(store)])
+        assert code in (0, 1)  # found / not found, both fine
+
+    def test_store_history_compare_roundtrip(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        self._run_once(store)
+        self._run_once(store)
+        capsys.readouterr()
+
+        assert main(["history", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out and "k-path:er30:k4" in out
+
+        # identical-seed reruns are bit-identical -> compare passes
+        assert main(["compare", str(store)]) == 0
+        assert "**OK**" in capsys.readouterr().out
+
+    def test_compare_flags_injected_slowdown(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        self._run_once(store)
+        recs = RunStore(store).load()
+        slow = recs[-1]
+        for key in list(slow.values):
+            if key.startswith("span:") or key in ("makespan",
+                                                  "critical_path_length"):
+                slow.values[key] *= 2.0
+        RunStore(store).append(slow)
+        json_out = tmp_path / "cmp.json"
+        code = main(["compare", str(store), "--tolerance", "0.25",
+                     "--json-out", str(json_out)])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        doc = json.loads(json_out.read_text())
+        assert doc["ok"] is False
+        assert any(r["metric"] == "makespan" and r["status"] == "REGRESSED"
+                   for r in doc["rows"])
+
+    def test_compare_explicit_indices(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        st = RunStore(store)
+        st.append(rec("s", 1.0))
+        st.append(rec("s", 1.1))
+        assert main(["compare", str(store), "--scenario", "s",
+                     "--ref", "0", "--new", "1"]) == 0
+        assert main(["compare", str(store), "--scenario", "s",
+                     "--ref", "7"]) == 1  # out of range -> usage error
+        capsys.readouterr()
+
+    def test_compare_requires_scenario_when_ambiguous(self, tmp_path, capsys):
+        store = tmp_path / "runs.jsonl"
+        st = RunStore(store)
+        st.append(rec("a"))
+        st.append(rec("a"))
+        st.append(rec("b"))
+        assert main(["compare", str(store)]) == 1
+        assert "--scenario required" in capsys.readouterr().err
+
+    def test_history_empty_store(self, tmp_path, capsys):
+        assert main(["history", str(tmp_path / "nope.jsonl")]) == 1
+
+    def test_metrics_format_prom(self, tmp_path, capsys):
+        out = tmp_path / "m.prom"
+        main(["detect-path", "--er", "30", "--seed", "3", "-k", "4",
+              "--mode", "simulated", "-N", "4", "--n1", "2",
+              "--metrics-out", str(out), "--metrics-format", "prom"])
+        capsys.readouterr()
+        text = out.read_text()
+        assert "# TYPE" in text
+        assert "_bucket{" in text and 'le="+Inf"' in text
+        # cumulative buckets: counts never decrease within a series
+        import re
+        series = {}
+        for line in text.splitlines():
+            m = re.match(r"^(\w+_bucket)\{(.*)\} (\d+)$", line)
+            if m:
+                key = (m.group(1),
+                       re.sub(r',?le="[^"]*"', "", m.group(2)))
+                series.setdefault(key, []).append(int(m.group(3)))
+        assert series, "expected at least one histogram series"
+        for counts in series.values():
+            assert counts == sorted(counts)
+
+
+class TestBenchEmission:
+    def test_bench_json_stamped_and_recorded(self, tmp_path, monkeypatch):
+        import sys
+        sys.path.insert(0, "benchmarks")
+        try:
+            import _bench_utils
+        finally:
+            sys.path.pop(0)
+        monkeypatch.setenv("BENCH_JSON_DIR", str(tmp_path))
+        p = _bench_utils.emit_bench_json(
+            "fig X", ["k", "seconds"], [[5, "1.25"], [10, "inf"]])
+        doc = json.loads(p.read_text())
+        assert doc["type"] == "MetricsSnapshot"
+        assert len(doc["git_sha"]) >= 4
+        assert len(doc["config_hash"]) == 12
+        r = RunStore(tmp_path / "bench_runs.jsonl").latest()
+        assert r.scenario == "bench:fig_x"
+        assert r.values == {"5:seconds": 1.25}  # inf filtered
+        assert r.config_hash == doc["config_hash"]
