@@ -1,0 +1,85 @@
+"""Overhead of the wall-clock profiler on the detection hot path.
+
+The profiler wraps every round and every kernel phase window in a timed
+span (``WallProfiler.span``), so its cost lands once per phase — the
+tightest loop it touches.  This bench measures a full detection three
+ways: profiler absent (the pre-telemetry baseline shape), profiler
+enabled (the default for every ``MidasRuntime``), and profiler enabled
+with span retention off (aggregates only, what a long soak run would
+use).  The contract asserted at the bottom: enabling profiling costs a
+bounded fraction of the run, because a span is two ``perf_counter``
+calls plus one dict update against a kernel doing ``n2`` numpy table
+lookups per window.
+"""
+
+import time
+
+from _bench_utils import print_series
+from repro.core.midas import MidasRuntime, detect_path
+from repro.graph.generators import erdos_renyi
+from repro.obs.profile import WallProfiler
+from repro.util.rng import RngStream
+
+K = 10
+N2 = 64
+REPEATS = 3
+
+
+def _run(graph, rt, seed):
+    t0 = time.perf_counter()
+    res = detect_path(graph, K, eps=0.5, rng=RngStream(seed, name="bench"),
+                      runtime=rt, early_exit=False)
+    return time.perf_counter() - t0, res
+
+
+def _best_of(graph, make_rt):
+    walls, res = [], None
+    for _ in range(REPEATS):
+        wall, res = _run(graph, make_rt(), seed=7)
+        walls.append(wall)
+    return min(walls), res
+
+
+def test_profiler_overhead_is_bounded():
+    """Same detection with and without span recording; best-of-3 walls."""
+    g = erdos_renyi(2000, m=8000, rng=RngStream(1, name="g"))
+
+    def disabled():
+        rt = MidasRuntime(n2=N2)
+        rt.profiler = WallProfiler(enabled=False)
+        return rt
+
+    def full():
+        return MidasRuntime(n2=N2)
+
+    def aggregates_only():
+        rt = MidasRuntime(n2=N2)
+        rt.profiler = WallProfiler(keep_spans=False)
+        return rt
+
+    wall_off, res_off = _best_of(g, disabled)
+    wall_on, res_on = _best_of(g, full)
+    wall_agg, res_agg = _best_of(g, aggregates_only)
+
+    # profiling must never perturb the detection itself
+    assert [r.value for r in res_on.rounds] == [r.value for r in res_off.rounds]
+    assert [r.value for r in res_agg.rounds] == [r.value for r in res_off.rounds]
+
+    spans_per_run = len(res_on.rounds) * (1 + N2)  # round + kernel spans
+    rows = [
+        ["disabled", f"{wall_off:.3f}", "1.000x", 0],
+        ["spans+aggregates", f"{wall_on:.3f}",
+         f"{wall_on / wall_off:.3f}x", spans_per_run],
+        ["aggregates only", f"{wall_agg:.3f}",
+         f"{wall_agg / wall_off:.3f}x", spans_per_run],
+    ]
+    print_series(
+        f"Profiler overhead on detect_path (k={K}, N2={N2}, "
+        f"~{spans_per_run} spans/run, best of {REPEATS})",
+        ["profiler", "wall [s]", "vs disabled", "spans"],
+        rows,
+    )
+    # generous bound: wall clocks on shared CI hosts are noisy, but a 50%
+    # blowup would mean the span machinery landed inside the n2 loop
+    assert wall_on < wall_off * 1.5
+    assert wall_agg < wall_off * 1.5

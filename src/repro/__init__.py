@@ -46,10 +46,14 @@ from repro.graph.generators import (
 from repro.graph.partition import Partition, make_partition
 from repro.graph.templates import TreeTemplate
 from repro.obs import (
+    LiveRun,
+    LiveServer,
     MetricsRegistry,
     RunRecord,
     RunReport,
+    RunStatus,
     RunStore,
+    WallProfiler,
     analyze_run,
     compare_runs,
     compare_to_baseline,
@@ -116,10 +120,14 @@ __all__ = [
     "laptop",
     "shadowfax",
     "KernelCalibration",
+    "LiveRun",
+    "LiveServer",
     "MetricsRegistry",
     "RunRecord",
     "RunReport",
+    "RunStatus",
     "RunStore",
+    "WallProfiler",
     "analyze_run",
     "compare_runs",
     "compare_to_baseline",

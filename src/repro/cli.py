@@ -11,7 +11,9 @@ Commands map one-to-one to the library's top-level workflows:
 * ``model`` — evaluate the Theorem-2 performance model for a
   ``(dataset, k, N, N1, N2)`` configuration;
 * ``verify`` — run the full correctness tooling on one instance:
-  sanitized detection, cross-backend replay, witness certification.
+  sanitized detection, cross-backend replay, witness certification;
+* ``watch`` — follow a live run: poll a ``--live-port`` endpoint's
+  ``/status`` or tail a ``--progress-out`` JSONL stream.
 """
 
 from __future__ import annotations
@@ -89,6 +91,16 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
                    default="off",
                    help="runtime comm sanitizer: strict raises on the first "
                         "violation, warn accumulates a report (default off)")
+    p.add_argument("--live-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics, /status and /healthz over HTTP "
+                        "while the run executes (0 = ephemeral port; watch "
+                        "with `repro watch http://127.0.0.1:PORT`)")
+    p.add_argument("--progress-out", metavar="PATH", default=None,
+                   help="append live progress events to this JSONL stream "
+                        "(tail with `repro watch PATH --follow`)")
+    p.add_argument("--profile-out", metavar="PATH", default=None,
+                   help="write the wall-clock profile as speedscope JSON "
+                        "(open at https://www.speedscope.app)")
 
 
 def _runtime(args):
@@ -105,21 +117,33 @@ def _runtime(args):
         from repro.runtime.faults import load_fault_plan
 
         fault_plan = load_fault_plan(args.fault_plan)
-    return MidasRuntime(
+    rt = MidasRuntime(
         n_processors=args.processors, n1=args.n1, n2=args.n2, mode=args.mode,
         recorder=recorder, fault_plan=fault_plan,
         max_retries=getattr(args, "max_retries", 5),
         retry_backoff=getattr(args, "retry_backoff", 1e-3),
         workers=getattr(args, "workers", None),
         sanitize=getattr(args, "sanitize", "off"),
+        live_port=getattr(args, "live_port", None),
+        progress_path=getattr(args, "progress_out", None),
     )
+    live = rt.get_live()
+    if live is not None and live.port is not None:
+        print(f"live telemetry: http://127.0.0.1:{live.port} "
+              f"(/metrics /status /healthz)")
+    return rt
 
 
 def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None,
-               sanitizer=None) -> None:
-    """Emit --trace-out / --metrics-out / --report-out / --store artifacts."""
+               sanitizer=None, truncated: bool = False) -> None:
+    """Emit --trace-out / --metrics-out / --report-out / --profile-out /
+    --store artifacts.  ``truncated=True`` marks artifacts flushed from an
+    interrupted run: the report carries ``meta.truncated`` and no
+    RunRecord is appended (a partial run would poison the perf baseline).
+    """
     if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)
-            or getattr(args, "report_out", None) or getattr(args, "store", None)):
+            or getattr(args, "report_out", None) or getattr(args, "store", None)
+            or getattr(args, "profile_out", None)):
         return
     from pathlib import Path
 
@@ -143,27 +167,54 @@ def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None,
         else:
             dump_result(snap, args.metrics_out)
         print(f"metrics written: {args.metrics_out}")
+    prof = rt.profiler
+    profile = prof.section() if (prof is not None and prof.has_data) else None
+    if getattr(args, "profile_out", None):
+        if prof is not None and prof.has_data:
+            prof.dump_speedscope(args.profile_out,
+                                 name=f"{problem or 'repro'} [{rt.mode}]")
+            print(f"profile written: {args.profile_out}")
+        else:
+            print("no profile data recorded; skipping --profile-out",
+                  file=sys.stderr)
     rep = None
     if args.report_out or getattr(args, "store", None):
         from repro.obs.report import RunReport
 
+        meta = {"n1": rt.n1}
+        if truncated:
+            meta["truncated"] = True
         rep = RunReport.build(rt.recorder.events, nranks, problem=problem,
                               mode=rt.mode, metrics=snap, estimate=estimate,
-                              meta={"n1": rt.n1}, resilience=resilience,
-                              sanitizer=sanitizer, edges=rt.recorder.edges,
+                              meta=meta, resilience=resilience,
+                              sanitizer=sanitizer, profile=profile,
+                              edges=rt.recorder.edges,
                               fault_plan=rt.fault_plan, n1=rt.n1)
     if args.report_out:
         dump_result(rep, args.report_out)
         print(f"report written: {args.report_out}")
     if getattr(args, "store", None):
-        from repro.obs.store import RunRecord, RunStore
+        if truncated:
+            print("run interrupted; not appending a RunRecord to the store",
+                  file=sys.stderr)
+        else:
+            from repro.obs.store import RunRecord, RunStore
 
-        scenario = args.scenario or _default_scenario(args, problem)
-        record = RunRecord.from_report(
-            rep, scenario, config=_store_config(args, rt, problem)
-        )
-        RunStore(args.store).append(record)
-        print(f"run recorded: {args.store} [{scenario}]")
+            scenario = args.scenario or _default_scenario(args, problem)
+            record = RunRecord.from_report(
+                rep, scenario, config=_store_config(args, rt, problem)
+            )
+            RunStore(args.store).append(record)
+            print(f"run recorded: {args.store} [{scenario}]")
+
+
+def _flush_interrupted(args, rt, problem: str) -> int:
+    """SIGINT mid-run: flush whatever observability we have and exit 130
+    (the conventional 128+SIGINT code).  The progress stream is already
+    on disk — it is appended and flushed per event."""
+    print("\ninterrupted — flushing partial artifacts", file=sys.stderr)
+    _write_obs(args, rt, problem=problem, truncated=True)
+    return 130
 
 
 def _default_scenario(args, problem: str) -> str:
@@ -227,8 +278,13 @@ def cmd_detect_path(args) -> int:
     g, rng = _load_graph(args)
     print(f"graph: {g}")
     rt = _runtime(args)
-    res = detect_path(g, args.k, eps=args.eps, rng=rng.child("detect"),
-                      runtime=rt)
+    try:
+        res = detect_path(g, args.k, eps=args.eps, rng=rng.child("detect"),
+                          runtime=rt)
+    except KeyboardInterrupt:
+        return _flush_interrupted(args, rt, "k-path")
+    finally:
+        rt.close_live()
     print(res.summary())
     resilience = res.details.get("resilience")
     if resilience:
@@ -255,8 +311,13 @@ def cmd_detect_tree(args) -> int:
     tmpl = factories[args.template](args.k)
     print(f"graph: {g}\ntemplate: {tmpl}")
     rt = _runtime(args)
-    res = detect_tree(g, tmpl, eps=args.eps, rng=rng.child("detect"),
-                      runtime=rt)
+    try:
+        res = detect_tree(g, tmpl, eps=args.eps, rng=rng.child("detect"),
+                          runtime=rt)
+    except KeyboardInterrupt:
+        return _flush_interrupted(args, rt, "k-tree")
+    finally:
+        rt.close_live()
     print(res.summary())
     resilience = res.details.get("resilience")
     if resilience:
@@ -289,7 +350,12 @@ def cmd_scan(args) -> int:
     rt = _runtime(args)
     det = AnomalyDetector(g, stats[args.statistic](), k=args.k,
                           runtime=rt, eps=args.eps)
-    res = det.detect(w, rng=rng.child("scan"), extract=args.extract)
+    try:
+        res = det.detect(w, rng=rng.child("scan"), extract=args.extract)
+    except KeyboardInterrupt:
+        return _flush_interrupted(args, rt, "scanstat")
+    finally:
+        rt.close_live()
     print(res.summary())
     if res.cluster is not None:
         print(f"cluster: {sorted(int(x) for x in res.cluster)}")
@@ -419,7 +485,8 @@ def cmd_compare(args) -> int:
             new_i = args.new if args.new is not None else -1
             try:
                 cmp = compare_runs(records[ref_i], records[new_i],
-                                   tolerance=args.tolerance)
+                                   tolerance=args.tolerance,
+                                   wall_tolerance=args.wall_tolerance)
             except IndexError:
                 raise ConfigurationError(
                     f"record index out of range (have {len(records)})"
@@ -436,7 +503,8 @@ def cmd_compare(args) -> int:
                 scenario = names[0]
             cmp = compare_to_baseline(store, scenario,
                                       tolerance=args.tolerance,
-                                      window=args.window)
+                                      window=args.window,
+                                      wall_tolerance=args.wall_tolerance)
     except ConfigurationError as exc:
         print(str(exc), file=sys.stderr)
         return 1
@@ -519,6 +587,145 @@ def cmd_verify(args) -> int:
 
     print("verify: " + ("OK" if failures == 0 else f"{failures} FAILURE(S)"))
     return 0 if failures == 0 else 2
+
+
+_TERMINAL_STATES = ("done", "failed", "interrupted")
+
+
+def _render_status(s: dict) -> str:
+    """One status line from a RunStatus snapshot dict."""
+    from repro.util.timing import format_seconds
+
+    parts = [
+        f"[{s.get('state', '?'):>11}]",
+        f"{s.get('problem') or '?'}/{s.get('mode') or '?'}",
+        f"rounds {s.get('rounds_completed', 0)}/{s.get('rounds_planned', 0)}",
+    ]
+    stage = s.get("stage")
+    if stage:
+        parts.append(f"stage {stage} (k={s.get('k', 0)})")
+    pf = s.get("p_failure_bound")
+    if pf is not None:
+        parts.append(f"p_fail<={pf:.3g}")
+    eta = s.get("eta_seconds")
+    if eta:
+        parts.append(f"eta {format_seconds(eta)}")
+    faults = s.get("faults") or {}
+    if faults.get("phase_failures") or faults.get("retries"):
+        parts.append(f"faults {faults.get('phase_failures', 0)} "
+                     f"(+{faults.get('retries', 0)} retries)")
+    if s.get("found") is not None:
+        parts.append(f"found={s['found']}")
+    return "  ".join(parts)
+
+
+def _render_event(evt: dict) -> Optional[str]:
+    """One progress-stream event as a display line (None = skip)."""
+    kind = evt.get("event")
+    if kind == "run_start":
+        g = evt.get("graph") or {}
+        return (f"run {evt.get('run', '?')}: {evt.get('problem', '?')} "
+                f"[{evt.get('mode', '?')}] on {g.get('nodes', '?')} nodes / "
+                f"{g.get('edges', '?')} edges")
+    if kind == "stage_start":
+        return (f"stage {evt.get('stage', '?')}: k={evt.get('k', '?')}, "
+                f"{evt.get('rounds', '?')} round(s) x "
+                f"{evt.get('phases_per_round', '?')} phase(s)")
+    if kind == "round":
+        status = evt.get("status") or {}
+        hit = "  HIT" if evt.get("hit") else ""
+        return _render_status(status) + hit
+    if kind == "fault":
+        return (f"faults: {evt.get('failures', 0)} failure(s), "
+                f"{evt.get('retries', 0)} retry(ies), "
+                f"{evt.get('injected', 0)} injected")
+    if kind == "result":
+        return f"result: found={evt.get('found')}"
+    if kind == "run_end":
+        return f"run ended: {evt.get('state', '?')}" + (
+            f" ({evt['error']})" if evt.get("error") else "")
+    return None  # per-phase events are too chatty for the console
+
+
+def _watch_url(args) -> int:
+    import json as _json
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    base = args.target.rstrip("/")
+    deadline = _time.monotonic() + args.timeout if args.timeout else None
+    last = None
+    seen_any = False
+    while True:
+        try:
+            with urllib.request.urlopen(base + "/status", timeout=5) as resp:
+                status = _json.load(resp)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            if seen_any:
+                # the exporter shuts down right after the run finishes, so
+                # losing an endpoint we were successfully polling means the
+                # run ended (the terminal /status poll is easy to miss)
+                print("watch: endpoint gone — run ended", file=sys.stderr)
+                return 0
+            print(f"watch: cannot read {base}/status: {exc}", file=sys.stderr)
+            return 1
+        seen_any = True
+        line = _render_status(status)
+        if line != last:
+            print(line)
+            last = line
+        if status.get("state") in _TERMINAL_STATES:
+            return 0
+        if deadline is not None and _time.monotonic() > deadline:
+            print("watch: timed out before the run ended", file=sys.stderr)
+            return 1
+        _time.sleep(args.interval)
+
+
+def _watch_file(args) -> int:
+    import json as _json
+    import time as _time
+    from pathlib import Path
+
+    path = Path(args.target)
+    if not path.exists():
+        print(f"watch: no such progress stream: {path}", file=sys.stderr)
+        return 1
+    deadline = _time.monotonic() + args.timeout if args.timeout else None
+    ended = False
+    with path.open() as fh:
+        while True:
+            line = fh.readline()
+            if line:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    evt = _json.loads(line)
+                except ValueError:
+                    continue  # a partially flushed last line
+                out = _render_event(evt)
+                if out:
+                    print(out)
+                if evt.get("event") == "run_end":
+                    ended = True
+                continue
+            # at EOF
+            if ended or not args.follow:
+                return 0
+            if deadline is not None and _time.monotonic() > deadline:
+                print("watch: timed out before the run ended", file=sys.stderr)
+                return 1
+            _time.sleep(args.interval)
+
+
+def cmd_watch(args) -> int:
+    """Follow a live run: poll an HTTP /status endpoint or tail a
+    progress JSONL stream, rendering rounds, ETA, and fault counts."""
+    if args.target.startswith(("http://", "https://")):
+        return _watch_url(args)
+    return _watch_file(args)
 
 
 def cmd_figures(args) -> int:
@@ -643,6 +850,9 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--tolerance", type=float, default=0.25,
                     help="relative growth beyond which a metric regresses "
                          "(default 0.25 = +25%%)")
+    cp.add_argument("--wall-tolerance", type=float, default=None,
+                    help="gate the noisy wall_* metrics at this tolerance "
+                         "(default: report them as 'noted' without failing)")
     cp.add_argument("--ref", type=int, default=None,
                     help="baseline record index (negatives from the end; "
                          "default: rolling-baseline mean of prior runs)")
@@ -653,6 +863,22 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--json-out", metavar="PATH", default=None,
                     help="also write the comparison as JSON")
     cp.set_defaults(fn=cmd_compare)
+
+    wa = sub.add_parser(
+        "watch",
+        help="follow a live run: poll /status on a --live-port endpoint "
+             "or tail a --progress-out JSONL stream",
+    )
+    wa.add_argument("target",
+                    help="http://host:port of a --live-port run, or the "
+                         "path of a --progress-out stream")
+    wa.add_argument("--interval", type=float, default=0.5,
+                    help="seconds between polls (default 0.5)")
+    wa.add_argument("--follow", action="store_true",
+                    help="keep tailing a progress file until run_end")
+    wa.add_argument("--timeout", type=float, default=0.0,
+                    help="give up after this many seconds (0 = never)")
+    wa.set_defaults(fn=cmd_watch)
 
     fg = sub.add_parser("figures", help="regenerate the paper's figure series")
     fg.add_argument("name", nargs="?", default=None,

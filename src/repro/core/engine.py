@@ -60,6 +60,7 @@ from repro.runtime.scheduler import Simulator
 from repro.runtime.tracing import Scope, TraceRecorder
 from repro.util.log import get_logger
 from repro.util.rng import RngStream
+from repro.util.timing import Stopwatch
 
 _LOG = get_logger(__name__)
 
@@ -135,6 +136,10 @@ class MidasRuntime:
     workers: Optional[int] = None
     sanitize: str = "off"
     digest_log: Optional[object] = None
+    live: Optional[object] = None
+    live_port: Optional[int] = None
+    progress_path: Optional[str] = None
+    profiler: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -156,6 +161,10 @@ class MidasRuntime:
             )
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.live_port is not None and not (0 <= self.live_port <= 65535):
+            raise ConfigurationError(
+                f"live_port must be a port number (0 = ephemeral), got {self.live_port}"
+            )
 
     def schedule_for(self, k: int) -> PhaseSchedule:
         total = 1 << k
@@ -191,6 +200,44 @@ class MidasRuntime:
     def get_workers(self) -> int:
         """Thread count for the threaded backend."""
         return self.workers if self.workers is not None else (os.cpu_count() or 1)
+
+    def get_live(self):
+        """The live telemetry bus, built lazily from ``live`` /
+        ``live_port`` / ``progress_path`` (``None`` when none are set).
+
+        A ``live_port`` starts the HTTP exporter immediately; the bound
+        port (useful with ``live_port=0``) is ``rt.live.port``.  The bus
+        is stored back on the runtime so every engine sharing this
+        runtime reports into one cumulative RunStatus.
+        """
+        if self.live is None and (self.live_port is not None
+                                  or self.progress_path is not None):
+            from repro.obs.live import LiveRun  # lazy: optional layer
+
+            self.live = LiveRun(progress_path=self.progress_path,
+                                metrics=self.get_metrics())
+        if self.live is not None and self.live_port is not None:
+            self.live.serve(self.live_port)  # idempotent
+        return self.live
+
+    def get_profiler(self):
+        """The wall-clock profiler (always present; created on first use).
+
+        Every engine run is profiled by default — span overhead is
+        nanoseconds against the kernels it wraps (see
+        :mod:`repro.obs.profile`) and the ``wall_*`` RunRecord values
+        depend on it.
+        """
+        if self.profiler is None:
+            from repro.obs.profile import WallProfiler  # lazy: optional layer
+
+            self.profiler = WallProfiler()
+        return self.profiler
+
+    def close_live(self) -> None:
+        """Stop the HTTP exporter and close the progress stream, if any."""
+        if self.live is not None:
+            self.live.close()
 
 
 def _reduce_cost(rt: MidasRuntime, nbytes: int) -> float:
@@ -265,7 +312,8 @@ class _FaultContext:
 
 
 def _run_phase_resilient(rt: MidasRuntime, fc: _FaultContext, prog, key: str,
-                         sim_cost_model, want_trace: bool, sanitizer=None):
+                         sim_cost_model, want_trace: bool, sanitizer=None,
+                         prof=None, heartbeat=None):
     """Run one phase window to completion under the fault plan.
 
     Retries the window (same program, seeded-identical randomness) on any
@@ -288,11 +336,18 @@ def _run_phase_resilient(rt: MidasRuntime, fc: _FaultContext, prog, key: str,
             rt.n1, cost_model=sim_cost_model,
             measure_compute=rt.measure_compute,
             trace=want_trace, faults=run_inj, sanitizer=sanitizer,
+            heartbeat=heartbeat,
         )
         err = None
         res = None
         try:
-            res = sim.run(prog)
+            if prof is not None:
+                # callsite is the problem, not the phase key — one
+                # aggregate row per problem, not per phase window
+                with prof.span("simulate", phase="rounds", callsite=fc.problem):
+                    res = sim.run(prog)
+            else:
+                res = sim.run(prog)
             if res.crashed_ranks:
                 # the program "finished" but ranks died: their partial
                 # results are unusable — treat like a failed collective
@@ -398,7 +453,8 @@ class SequentialBackend(ExecutionBackend):
         for t in range(sched.n_phases):
             q0, q1 = sched.phase_window(t)
             p0 = time.perf_counter()
-            contrib = spec.seq_phase(fp, q0, sched.n2)
+            with e.prof.span("kernel", phase="rounds", callsite=spec.name):
+                contrib = spec.seq_phase(fp, q0, sched.n2)
             value = spec.combine(value, contrib)
             dt = time.perf_counter() - p0
             stage.phase_hist.observe(dt)
@@ -456,7 +512,8 @@ class ThreadedBackend(ExecutionBackend):
         def run_phase(t: int):
             q0, q1 = sched.phase_window(t)
             p0 = time.perf_counter()
-            v = spec.seq_phase(fp, q0, sched.n2)
+            with e.prof.span("kernel", phase="rounds", callsite=spec.name):
+                v = spec.seq_phase(fp, q0, sched.n2)
             p1 = time.perf_counter()
             return t, q0, q1, v, p0 - round0, p1 - round0, threading.current_thread().name
 
@@ -534,6 +591,8 @@ class SimulatedBackend(ExecutionBackend):
                 res, sim, extra, failed = _run_phase_resilient(
                     rt, fc, prog, f"{stage.key_prefix}r{ell}/b{bi}/p{t}",
                     self._cost_model, want_trace=want_trace, sanitizer=e.san,
+                    prof=e.prof,
+                    heartbeat=e.live.heartbeat if e.live is not None else None,
                 )
                 contrib = spec.rank_value(res.results[0])
                 value = spec.combine(value, contrib)
@@ -647,6 +706,13 @@ class DetectionEngine:
             raise ConfigurationError(f"no backend for mode {rt.mode!r}") from None
         self.partition = None
         self.views = None
+        self.prof = rt.get_profiler()
+        self.live = rt.get_live()
+        self.round_sw = Stopwatch()  # wall clock around the round loop
+        if self.live is not None:
+            self.live.run_started(problem, rt.mode,
+                                  graph_nodes=graph.n,
+                                  graph_edges=graph.num_edges)
         self.cursor = 0.0  # run-level virtual clock for the spliced trace
         self.last_join = None  # (rank, time) the next batch's barrier hangs on
         self.virtual_total = 0.0
@@ -663,7 +729,15 @@ class DetectionEngine:
     def __enter__(self) -> "DetectionEngine":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.live is not None:
+            if exc_type is None:
+                state, error = "done", ""
+            elif issubclass(exc_type, KeyboardInterrupt):
+                state, error = "interrupted", "KeyboardInterrupt"
+            else:
+                state, error = "failed", f"{exc_type.__name__}: {exc}"
+            self.live.run_ended(state, error=error)
         self.close()
 
     def close(self) -> None:
@@ -690,12 +764,21 @@ class DetectionEngine:
 
     # ------------------------------------------------------------- digests
     def note_phase(self, stage: "_Stage", ell: int, t: int, contribution) -> None:
-        """Record one phase contribution's digest (no-op without a log)."""
+        """Record one phase contribution's digest (no-op without a log)
+        and tick the live phase counter/heartbeat.  Called from worker
+        threads in threaded mode — both sinks are thread-safe."""
         if self.digests is not None:
             self.digests.record_phase(
                 stage.label, ell, t // stage.sched.concurrency, t,
                 self._value_digest(contribution),
             )
+        if self.live is not None:
+            self.live.phase_done(ell, t)
+
+    def note_result(self, found: bool) -> None:
+        """Publish the detection's final answer to the live bus."""
+        if self.live is not None:
+            self.live.note_result(found)
 
     def note_round(self, stage: "_Stage", ell: int, value) -> None:
         """Record one round accumulator's digest (no-op without a log)."""
@@ -706,15 +789,18 @@ class DetectionEngine:
     # ------------------------------------------------------------ resources
     def ensure_partition(self):
         if self.partition is None:
-            self.partition = make_partition(
-                self.graph, self.rt.n1, self.rt.partition_method,
-                rng=RngStream(self.rt.partition_seed, name="partition"),
-            )
+            with self.prof.span("partition", phase="setup",
+                                callsite=self.rt.partition_method):
+                self.partition = make_partition(
+                    self.graph, self.rt.n1, self.rt.partition_method,
+                    rng=RngStream(self.rt.partition_seed, name="partition"),
+                )
         return self.partition
 
     def ensure_views(self):
         if self.views is None:
-            self.views = build_halo_views(self.graph, self.ensure_partition())
+            with self.prof.span("halo", phase="setup", callsite=self.problem):
+                self.views = build_halo_views(self.graph, self.ensure_partition())
         return self.views
 
     # ------------------------------------------------------------ main loop
@@ -756,19 +842,39 @@ class DetectionEngine:
             )
         stage = _Stage(spec, sched, rounds, key_prefix, label, phase_hist, estimate)
         self.backend.prepare(stage)
+        if self.live is not None:
+            self.live.stage_started(label or self.problem, spec.k, rounds,
+                                    sched.n_phases, eps=eps)
+        stage_sw = Stopwatch()  # this stage's rounds only, for the ETA
 
         values: List[Value] = []
         virtuals: List[float] = []
         for ell in range(rounds):
             fp = spec.draw_fingerprint(self.graph.n, rng.child(f"round{ell}"))
-            value, round_virtual = self.backend.run_round(stage, fp, ell)
+            with self.round_sw, stage_sw, self.prof.span(
+                    "round", phase="rounds", callsite=label or self.problem):
+                value, round_virtual = self.backend.run_round(stage, fp, ell)
             self.note_round(stage, ell, value)
             self.rounds_ctr.inc()
             self.virtual_total += round_virtual
             values.append(value)
             virtuals.append(round_virtual)
+            hit = stop is not None and stop(value)
+            if self.live is not None:
+                remaining = 0 if hit else rounds - (ell + 1)
+                mean_virtual = (sum(virtuals) / len(virtuals)) if virtuals else 0.0
+                self.live.round_done(
+                    ell, hit, self.virtual_total,
+                    eta_seconds=stage_sw.mean * remaining,
+                    eta_virtual_seconds=mean_virtual * remaining,
+                )
+                if self.fc is not None and self.fc.injector is not None:
+                    self.live.fault_update(
+                        self.fc.phase_failures, self.fc.retries,
+                        sum(self.fc.injected.values()),
+                    )
             _LOG.debug("%s k=%d round %d/%d", self.problem, spec.k, ell + 1, rounds)
-            if stop is not None and stop(value):
+            if hit:
                 _LOG.info("%s k=%d: witness found in round %d",
                           self.problem, spec.k, ell + 1)
                 break
@@ -781,6 +887,12 @@ class DetectionEngine:
         if self.partition is not None:
             det.setdefault("max_load", self.partition.max_load)
             det.setdefault("max_deg", self.partition.max_degree)
+        if self.round_sw.calls:
+            det.setdefault("wall", {
+                "rounds_seconds": self.round_sw.elapsed,
+                "rounds": self.round_sw.calls,
+                "mean_round_seconds": self.round_sw.mean,
+            })
         if estimate is not None:
             det.setdefault("estimate", estimate)
         if self.rt.mode == "simulated" and self.rt.trace:

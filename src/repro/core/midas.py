@@ -84,6 +84,7 @@ def _run_scalar_detection(
             for i, (v, rv) in enumerate(zip(out.values, out.virtuals))
         ]
         det = engine.fill_details(dict(spec.details), estimate=out.estimate)
+        engine.note_result(any(r.hit for r in records))
     return DetectionResult(
         problem=problem,
         k=k,
@@ -172,9 +173,10 @@ def max_weight_path(
     with DetectionEngine(graph, rt, spec.name) as engine:
         out = engine.run_stage(spec, rounds, rng, eps=eps,
                                want_estimate=engine.want_estimate_default())
-    hit = np.zeros(z_max + 1, dtype=bool)
-    for acc in out.values:
-        hit |= acc != 0
+        hit = np.zeros(z_max + 1, dtype=bool)
+        for acc in out.values:
+            hit |= acc != 0
+        engine.note_result(bool(hit.any()))
     zs = np.nonzero(hit)[0]
     return int(zs.max()) if len(zs) else None
 
@@ -207,6 +209,7 @@ def detect_scan_cell(
     with DetectionEngine(graph, rt, spec.name) as engine:
         out = engine.run_stage(spec, rounds, rng, eps=eps,
                                stop=lambda acc: acc[weight] != 0)
+        engine.note_result(bool(out.values and out.values[-1][weight] != 0))
     return bool(out.values and out.values[-1][weight] != 0)
 
 
@@ -263,6 +266,7 @@ def scan_grid(
             )
             for acc in out.values:
                 detected[j] |= acc != 0
+        engine.note_result(bool(detected.any()))
         grid_details = engine.fill_details({"weights_total": int(w.sum())})
         # the grid result keeps only run-wide keys, not per-size partition stats
         grid_details.pop("max_load", None)

@@ -17,7 +17,16 @@ Three complementary views of one MIDAS run:
   load-imbalance and communication-matrix analytics;
 * :mod:`repro.obs.store` — append-only JSONL :class:`RunStore` of
   compact :class:`RunRecord` perf fingerprints with baseline
-  comparison (``repro history`` / ``repro compare``).
+  comparison (``repro history`` / ``repro compare``);
+* :mod:`repro.obs.live` — in-flight telemetry: a thread-safe
+  :class:`RunStatus` the engine updates at round/phase boundaries, an
+  append-only JSONL progress stream, and live gauges (``repro watch``);
+* :mod:`repro.obs.http` — stdlib HTTP exporter serving ``/metrics``
+  (Prometheus text), ``/status`` (JSON RunStatus) and ``/healthz``
+  (``MidasRuntime(live_port=...)`` / CLI ``--live-port``);
+* :mod:`repro.obs.profile` — wall-clock span profiler over the real
+  kernel/evaluator/collective call sites with per-(phase, op, callsite)
+  aggregates, a ``profile`` RunReport section, and speedscope export.
 
 CLI: ``python -m repro detect-path ... --trace-out run.json
 --metrics-out metrics.json --report-out report.json`` and
@@ -38,6 +47,8 @@ from repro.obs.chrome_trace import (
     to_chrome_trace,
     validate_chrome_trace,
 )
+from repro.obs.http import LiveServer
+from repro.obs.live import LiveRun, ProgressStream, RunStatus
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -47,6 +58,11 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     get_default_registry,
     log_buckets,
+)
+from repro.obs.profile import (
+    SpanRecord,
+    WallProfiler,
+    validate_speedscope,
 )
 from repro.obs.report import RunReport
 from repro.obs.store import (
@@ -64,15 +80,21 @@ __all__ = [
     "CriticalPath",
     "Gauge",
     "Histogram",
+    "LiveRun",
+    "LiveServer",
     "MetricFamily",
     "MetricsRegistry",
     "MetricsSnapshot",
     "PathSegment",
+    "ProgressStream",
     "RunAnalysis",
     "RunComparison",
     "RunRecord",
     "RunReport",
+    "RunStatus",
     "RunStore",
+    "SpanRecord",
+    "WallProfiler",
     "analyze_run",
     "communication_matrix",
     "compare_runs",
@@ -86,4 +108,5 @@ __all__ = [
     "slack_histogram",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "validate_speedscope",
 ]

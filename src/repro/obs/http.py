@@ -1,0 +1,125 @@
+"""Stdlib HTTP exporter for live runs.
+
+:class:`LiveServer` runs a ``ThreadingHTTPServer`` on a daemon thread
+and serves three endpoints:
+
+* ``/metrics`` — Prometheus text exposition 0.0.4, rendered from the
+  metrics registry via ``MetricsSnapshot.to_prometheus()``;
+* ``/status`` — the JSON :class:`~repro.obs.live.RunStatus` snapshot;
+* ``/healthz`` — ``ok`` (liveness for the service coordinator).
+
+No third-party dependency: ``http.server`` is enough for a scrape
+endpoint, and the threading server keeps slow scrapers from blocking
+each other.  Use port 0 to bind an ephemeral port (the bound port is
+reported by :meth:`LiveServer.start` and ``.port``); :meth:`stop` shuts
+the server down and joins its thread, so tests can assert nothing
+leaked.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_default_registry
+from repro.util.log import get_logger
+
+_LOG = get_logger(__name__)
+
+#: content type of the Prometheus text exposition format
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # the server instance carries the providers (see LiveServer.start)
+    server: "ThreadingHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.server._metrics_provider().encode()  # type: ignore[attr-defined]
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/status":
+            status = self.server._status_provider()  # type: ignore[attr-defined]
+            self._reply(200, "application/json",
+                        json.dumps(status).encode())
+        elif path == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, code: int, ctype: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:
+        _LOG.debug("http %s", fmt % args)
+
+
+class LiveServer:
+    """The exporter thread (see module docs).
+
+    ``status_provider`` returns the ``/status`` JSON payload (a plain
+    dict — typically ``RunStatus.snapshot``); ``registry`` is snapshotted
+    per ``/metrics`` scrape.
+    """
+
+    def __init__(
+        self,
+        status_provider: Callable[[], dict],
+        registry: Optional[MetricsRegistry] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self._status_provider = status_provider
+        self._registry = registry if registry is not None else get_default_registry()
+        self._host = host
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port, or ``None`` before :meth:`start`."""
+        return self._httpd.server_address[1] if self._httpd is not None else None
+
+    @property
+    def url(self) -> Optional[str]:
+        return f"http://{self._host}:{self.port}" if self._httpd is not None else None
+
+    def start(self, port: int = 0) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            return self.port  # idempotent
+        httpd = ThreadingHTTPServer((self._host, port), _Handler)
+        httpd.daemon_threads = True
+        httpd._status_provider = self._status_provider  # type: ignore[attr-defined]
+        httpd._metrics_provider = (  # type: ignore[attr-defined]
+            lambda: self._registry.snapshot().to_prometheus()
+        )
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name=f"repro-live-http:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        _LOG.info("live telemetry endpoint on %s", self.url)
+        return self.port
+
+    def stop(self) -> None:
+        """Shut down, close the socket, and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+
+__all__ = ["LiveServer", "PROMETHEUS_CONTENT_TYPE"]

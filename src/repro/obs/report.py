@@ -100,6 +100,7 @@ class RunReport:
     resilience: Optional[dict] = None
     sanitizer: Optional[dict] = None
     analysis: Optional[dict] = None
+    profile: Optional[dict] = None
 
     # ------------------------------------------------------------- builders
     @staticmethod
@@ -114,6 +115,7 @@ class RunReport:
         resilience: Optional[dict] = None,
         sanitizer: Optional[dict] = None,
         analysis: Optional[dict] = None,
+        profile: Optional[dict] = None,
         edges: Optional[Sequence] = None,
         fault_plan=None,
         n1: Optional[int] = None,
@@ -143,6 +145,7 @@ class RunReport:
             resilience=dict(resilience) if resilience else None,
             sanitizer=dict(sanitizer) if sanitizer else None,
             analysis=dict(analysis) if analysis else None,
+            profile=dict(profile) if profile else None,
         )
 
     # ------------------------------------------------------------- analysis
@@ -270,6 +273,24 @@ class RunReport:
                     f"  straggler: rank {srow['rank']} "
                     f"({srow['ratio_to_median']:.2f}x median busy){tag}"
                 )
+        if self.profile:
+            pr = self.profile
+            lines.append(
+                f"profile (wall): total {format_seconds(pr.get('wall_total', 0.0))} "
+                f"across {pr.get('spans', 0)} span(s), "
+                f"{pr.get('threads', 0)} thread(s)"
+            )
+            for ph, secs in sorted(pr.get("phases", {}).items(),
+                                   key=lambda kv: kv[1], reverse=True):
+                lines.append(f"  {ph}: {format_seconds(secs)}")
+            for row in pr.get("ops", [])[:6]:
+                site = f" {row['callsite']}" if row.get("callsite") else ""
+                lines.append(
+                    f"  {row['phase']}/{row['op']}{site}: "
+                    f"{format_seconds(row['seconds'])} over {row['calls']} call(s)"
+                )
+            if pr.get("dropped_spans"):
+                lines.append(f"  ({pr['dropped_spans']} span(s) dropped)")
         if self.sanitizer:
             sn = self.sanitizer
             lines.append("sanitizer:")
@@ -321,6 +342,7 @@ class RunReport:
             "resilience": self.resilience,
             "sanitizer": self.sanitizer,
             "analysis": self.analysis,
+            "profile": self.profile,
         }
 
     @staticmethod
@@ -361,4 +383,5 @@ class RunReport:
             resilience=data.get("resilience"),
             sanitizer=data.get("sanitizer"),
             analysis=data.get("analysis"),
+            profile=data.get("profile"),
         )

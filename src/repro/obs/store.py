@@ -114,9 +114,12 @@ class RunRecord:
         """Distill a :class:`~repro.obs.report.RunReport` into a record.
 
         Captures the makespan, the compute/comm/idle totals, wire bytes,
-        each scoped phase's span (``span:r<round>p<phase>``), and — when
+        each scoped phase's span (``span:r<round>p<phase>``), — when
         the report carries an analysis section — the critical-path
-        length and the overall imbalance ratio.
+        length and the overall imbalance ratio, and — when it carries a
+        wall-clock ``profile`` section — a ``wall_*`` family (total plus
+        per profiler phase) so the perf gate tracks real seconds, not
+        just virtual time.
         """
         s = report.summary
         values: Dict[str, float] = {
@@ -135,6 +138,10 @@ class RunRecord:
             values["imbalance_ratio"] = float(
                 report.analysis.get("imbalance_ratio", 1.0)
             )
+        if report.profile:
+            values["wall_total"] = float(report.profile.get("wall_total", 0.0))
+            for ph, secs in report.profile.get("phases", {}).items():
+                values[f"wall_{ph}"] = float(secs)
         return RunRecord(
             scenario=scenario,
             git_sha=git_sha if git_sha is not None else current_git_sha(),
@@ -337,6 +344,7 @@ def compare_runs(
     new: RunRecord,
     tolerance: float = 0.25,
     min_delta: float = 1e-12,
+    wall_tolerance: Optional[float] = None,
 ) -> RunComparison:
     """Diff every metric present in both records.
 
@@ -345,9 +353,19 @@ def compare_runs(
     symmetric shrinkage marks it ``improved``; everything else is
     ``ok``.  Metrics present on only one side are listed as ``added`` /
     ``removed`` and never fail the comparison.
+
+    ``wall_*`` metrics are real wall-clock seconds — noisy on shared
+    hosts, unlike the bit-deterministic virtual metrics — so by default
+    they are reported as ``noted`` and never fail.  Pass
+    ``wall_tolerance`` (typically much looser than ``tolerance``) to
+    gate them too.
     """
     if tolerance < 0:
         raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+    if wall_tolerance is not None and wall_tolerance < 0:
+        raise ConfigurationError(
+            f"wall_tolerance must be >= 0, got {wall_tolerance}"
+        )
     rows = []
     for key in sorted(set(ref.values) | set(new.values)):
         rv = ref.values.get(key)
@@ -365,9 +383,13 @@ def compare_runs(
             ratio = nv / rv
         else:
             ratio = 1.0 if nv <= min_delta else math.inf
-        if nv > rv * (1.0 + tolerance) and nv - rv > min_delta:
+        is_wall = key.startswith("wall_")
+        tol = wall_tolerance if is_wall else tolerance
+        if is_wall and tol is None:
+            status = "noted"
+        elif nv > rv * (1.0 + tol) and nv - rv > min_delta:
             status = "REGRESSED"
-        elif nv < rv * (1.0 - tolerance) and rv - nv > min_delta:
+        elif nv < rv * (1.0 - tol) and rv - nv > min_delta:
             status = "improved"
         else:
             status = "ok"
@@ -381,6 +403,7 @@ def compare_to_baseline(
     scenario: str,
     tolerance: float = 0.25,
     window: int = 5,
+    wall_tolerance: Optional[float] = None,
 ) -> RunComparison:
     """Compare a scenario's newest record against its rolling baseline."""
     latest = store.latest(scenario)
@@ -394,7 +417,8 @@ def compare_to_baseline(
             f"scenario {scenario!r} has a single record — nothing to compare "
             f"against (need at least 2)"
         )
-    return compare_runs(base, latest, tolerance=tolerance)
+    return compare_runs(base, latest, tolerance=tolerance,
+                        wall_tolerance=wall_tolerance)
 
 
 __all__ = [

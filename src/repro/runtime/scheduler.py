@@ -199,6 +199,7 @@ class Simulator:
         trace: bool = True,
         faults=None,
         sanitizer=None,
+        heartbeat: Optional[Callable[[], None]] = None,
     ) -> None:
         if nranks < 1:
             raise RuntimeSimulationError(f"need >= 1 rank, got {nranks}")
@@ -209,6 +210,7 @@ class Simulator:
         self.trace = TraceRecorder(enabled=trace)
         self.faults: Optional[RunInjector] = as_run_injector(faults)
         self.sanitizer = sanitizer
+        self.heartbeat = heartbeat
         self._states: List[_RankState] = []
 
     # ---------------------------------------------------------------- run
@@ -231,6 +233,10 @@ class Simulator:
         unfinished = self.nranks
 
         while unfinished > 0:
+            if self.heartbeat is not None:
+                # liveness tick per scheduler sweep, so a long phase on a
+                # wide machine keeps refreshing the live run's heartbeat
+                self.heartbeat()
             progressed = False
             for st in states:
                 if st.finished or st.blocked_recv is not None or st.pending_collective is not None:

@@ -8,12 +8,35 @@ library best practice); applications opt in with :func:`enable_logging`.
 
 from __future__ import annotations
 
+import json
 import logging
+import os
 from typing import Optional
 
 _ROOT = "repro"
 
 logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per log record, for machine-parseable service logs.
+
+    Selected by ``enable_logging(fmt="json")`` or the environment
+    variable ``REPRO_LOG_FORMAT=json``.  Fields: ``ts`` (unix seconds),
+    ``level``, ``logger``, ``msg``, plus ``exc`` when an exception is
+    attached.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry)
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -26,12 +49,23 @@ def get_logger(name: str) -> logging.Logger:
 def enable_logging(level: int = logging.INFO, stream=None,
                    fmt: Optional[str] = None) -> logging.Handler:
     """Attach a stream handler to the ``repro`` logger; returns it so the
-    caller can remove it again (``disable_logging(handler)``)."""
+    caller can remove it again (``disable_logging(handler)``).
+
+    ``fmt`` is a ``logging`` format string, or the special value
+    ``"json"`` for one-JSON-object-per-line output
+    (:class:`JsonLineFormatter`).  When ``fmt`` is not given, the
+    environment variable ``REPRO_LOG_FORMAT=json`` selects JSON too.
+    """
     logger = logging.getLogger(_ROOT)
     handler = logging.StreamHandler(stream)
-    handler.setFormatter(logging.Formatter(
-        fmt or "%(asctime)s %(name)s %(levelname)s: %(message)s"
-    ))
+    if fmt is None and os.environ.get("REPRO_LOG_FORMAT", "").lower() == "json":
+        fmt = "json"
+    if fmt == "json":
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            fmt or "%(asctime)s %(name)s %(levelname)s: %(message)s"
+        ))
     # remember the level we are about to clobber so disable_logging can
     # restore it (0 == NOTSET is a valid prior level, hence the sentinel
     # attribute rather than a level comparison)

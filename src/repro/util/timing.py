@@ -41,6 +41,14 @@ class Stopwatch:
         if self.observer is not None:
             self.observer(dt)
 
+    def observe(self, dt: float) -> None:
+        """Fold an externally measured duration into the accumulator, as
+        if a ``with`` block of ``dt`` seconds had run."""
+        self.elapsed += dt
+        self.calls += 1
+        if self.observer is not None:
+            self.observer(dt)
+
     def reset(self) -> None:
         self.elapsed = 0.0
         self.calls = 0

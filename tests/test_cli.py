@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -121,4 +123,136 @@ class TestCalibrateAndModel:
     def test_model_scanstat(self, capsys):
         rc = main(["model", "--dataset", "miami", "-k", "8", "-N", "128",
                    "--n1", "16", "--problem", "scanstat"])
+        assert rc == 0
+
+
+class TestLiveArtifacts:
+    def test_progress_profile_and_report(self, tmp_path, capsys):
+        prog = tmp_path / "progress.jsonl"
+        prof = tmp_path / "profile.speedscope.json"
+        rep = tmp_path / "report.json"
+        rc = main(["detect-path", "--er", "200", "-k", "4", "--seed", "11",
+                   "--live-port", "0", "--progress-out", str(prog),
+                   "--profile-out", str(prof), "--report-out", str(rep)])
+        assert rc in (0, 1)
+        out = capsys.readouterr().out
+        assert "live telemetry: http://127.0.0.1:" in out
+
+        events = [json.loads(l) for l in prog.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "round" in kinds
+        assert events[-1]["status"]["state"] == "done"
+
+        from repro.obs.profile import validate_speedscope
+
+        validate_speedscope(json.loads(prof.read_text()))
+
+        report = json.loads(rep.read_text())
+        assert report["profile"]["wall_total"] > 0
+        assert "rounds" in report["profile"]["phases"]
+
+    def test_interrupt_flushes_partial_artifacts(self, tmp_path, capsys,
+                                                 monkeypatch):
+        import repro.core.midas as midas
+
+        real = midas.detect_path
+
+        def interrupted(g, k, **kw):
+            # run one real detection to populate the runtime's telemetry,
+            # then die the way Ctrl-C would
+            real(g, k, **kw)
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr(midas, "detect_path", interrupted)
+        rep = tmp_path / "report.json"
+        store = tmp_path / "store.jsonl"
+        rc = main(["detect-path", "--er", "150", "-k", "4", "--seed", "12",
+                   "--report-out", str(rep), "--store", str(store)])
+        assert rc == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        report = json.loads(rep.read_text())
+        assert report["meta"]["truncated"] is True
+        # a truncated run must never poison the perf-baseline store
+        assert "not appending" in err
+        assert not store.exists() or not store.read_text().strip()
+
+
+class TestWatch:
+    def _write_stream(self, path):
+        from repro.obs.live import LiveRun
+
+        live = LiveRun(progress_path=path)
+        live.run_started("k-path", "threaded", graph_nodes=50, graph_edges=80)
+        live.stage_started("k-path", 4, 2, 3)
+        live.round_done(0, False, 0.0)
+        live.round_done(1, True, 0.0)
+        live.note_result(True)
+        live.run_ended("done")
+        live.close()
+
+    def test_watch_file(self, tmp_path, capsys):
+        path = tmp_path / "progress.jsonl"
+        self._write_stream(path)
+        assert main(["watch", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run 1: k-path [threaded] on 50 nodes / 80 edges" in out
+        assert "stage k-path: k=4, 2 round(s) x 3 phase(s)" in out
+        assert "HIT" in out
+        assert "run ended: done" in out
+
+    def test_watch_missing_file(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such progress stream" in capsys.readouterr().err
+
+    def test_watch_url(self, capsys):
+        from repro.obs.http import LiveServer
+
+        srv = LiveServer(lambda: {"state": "done", "problem": "k-path",
+                                  "mode": "sequential",
+                                  "rounds_completed": 7, "rounds_planned": 7,
+                                  "p_failure_bound": 0.8 ** 7,
+                                  "found": True})
+        srv.start(0)
+        try:
+            assert main(["watch", srv.url]) == 0
+        finally:
+            srv.stop()
+        out = capsys.readouterr().out
+        assert "[       done]" in out
+        assert "rounds 7/7" in out
+        assert "found=True" in out
+
+    def test_watch_unreachable_url(self, capsys):
+        # a port from the ephemeral range with nothing listening
+        assert main(["watch", "http://127.0.0.1:1", "--interval", "0.01"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestWallTolerance:
+    def _record_twice(self, tmp_path, capsys):
+        # simulated mode: virtual-time metrics are bit-deterministic for
+        # identical seeds, so only the noisy wall_* values can differ
+        store = tmp_path / "store.jsonl"
+        for seed in ("21", "21"):
+            rc = main(["detect-path", "--er", "150", "-k", "4", "--seed", seed,
+                       "--mode", "simulated", "-N", "8", "--n1", "4",
+                       "--store", str(store), "--scenario", "s"])
+            assert rc in (0, 1)
+        capsys.readouterr()
+        return store
+
+    def test_wall_metrics_noted_by_default(self, tmp_path, capsys):
+        store = self._record_twice(tmp_path, capsys)
+        assert main(["compare", str(store), "--scenario", "s"]) == 0
+        out = capsys.readouterr().out
+        assert "noted" in out
+        assert "wall_total" in out
+
+    def test_explicit_wall_tolerance_gates(self, tmp_path, capsys):
+        store = self._record_twice(tmp_path, capsys)
+        # an absurdly loose gate still passes; the flag is accepted
+        rc = main(["compare", str(store), "--scenario", "s",
+                   "--wall-tolerance", "1000"])
         assert rc == 0

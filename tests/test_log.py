@@ -1,9 +1,15 @@
 """Tests for the library logging setup."""
 
 import io
+import json
 import logging
 
-from repro.util.log import disable_logging, enable_logging, get_logger
+from repro.util.log import (
+    JsonLineFormatter,
+    disable_logging,
+    enable_logging,
+    get_logger,
+)
 
 
 class TestLoggerHierarchy:
@@ -71,17 +77,73 @@ class TestLoggerHierarchy:
         finally:
             root.setLevel(logging.NOTSET)
 
-    def test_detection_emits_info(self):
+    def _run_detection_logged(self, fmt=None):
         from repro.core.midas import detect_path
         from repro.graph.generators import erdos_renyi, plant_path
         from repro.util.rng import RngStream
 
         stream = io.StringIO()
-        handler = enable_logging(level=logging.DEBUG, stream=stream)
+        handler = enable_logging(level=logging.DEBUG, stream=stream, fmt=fmt)
         try:
             g, _ = plant_path(erdos_renyi(30, m=40, rng=RngStream(0)), 4,
                               rng=RngStream(1))
             detect_path(g, 4, eps=0.1, rng=RngStream(2))
         finally:
             disable_logging(handler)
-        assert "k-path" in stream.getvalue()
+        return stream.getvalue()
+
+    def test_detection_emits_info(self):
+        assert "k-path" in self._run_detection_logged()
+
+
+class TestJsonLogFormat:
+    def test_formatter_emits_one_json_object_per_record(self):
+        rec = logging.LogRecord("repro.test", logging.WARNING, "f.py", 1,
+                                "phase %d failed", (3,), None)
+        entry = json.loads(JsonLineFormatter().format(rec))
+        assert entry["level"] == "WARNING"
+        assert entry["logger"] == "repro.test"
+        assert entry["msg"] == "phase 3 failed"
+        assert isinstance(entry["ts"], float)
+        assert "exc" not in entry
+
+    def test_formatter_includes_exception(self):
+        try:
+            raise ValueError("bad spec")
+        except ValueError:
+            import sys
+
+            rec = logging.LogRecord("repro.test", logging.ERROR, "f.py", 1,
+                                    "oops", (), sys.exc_info())
+        entry = json.loads(JsonLineFormatter().format(rec))
+        assert "bad spec" in entry["exc"]
+
+    def test_enable_logging_fmt_json(self):
+        out = TestLoggerHierarchy()._run_detection_logged(fmt="json")
+        lines = [json.loads(line) for line in out.splitlines()]
+        assert lines
+        assert any("k-path" in e["msg"] for e in lines)
+        assert all({"ts", "level", "logger", "msg"} <= e.keys()
+                   for e in lines)
+
+    def test_env_var_selects_json(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "json")
+        stream = io.StringIO()
+        handler = enable_logging(level=logging.INFO, stream=stream)
+        try:
+            get_logger("repro.test").info("via env")
+        finally:
+            disable_logging(handler)
+        entry = json.loads(stream.getvalue())
+        assert entry["msg"] == "via env"
+
+    def test_explicit_fmt_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "json")
+        stream = io.StringIO()
+        handler = enable_logging(level=logging.INFO, stream=stream,
+                                 fmt="%(message)s")
+        try:
+            get_logger("repro.test").info("plain text")
+        finally:
+            disable_logging(handler)
+        assert stream.getvalue() == "plain text\n"
