@@ -13,7 +13,10 @@ Commands map one-to-one to the library's top-level workflows:
 * ``verify`` — run the full correctness tooling on one instance:
   sanitized detection, cross-backend replay, witness certification;
 * ``watch`` — follow a live run: poll a ``--live-port`` endpoint's
-  ``/status`` or tail a ``--progress-out`` JSONL stream.
+  ``/status`` or tail a ``--progress-out`` JSONL stream
+  (``--stall-timeout`` turns a dead heartbeat into a nonzero exit);
+* ``resume`` — continue a killed run from its ``--checkpoint-dir``,
+  bit-identically to an uninterrupted execution.
 """
 
 from __future__ import annotations
@@ -101,6 +104,18 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--profile-out", metavar="PATH", default=None,
                    help="write the wall-clock profile as speedscope JSON "
                         "(open at https://www.speedscope.app)")
+    p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                   help="write crash-consistent checkpoints at round "
+                        "boundaries into DIR; recover with `repro resume DIR`")
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="persist the checkpoint every N rounds (default 1; "
+                        "stage boundaries always persist)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget: past it the run checkpoints and "
+                        "exits with a degraded partial result")
+    p.add_argument("--hang-timeout", type=float, default=None, metavar="SECONDS",
+                   help="declare the run stalled (and degrade) when no "
+                        "engine heartbeat arrives for this many seconds")
 
 
 def _runtime(args):
@@ -117,6 +132,8 @@ def _runtime(args):
         from repro.runtime.faults import load_fault_plan
 
         fault_plan = load_fault_plan(args.fault_plan)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume_run = getattr(args, "resume_run", False)
     rt = MidasRuntime(
         n_processors=args.processors, n1=args.n1, n2=args.n2, mode=args.mode,
         recorder=recorder, fault_plan=fault_plan,
@@ -126,7 +143,24 @@ def _runtime(args):
         sanitize=getattr(args, "sanitize", "off"),
         live_port=getattr(args, "live_port", None),
         progress_path=getattr(args, "progress_out", None),
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
+        resume=resume_run,
+        allow_restart=getattr(args, "allow_restart", False),
+        deadline=getattr(args, "deadline", None),
+        hang_timeout=getattr(args, "hang_timeout", None),
     )
+    if checkpoint_dir:
+        from repro.runtime.durable import write_run_config
+
+        if not resume_run:
+            # persist the invocation so `repro resume <dir>` can rebuild it
+            write_run_config(checkpoint_dir, {
+                k: v for k, v in vars(args).items() if k != "fn"
+            })
+        # build the manager eagerly: a corrupt checkpoint must surface
+        # before any expensive work starts, not at the first round
+        rt.get_checkpoint()
     live = rt.get_live()
     if live is not None and live.port is not None:
         print(f"live telemetry: http://127.0.0.1:{live.port} "
@@ -135,11 +169,14 @@ def _runtime(args):
 
 
 def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None,
-               sanitizer=None, truncated: bool = False) -> None:
+               sanitizer=None, truncated: bool = False, degraded=None,
+               resumed_from=None) -> None:
     """Emit --trace-out / --metrics-out / --report-out / --profile-out /
     --store artifacts.  ``truncated=True`` marks artifacts flushed from an
     interrupted run: the report carries ``meta.truncated`` and no
     RunRecord is appended (a partial run would poison the perf baseline).
+    A watchdog-``degraded`` run is treated the same way; a ``resumed_from``
+    run *is* recorded, carrying the provenance flag so baselines skip it.
     """
     if not (getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)
             or getattr(args, "report_out", None) or getattr(args, "store", None)
@@ -184,6 +221,12 @@ def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None,
         meta = {"n1": rt.n1}
         if truncated:
             meta["truncated"] = True
+        if degraded:
+            meta["degraded"] = True
+            meta["degraded_reason"] = degraded.get("reason", "")
+            meta["p_failure_bound"] = degraded.get("p_failure_bound", 1.0)
+        if resumed_from:
+            meta["resumed_from"] = resumed_from
         rep = RunReport.build(rt.recorder.events, nranks, problem=problem,
                               mode=rt.mode, metrics=snap, estimate=estimate,
                               meta=meta, resilience=resilience,
@@ -194,8 +237,9 @@ def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None,
         dump_result(rep, args.report_out)
         print(f"report written: {args.report_out}")
     if getattr(args, "store", None):
-        if truncated:
-            print("run interrupted; not appending a RunRecord to the store",
+        if truncated or degraded:
+            why = "interrupted" if truncated else "degraded"
+            print(f"run {why}; not appending a RunRecord to the store",
                   file=sys.stderr)
         else:
             from repro.obs.store import RunRecord, RunStore
@@ -256,6 +300,23 @@ def _print_sanitizer(sn: dict) -> None:
         print(f"  {finding}")
 
 
+def _print_recovery(details: dict):
+    """Print resume/degradation annotations from a result's details;
+    returns ``(degraded, resumed_from)`` for ``_write_obs`` and the
+    exit-code decision."""
+    resumed_from = details.get("resumed_from")
+    if resumed_from:
+        print(f"resumed from checkpoint: {resumed_from}")
+    degraded = details.get("degraded")
+    if degraded:
+        print(f"DEGRADED ({degraded.get('reason', '?')}): "
+              f"{degraded.get('detail', '')}", file=sys.stderr)
+        print(f"  partial result after {degraded.get('rounds_completed', 0)} "
+              f"completed round(s); miss probability <= "
+              f"{degraded.get('p_failure_bound', 1.0):.3g}", file=sys.stderr)
+    return degraded, resumed_from
+
+
 def cmd_datasets(args) -> int:
     from repro.graph.datasets import table2_rows
     from repro.util.rng import RngStream
@@ -292,9 +353,13 @@ def cmd_detect_path(args) -> int:
     sanitizer = res.details.get("sanitizer")
     if sanitizer:
         _print_sanitizer(sanitizer)
+    degraded, resumed_from = _print_recovery(res.details)
     _write_obs(args, rt, problem="k-path", estimate=res.details.get("estimate"),
-               resilience=resilience, sanitizer=sanitizer)
-    return 0 if res.found else 1
+               resilience=resilience, sanitizer=sanitizer,
+               degraded=degraded, resumed_from=resumed_from)
+    if res.found:
+        return 0  # a witness is a certificate even from a degraded run
+    return 4 if degraded else 1
 
 
 def cmd_detect_tree(args) -> int:
@@ -325,9 +390,13 @@ def cmd_detect_tree(args) -> int:
     sanitizer = res.details.get("sanitizer")
     if sanitizer:
         _print_sanitizer(sanitizer)
+    degraded, resumed_from = _print_recovery(res.details)
     _write_obs(args, rt, problem="k-tree", estimate=res.details.get("estimate"),
-               resilience=resilience, sanitizer=sanitizer)
-    return 0 if res.found else 1
+               resilience=resilience, sanitizer=sanitizer,
+               degraded=degraded, resumed_from=resumed_from)
+    if res.found:
+        return 0
+    return 4 if degraded else 1
 
 
 def cmd_scan(args) -> int:
@@ -365,9 +434,11 @@ def cmd_scan(args) -> int:
     sanitizer = res.grid.details.get("sanitizer")
     if sanitizer:
         _print_sanitizer(sanitizer)
+    degraded, resumed_from = _print_recovery(res.grid.details)
     _write_obs(args, rt, problem="scanstat", resilience=resilience,
-               sanitizer=sanitizer)
-    return 0
+               sanitizer=sanitizer, degraded=degraded,
+               resumed_from=resumed_from)
+    return 4 if degraded else 0
 
 
 def cmd_calibrate(args) -> int:
@@ -589,7 +660,45 @@ def cmd_verify(args) -> int:
     return 0 if failures == 0 else 2
 
 
-_TERMINAL_STATES = ("done", "failed", "interrupted")
+def cmd_resume(args) -> int:
+    """Reconstruct a checkpointed run from its directory and continue it.
+
+    The run directory's ``run.json`` (written by ``--checkpoint-dir``)
+    supplies the original invocation; the checkpoint file supplies the
+    completed rounds, which are restored instead of re-executed — the
+    final result is bit-identical to an uninterrupted run.  Exit 2 on a
+    corrupt checkpoint (``--allow-restart`` discards it and restarts).
+    """
+    from repro.errors import CheckpointCorruptError, ConfigurationError
+    from repro.runtime.durable import load_run_config
+
+    dispatch = {"detect-path": cmd_detect_path, "detect-tree": cmd_detect_tree,
+                "scan": cmd_scan}
+    try:
+        cfg = load_run_config(args.dir)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    command = cfg.get("command")
+    if command not in dispatch:
+        print(f"{args.dir}: run config names unsupported command {command!r}",
+              file=sys.stderr)
+        return 1
+    ns = argparse.Namespace(**cfg)
+    ns.checkpoint_dir = args.dir
+    ns.resume_run = True
+    ns.allow_restart = args.allow_restart
+    print(f"resuming {command} from {args.dir}")
+    try:
+        return dispatch[command](ns)
+    except CheckpointCorruptError as exc:
+        print(str(exc), file=sys.stderr)
+        print("hint: pass --allow-restart to discard the corrupt checkpoint "
+              "and restart from scratch", file=sys.stderr)
+        return 2
+
+
+_TERMINAL_STATES = ("done", "failed", "interrupted", "degraded")
 
 
 def _render_status(s: dict) -> str:
@@ -677,6 +786,13 @@ def _watch_url(args) -> int:
             last = line
         if status.get("state") in _TERMINAL_STATES:
             return 0
+        stall = getattr(args, "stall_timeout", None)
+        if stall and status.get("state") == "running" and \
+                float(status.get("heartbeat_age_seconds", 0.0)) > stall:
+            print(f"watch: run stalled — last heartbeat "
+                  f"{status.get('heartbeat_age_seconds', 0.0):.1f}s ago "
+                  f"(stall-timeout {stall:g}s)", file=sys.stderr)
+            return 5
         if deadline is not None and _time.monotonic() > deadline:
             print("watch: timed out before the run ended", file=sys.stderr)
             return 1
@@ -712,7 +828,17 @@ def _watch_file(args) -> int:
                     ended = True
                 continue
             # at EOF
-            if ended or not args.follow:
+            if ended:
+                return 0
+            stall = getattr(args, "stall_timeout", None)
+            if stall:
+                age = _time.time() - path.stat().st_mtime
+                if age > stall:
+                    print(f"watch: run stalled — stream last written "
+                          f"{age:.1f}s ago (stall-timeout {stall:g}s)",
+                          file=sys.stderr)
+                    return 5
+            if not args.follow:
                 return 0
             if deadline is not None and _time.monotonic() > deadline:
                 print("watch: timed out before the run ended", file=sys.stderr)
@@ -878,7 +1004,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="keep tailing a progress file until run_end")
     wa.add_argument("--timeout", type=float, default=0.0,
                     help="give up after this many seconds (0 = never)")
+    wa.add_argument("--stall-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="report the run as stalled (exit 5) when its last "
+                         "heartbeat is older than this, instead of polling "
+                         "forever")
     wa.set_defaults(fn=cmd_watch)
+
+    rs = sub.add_parser(
+        "resume",
+        help="continue a checkpointed run from its --checkpoint-dir; the "
+             "completed rounds are restored, not re-executed, and the "
+             "result is bit-identical to an uninterrupted run",
+    )
+    rs.add_argument("dir", help="checkpoint directory of the interrupted run")
+    rs.add_argument("--allow-restart", action="store_true",
+                    help="if the checkpoint is corrupt, discard it and "
+                         "restart from scratch instead of failing (exit 2)")
+    rs.set_defaults(fn=cmd_resume)
 
     fg = sub.add_parser("figures", help="regenerate the paper's figure series")
     fg.add_argument("name", nargs="?", default=None,

@@ -49,13 +49,19 @@ from repro.core.model import PartitionStats, PerformanceEstimate, estimate_runti
 from repro.core.halo import build_halo_views
 from repro.core.problems import ProblemSpec, Value
 from repro.core.schedule import PhaseSchedule, pow2_floor, rounds_for_epsilon
-from repro.errors import ConfigurationError, FaultInjectedError, RankFailedError
+from repro.errors import (
+    ConfigurationError,
+    FaultInjectedError,
+    RankFailedError,
+    WatchdogExpired,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import make_partition
 from repro.obs.metrics import MetricsRegistry, get_default_registry
 from repro.runtime.cluster import VirtualCluster, laptop
 from repro.runtime.costmodel import KernelCalibration
-from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.durable import decode_value
+from repro.runtime.faults import FaultInjector, FaultPlan, backoff_jitter
 from repro.runtime.scheduler import Simulator
 from repro.runtime.tracing import Scope, TraceRecorder
 from repro.util.log import get_logger
@@ -140,6 +146,14 @@ class MidasRuntime:
     live_port: Optional[int] = None
     progress_path: Optional[str] = None
     profiler: Optional[object] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
+    resume: bool = False
+    allow_restart: bool = False
+    checkpoint: Optional[object] = None
+    deadline: Optional[float] = None
+    hang_timeout: Optional[float] = None
+    watchdog: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -164,6 +178,20 @@ class MidasRuntime:
         if self.live_port is not None and not (0 <= self.live_port <= 65535):
             raise ConfigurationError(
                 f"live_port must be a port number (0 = ephemeral), got {self.live_port}"
+            )
+        if self.checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.resume and self.checkpoint_dir is None and self.checkpoint is None:
+            raise ConfigurationError(
+                "resume=True requires a checkpoint_dir (or checkpoint manager)"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError(f"deadline must be > 0, got {self.deadline}")
+        if self.hang_timeout is not None and self.hang_timeout <= 0:
+            raise ConfigurationError(
+                f"hang_timeout must be > 0, got {self.hang_timeout}"
             )
 
     def schedule_for(self, k: int) -> PhaseSchedule:
@@ -234,10 +262,46 @@ class MidasRuntime:
             self.profiler = WallProfiler()
         return self.profiler
 
+    def get_checkpoint(self):
+        """The durable checkpoint manager, built lazily from
+        ``checkpoint_dir`` (``None`` when checkpointing is off).
+
+        Construction *loads* existing state when ``resume=True`` — so a
+        corrupt checkpoint surfaces as a typed
+        :class:`~repro.errors.CheckpointCorruptError` here, before any
+        work starts, unless ``allow_restart`` discards it.  The manager
+        is stored back on the runtime so every engine sharing this
+        runtime checkpoints into one state file.
+        """
+        if self.checkpoint is None and self.checkpoint_dir is not None:
+            from repro.runtime.durable import CheckpointManager  # lazy: optional
+
+            self.checkpoint = CheckpointManager(
+                self.checkpoint_dir, every=self.checkpoint_every,
+                resume=self.resume, allow_restart=self.allow_restart,
+            )
+        return self.checkpoint
+
+    def get_watchdog(self):
+        """The wall-clock watchdog, built lazily from ``deadline`` /
+        ``hang_timeout`` (``None`` when neither is set).  Shared across
+        every engine on this runtime: the deadline bounds the whole run,
+        not one stage."""
+        if self.watchdog is None and (self.deadline is not None
+                                      or self.hang_timeout is not None):
+            from repro.runtime.durable import Watchdog  # lazy: optional layer
+
+            self.watchdog = Watchdog(deadline=self.deadline,
+                                     hang_timeout=self.hang_timeout)
+        return self.watchdog
+
     def close_live(self) -> None:
-        """Stop the HTTP exporter and close the progress stream, if any."""
+        """Stop the HTTP exporter, the progress stream, and the watchdog
+        monitor thread, if any."""
         if self.live is not None:
             self.live.close()
+        if self.watchdog is not None:
+            self.watchdog.stop()
 
 
 def _reduce_cost(rt: MidasRuntime, nbytes: int) -> float:
@@ -378,6 +442,12 @@ def _run_phase_resilient(rt: MidasRuntime, fc: _FaultContext, prog, key: str,
             _LOG.error("phase %s failed after %d attempts: %s", key, attempt + 1, err)
             raise err
         backoff = fc.backoff0 * (2.0 ** attempt)
+        if fc.injector is not None:
+            # seeded jitter in [0, 1): co-scheduled retries across ranks /
+            # processes desynchronize, yet the draw is keyed by (plan seed,
+            # phase key, attempt) so every re-execution of this plan — and
+            # a crash-resumed one — charges the identical backoff
+            backoff *= 1.0 + backoff_jitter(fc.injector.plan.seed, key, attempt)
         extra += lost + backoff
         fc.backoff_seconds += backoff
         fc.backoff_ctr.inc(backoff)
@@ -591,8 +661,7 @@ class SimulatedBackend(ExecutionBackend):
                 res, sim, extra, failed = _run_phase_resilient(
                     rt, fc, prog, f"{stage.key_prefix}r{ell}/b{bi}/p{t}",
                     self._cost_model, want_trace=want_trace, sanitizer=e.san,
-                    prof=e.prof,
-                    heartbeat=e.live.heartbeat if e.live is not None else None,
+                    prof=e.prof, heartbeat=e._hb,
                 )
                 contrib = spec.rank_value(res.results[0])
                 value = spec.combine(value, contrib)
@@ -713,6 +782,20 @@ class DetectionEngine:
             self.live.run_started(problem, rt.mode,
                                   graph_nodes=graph.n,
                                   graph_edges=graph.num_edges)
+        self.degraded: Optional[dict] = None
+        self.ckpt = rt.get_checkpoint()
+        self.ekey = None
+        if self.ckpt is not None:
+            self.ekey = self.ckpt.attach_engine(self)
+            self.ckpt.restore_into(self)
+        self.wd = rt.get_watchdog()
+        if self.wd is not None:
+            # on a hard hang the monitor thread still flushes a checkpoint;
+            # the raise itself happens at the next cooperative check()
+            self.wd.start(on_trip=(self.ckpt.save if self.ckpt is not None
+                                   else None))
+        self._hb = (self._heartbeat
+                    if (self.live is not None or self.wd is not None) else None)
         self.cursor = 0.0  # run-level virtual clock for the spliced trace
         self.last_join = None  # (rank, time) the next batch's barrier hangs on
         self.virtual_total = 0.0
@@ -732,7 +815,10 @@ class DetectionEngine:
     def __exit__(self, exc_type, exc, tb) -> None:
         if self.live is not None:
             if exc_type is None:
-                state, error = "done", ""
+                if self.degraded is not None:
+                    state, error = "degraded", self.degraded["detail"]
+                else:
+                    state, error = "done", ""
             elif issubclass(exc_type, KeyboardInterrupt):
                 state, error = "interrupted", "KeyboardInterrupt"
             else:
@@ -762,11 +848,47 @@ class DetectionEngine:
                 "sanitizer_violations_total", "Sanitizer violations, by kind"
             ).labels(kind=kind, problem=self.problem).inc(n)
 
+    # ----------------------------------------------------------- liveness
+    def _heartbeat(self) -> None:
+        """The simulator's heartbeat hook: tick the live status and the
+        watchdog, and surface an expired watchdog *inside* the phase —
+        :class:`~repro.errors.WatchdogExpired` is not a
+        :class:`~repro.errors.FaultInjectedError`, so the retry loop
+        never swallows it and the round loop degrades promptly."""
+        if self.live is not None:
+            self.live.heartbeat()
+        if self.wd is not None:
+            self.wd.beat()
+            self.wd.check()
+
+    def _note_degraded(self, exc: WatchdogExpired, rounds_done: int) -> None:
+        """Convert a watchdog trip into degraded-run state: remember the
+        reason plus the live ``0.8^rounds`` miss bound and force a
+        checkpoint so the partial work is durable and resumable."""
+        from repro.obs.live import ROUND_FAILURE  # lazy: optional layer
+
+        self.degraded = {
+            "reason": exc.reason,
+            "detail": str(exc),
+            "rounds_completed": int(rounds_done),
+            "p_failure_bound": float(ROUND_FAILURE ** rounds_done),
+        }
+        _LOG.warning(
+            "watchdog tripped (%s) — degrading after %d completed round(s); "
+            "p(miss) <= %.3g", exc.reason, rounds_done,
+            self.degraded["p_failure_bound"],
+        )
+        if self.ckpt is not None:
+            self.ckpt.save()
+
     # ------------------------------------------------------------- digests
     def note_phase(self, stage: "_Stage", ell: int, t: int, contribution) -> None:
         """Record one phase contribution's digest (no-op without a log)
         and tick the live phase counter/heartbeat.  Called from worker
         threads in threaded mode — both sinks are thread-safe."""
+        if self.wd is not None:
+            self.wd.beat()
+            self.wd.check()
         if self.digests is not None:
             self.digests.record_phase(
                 stage.label, ell, t // stage.sched.concurrency, t,
@@ -841,6 +963,12 @@ class DetectionEngine:
                 z_axis=spec.model_z_axis,
             )
         stage = _Stage(spec, sched, rounds, key_prefix, label, phase_hist, estimate)
+        # the stage key is consumed unconditionally (creation order), so a
+        # resumed process walks the same key sequence as the killed one
+        skey = self.ckpt.stage_key(self.ekey, label) if self.ckpt is not None else None
+        if self.degraded is not None:
+            # a previous stage tripped the watchdog: start no new work
+            return StageResult([], [], sched, estimate)
         self.backend.prepare(stage)
         if self.live is not None:
             self.live.stage_started(label or self.problem, spec.k, rounds,
@@ -849,11 +977,43 @@ class DetectionEngine:
 
         values: List[Value] = []
         virtuals: List[float] = []
-        for ell in range(rounds):
+        start_round = 0
+        if skey is not None:
+            st = self.ckpt.restored_stage(self.ekey, skey)
+            if st is not None:
+                values = [decode_value(v, spec) for v in st["values"]]
+                virtuals = [float(x) for x in st["virtuals"]]
+                # children are spawn-order-derived: re-requesting the
+                # restored rounds' streams leaves the parent positioned
+                # exactly where the killed run left it
+                for ell in range(len(values)):
+                    rng.child(f"round{ell}")
+                self.virtual_total += sum(virtuals)
+                start_round = len(values)
+                if self.live is not None and start_round:
+                    self.live.rounds_restored(start_round, self.virtual_total)
+                _LOG.info("%s: restored %d checkpointed round(s)",
+                          self.problem, start_round)
+                if st.get("hit") or st.get("complete"):
+                    return StageResult(values, virtuals, sched, estimate)
+
+        for ell in range(start_round, rounds):
+            if self.wd is not None:
+                try:
+                    self.wd.check()
+                except WatchdogExpired as exc:
+                    self._note_degraded(exc, len(values))
+                    break
             fp = spec.draw_fingerprint(self.graph.n, rng.child(f"round{ell}"))
-            with self.round_sw, stage_sw, self.prof.span(
-                    "round", phase="rounds", callsite=label or self.problem):
-                value, round_virtual = self.backend.run_round(stage, fp, ell)
+            try:
+                with self.round_sw, stage_sw, self.prof.span(
+                        "round", phase="rounds", callsite=label or self.problem):
+                    value, round_virtual = self.backend.run_round(stage, fp, ell)
+            except WatchdogExpired as exc:
+                # the in-flight round's partial work is discarded; a resume
+                # re-runs it from the same round-scoped stream, bit-identical
+                self._note_degraded(exc, len(values))
+                break
             self.note_round(stage, ell, value)
             self.rounds_ctr.inc()
             self.virtual_total += round_virtual
@@ -873,6 +1033,10 @@ class DetectionEngine:
                         self.fc.phase_failures, self.fc.retries,
                         sum(self.fc.injected.values()),
                     )
+            if skey is not None:
+                self.ckpt.note_round(self.ekey, skey, value, round_virtual,
+                                     hit=hit,
+                                     complete=hit or (ell + 1 == rounds))
             _LOG.debug("%s k=%d round %d/%d", self.problem, spec.k, ell + 1, rounds)
             if hit:
                 _LOG.info("%s k=%d: witness found in round %d",
@@ -905,6 +1069,10 @@ class DetectionEngine:
             det["resilience"] = self.fc.resilience(self.virtual_total)
         if self.san_report is not None:
             det["sanitizer"] = self.san_report.to_dict()
+        if self.degraded is not None:
+            det["degraded"] = dict(self.degraded)
+        if self.ckpt is not None and self.ckpt.resumed_from:
+            det["resumed_from"] = self.ckpt.resumed_from
         return det
 
     def want_estimate_default(self) -> bool:

@@ -17,7 +17,13 @@ round → batch → phase loop once for all problems; execution modes
 pluggable backends of the engine — see :mod:`repro.core.engine` for the
 mode semantics and :class:`MidasRuntime` knobs.  Because every driver
 routes through the same engine, all of them honor ``overlap``,
-``fault_plan``, ``recorder``, and ``metrics`` uniformly.
+``fault_plan``, ``recorder``, and ``metrics`` uniformly — as well as
+durability: ``MidasRuntime(checkpoint_dir=...)`` commits a
+crash-consistent checkpoint at every round boundary and
+``resume=True`` restores it bit-identically, while ``deadline`` /
+``hang_timeout`` arm a watchdog that degrades the run to a partial
+result (annotated with the live ``0.8^rounds`` miss bound) instead of
+overrunning — see :mod:`repro.runtime.durable`.
 
 Randomness is *round-scoped*: all modes draw identical fingerprints from
 the caller's stream, so answers never depend on ``(N, N1, N2)``, the

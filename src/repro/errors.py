@@ -147,6 +147,42 @@ class ReplayMismatchError(ReproError, RuntimeError):
         self.phase = phase
 
 
+class CheckpointCorruptError(ReproError, RuntimeError):
+    """A durable checkpoint failed validation on load.
+
+    Raised by :mod:`repro.runtime.durable` when a checkpoint file is
+    truncated, fails its CRC, or carries an unknown format version.
+    ``path`` names the offending file and ``reason`` the failed check
+    (``"truncated"``, ``"crc"``, ``"version"``, ``"header"``).  A resume
+    may fall back to restart-from-scratch only when the caller passed
+    ``allow_restart`` — silently discarding state would hide corruption.
+    """
+
+    def __init__(self, path, reason: str, detail: str = ""):
+        msg = f"{path}: corrupt checkpoint ({reason})"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.path = str(path)
+        self.reason = reason
+
+
+class WatchdogExpired(ReproError, RuntimeError):
+    """The wall-clock watchdog tripped: the run exhausted its deadline or
+    the simulator heartbeat stalled past ``hang_timeout``.
+
+    ``reason`` is ``"deadline"`` or ``"stall"``.  Deliberately *not* a
+    :class:`FaultInjectedError`: the fault-tolerant phase runner must
+    never retry past an expired watchdog — the engine catches this at
+    round boundaries, checkpoints, and returns a degraded partial
+    result instead.
+    """
+
+    def __init__(self, message: str, reason: str = "deadline"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class ResourceExhaustedError(ReproError, RuntimeError):
     """A modeled resource limit (e.g. per-node memory) was exceeded.
 

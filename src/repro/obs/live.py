@@ -21,7 +21,8 @@ Live gauges (``midas_live_*``) are also published into the metrics
 registry, so the Prometheus ``/metrics`` endpoint shows progress too.
 
 Event kinds on the stream: ``run_start``, ``stage_start``, ``phase``,
-``round`` (carries a full status snapshot), ``fault``, ``result``,
+``round`` (carries a full status snapshot), ``restore`` (rounds
+recovered from a durable checkpoint on resume), ``fault``, ``result``,
 ``run_end`` (carries a final snapshot).
 """
 
@@ -40,7 +41,7 @@ _LOG = get_logger(__name__)
 #: per-round success probability of the multilinear detection sieve
 ROUND_FAILURE = 0.8  # = 4/5; see repro.core.schedule.rounds_for_epsilon
 
-_TERMINAL = ("done", "failed", "interrupted")
+_TERMINAL = ("done", "failed", "interrupted", "degraded")
 
 
 class RunStatus:
@@ -306,6 +307,20 @@ class LiveRun:
             self._sync_gauges(s)
         self._emit("round", round=int(round_index), hit=bool(hit),
                    status=self.status.snapshot())
+
+    def rounds_restored(self, n: int, virtual_seconds: float) -> None:
+        """``n`` rounds of the current stage were recovered from a durable
+        checkpoint (no new work was done — the counters jump so the
+        failure bound and ETA stay honest on a resumed run)."""
+        s = self.status
+        with s._lock:
+            s.stage_rounds_completed += int(n)
+            s.rounds_completed += int(n)
+            s.virtual_seconds = float(virtual_seconds)
+            s.heartbeat()
+            self._sync_gauges(s)
+        self._emit("restore", rounds=int(n),
+                   virtual_seconds=float(virtual_seconds))
 
     def fault_update(self, failures: int, retries: int, injected: int) -> None:
         s = self.status

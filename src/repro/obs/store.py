@@ -41,10 +41,23 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
+from repro.util.log import get_logger
+
+try:  # POSIX-only; appends degrade to unlocked writes elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+_LOG = get_logger(__name__)
 
 PathLike = Union[str, Path]
 
 RUN_RECORD_VERSION = 1
+
+#: meta flags marking a record as non-comparable provenance-wise: resumed
+#: runs, watchdog-degraded partials, and interrupted/truncated flushes
+#: must never silently enter a rolling baseline.
+PROVENANCE_FLAGS = ("resumed_from", "degraded", "truncated")
 
 _GIT_SHA_CACHE: Optional[str] = None
 
@@ -188,6 +201,17 @@ class RunRecord:
             meta={str(k): str(v) for k, v in d.get("meta", {}).items()},
         )
 
+    @property
+    def provenance_flags(self) -> List[str]:
+        """Which of :data:`PROVENANCE_FLAGS` this record's meta carries
+        (flags whose value is an explicit falsy string don't count)."""
+        out = []
+        for flag in PROVENANCE_FLAGS:
+            v = self.meta.get(flag, "")
+            if v and v.lower() not in ("false", "0", "no", ""):
+                out.append(flag)
+        return out
+
     def describe(self) -> str:
         mk = self.values.get("makespan")
         mk_s = f"makespan {mk:.6g}s" if mk is not None else f"{len(self.values)} metric(s)"
@@ -202,22 +226,50 @@ class RunStore:
         self.path = Path(path)
 
     def append(self, record: RunRecord) -> None:
+        """Append one record as a single ``O_APPEND`` write under an
+        ``fcntl`` lock, so concurrent writers never interleave records
+        and a crash mid-append can damage at most the trailing line."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as fh:
-            fh.write(json.dumps(record.to_dict()) + "\n")
+        payload = (json.dumps(record.to_dict()) + "\n").encode("utf-8")
+        fd = os.open(str(self.path),
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            os.write(fd, payload)
+        finally:
+            # closing the fd releases the flock
+            os.close(fd)
 
     def load(self, scenario: Optional[str] = None) -> List[RunRecord]:
-        """All records (oldest first), optionally filtered by scenario."""
+        """All records (oldest first), optionally filtered by scenario.
+
+        A truncated *final* line — the signature of a process killed
+        mid-append — is skipped with a warning instead of poisoning
+        every later ``history``/``compare``; malformed lines anywhere
+        else still raise (they indicate real corruption, not a crash).
+        """
         if not self.path.exists():
             return []
         out = []
-        for lineno, line in enumerate(self.path.read_text().splitlines(), 1):
+        lines = self.path.read_text().splitlines()
+        last_lineno = len(lines)
+        for lineno, line in enumerate(lines, 1):
             line = line.strip()
             if not line:
                 continue
             try:
                 rec = RunRecord.from_dict(json.loads(line))
-            except (json.JSONDecodeError, ConfigurationError, ValueError) as exc:
+            except json.JSONDecodeError as exc:
+                if lineno == last_lineno:
+                    _LOG.warning(
+                        "%s:%d: skipping truncated trailing record "
+                        "(interrupted append?): %s", self.path, lineno, exc)
+                    continue
+                raise ConfigurationError(
+                    f"{self.path}:{lineno}: bad RunRecord line: {exc}"
+                ) from exc
+            except (ConfigurationError, ValueError) as exc:
                 raise ConfigurationError(
                     f"{self.path}:{lineno}: bad RunRecord line: {exc}"
                 ) from exc
@@ -240,12 +292,15 @@ class RunStore:
 
         ``before`` caps which records count (an index into the
         scenario's history; default: all but the newest).  Returns
-        ``None`` when no prior record exists.
+        ``None`` when no prior record exists.  Records carrying
+        provenance flags (resumed, degraded, truncated) are excluded —
+        a partial run must never drag the baseline down.
         """
         recs = self.load(scenario)
         if before is None:
             before = len(recs) - 1
-        prior = recs[max(0, before - window):before]
+        clean = [r for r in recs[:max(0, before)] if not r.provenance_flags]
+        prior = clean[-window:]
         if not prior:
             return None
         keys = set(prior[0].values)
@@ -336,6 +391,15 @@ class RunComparison:
                 f"⚠ config hashes differ (`{self.ref.config_hash}` vs "
                 f"`{self.new.config_hash}`) — the runs may not be comparable."
             )
+        for side, rec in (("baseline", self.ref), ("current", self.new)):
+            flags = rec.provenance_flags
+            if flags:
+                lines.append("")
+                lines.append(
+                    f"⚠ {side} record carries provenance flag(s) "
+                    f"{', '.join(f'`{f}`' for f in flags)} — it is a "
+                    f"resumed/partial run, not a clean measurement."
+                )
         return "\n".join(lines)
 
 
@@ -422,6 +486,7 @@ def compare_to_baseline(
 
 
 __all__ = [
+    "PROVENANCE_FLAGS",
     "RunComparison",
     "RunRecord",
     "RunStore",

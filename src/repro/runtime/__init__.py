@@ -16,6 +16,10 @@ subpackage substitutes an in-process simulator:
 * :mod:`repro.runtime.faults` injects deterministic, seeded faults
   (rank crashes, message drops/duplicates/delays, transient send
   failures, stragglers) for fault-tolerance testing.
+* :mod:`repro.runtime.durable` persists crash-consistent checkpoints at
+  round boundaries (CRC-protected, atomically renamed) so a SIGKILLed
+  run resumes bit-identically, and arms a wall-clock watchdog that
+  degrades gracefully instead of dying silently.
 """
 
 from repro.runtime.comm import (
@@ -32,10 +36,19 @@ from repro.runtime.comm import (
 )
 from repro.runtime.cluster import VirtualCluster, juliet, shadowfax, laptop
 from repro.runtime.costmodel import CostModel, KernelCalibration, MachineSpec
+from repro.runtime.durable import (
+    CheckpointManager,
+    Watchdog,
+    load_run_config,
+    read_envelope,
+    write_envelope,
+    write_run_config,
+)
 from repro.runtime.faults import (
     FaultInjector,
     FaultPlan,
     FaultSpec,
+    backoff_jitter,
     load_fault_plan,
 )
 from repro.runtime.scheduler import RankContext, SimResult, Simulator
@@ -52,9 +65,16 @@ __all__ = [
     "Reduce",
     "Send",
     "Wait",
+    "CheckpointManager",
+    "Watchdog",
+    "load_run_config",
+    "read_envelope",
+    "write_envelope",
+    "write_run_config",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "backoff_jitter",
     "load_fault_plan",
     "VirtualCluster",
     "juliet",

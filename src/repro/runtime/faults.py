@@ -264,6 +264,24 @@ def load_fault_plan(source: Union[str, Path, dict, "FaultPlan", None]) -> Option
     return FaultPlan.from_json(path.read_text())
 
 
+def backoff_jitter(seed: int, key: str, attempt: int) -> float:
+    """Seeded retry-backoff jitter in ``[0, 1)``.
+
+    The driver scales its exponential backoff by ``1 + u`` with ``u``
+    drawn here, keyed by ``(plan seed, phase key, attempt)`` — the same
+    derivation :class:`RunInjector` uses for per-run fault streams.  Two
+    phases (or two ranks retrying the same plan in different processes)
+    get different jitter, so retries never synchronize; the same phase
+    retried in a replayed or crash-resumed run draws the identical
+    value, so virtual time stays bit-deterministic.
+    """
+    digest = zlib.crc32(f"{key}/backoff{attempt}".encode("utf-8"))
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed & 0xFFFFFFFF, digest])
+    )
+    return float(rng.random())
+
+
 @dataclass
 class SendVerdict:
     """The injector's decision for one message send."""

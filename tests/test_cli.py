@@ -256,3 +256,141 @@ class TestWallTolerance:
         rc = main(["compare", str(store), "--scenario", "s",
                    "--wall-tolerance", "1000"])
         assert rc == 0
+
+
+class TestCheckpointResumeCli:
+    def _clique_list(self, tmp_path):
+        # disjoint 4-cliques: witness-free for k=5, so every round runs
+        p = tmp_path / "cliques.txt"
+        lines = []
+        for c in range(6):
+            b = c * 4
+            lines += [f"{b + i} {b + j}" for i in range(4)
+                      for j in range(i + 1, 4)]
+        p.write_text("\n".join(lines) + "\n")
+        return p
+
+    def _detect_args(self, edges, ckpt):
+        return ["detect-path", "--edge-list", str(edges), "-k", "5",
+                "--eps", "0.3", "--seed", "7", "--checkpoint-dir", str(ckpt)]
+
+    def test_checkpoint_dir_writes_run_config(self, tmp_path, capsys):
+        edges = self._clique_list(tmp_path)
+        ckpt = tmp_path / "ckpt"
+        assert main(self._detect_args(edges, ckpt)) == 1  # not found
+        capsys.readouterr()
+        cfg = json.loads((ckpt / "run.json").read_text())
+        assert cfg["command"] == "detect-path" and cfg["k"] == 5
+        assert (ckpt / "checkpoint.ckpt").exists()
+
+    def test_resume_round_trip(self, tmp_path, capsys):
+        edges = self._clique_list(tmp_path)
+        ckpt = tmp_path / "ckpt"
+        assert main(self._detect_args(edges, ckpt)) == 1
+        summary0 = [l for l in capsys.readouterr().out.splitlines()
+                    if "k-path" in l]
+        # resume of the completed run restores everything, recomputes nothing
+        assert main(["resume", str(ckpt)]) == 1
+        out = capsys.readouterr().out
+        assert f"resuming detect-path from {ckpt}" in out
+        assert f"resumed from checkpoint: {ckpt}" in out
+        summary1 = [l for l in out.splitlines() if "k-path" in l]
+        assert summary0 and summary0[0].split("wall")[0] in summary1[0]
+
+    def test_resume_unknown_dir(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nope")]) == 1
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_corrupt_checkpoint_exits_2(self, tmp_path, capsys):
+        edges = self._clique_list(tmp_path)
+        ckpt = tmp_path / "ckpt"
+        assert main(self._detect_args(edges, ckpt)) == 1
+        capsys.readouterr()
+        path = ckpt / "checkpoint.ckpt"
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x20
+        path.write_bytes(bytes(raw))
+        assert main(["resume", str(ckpt)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt checkpoint" in err and "--allow-restart" in err
+        # the fallback discards the corrupt state and reruns from scratch
+        assert main(["resume", str(ckpt), "--allow-restart"]) == 1
+        capsys.readouterr()
+
+    def test_degraded_exit_code_and_message(self, tmp_path, capsys):
+        edges = self._clique_list(tmp_path)
+        rc = main(["detect-path", "--edge-list", str(edges), "-k", "5",
+                   "--eps", "0.3", "--seed", "7", "--deadline", "1e-9"])
+        captured = capsys.readouterr()
+        assert rc == 4
+        assert "DEGRADED (deadline)" in captured.err
+        assert "miss probability" in captured.err
+
+    def test_degraded_run_not_stored(self, tmp_path, capsys):
+        edges = self._clique_list(tmp_path)
+        store = tmp_path / "runs.jsonl"
+        rc = main(["detect-path", "--edge-list", str(edges), "-k", "5",
+                   "--eps", "0.3", "--seed", "7", "--deadline", "1e-9",
+                   "--store", str(store), "--scenario", "s"])
+        assert rc == 4
+        assert "not appending" in capsys.readouterr().err
+        from repro.obs.store import RunStore
+        assert RunStore(store).load() == []
+
+    def test_resumed_record_carries_provenance(self, tmp_path, capsys):
+        edges = self._clique_list(tmp_path)
+        ckpt = tmp_path / "ckpt"
+        store = tmp_path / "runs.jsonl"
+        assert main(self._detect_args(edges, ckpt)) == 1
+        assert main(["resume", str(ckpt)]) == 1  # run.json has no --store
+        capsys.readouterr()
+        rc = main(self._detect_args(edges, ckpt)[:-2]
+                  + ["--checkpoint-dir", str(ckpt), "--store", str(store),
+                     "--scenario", "s"])
+        assert rc == 1
+        capsys.readouterr()
+
+
+class TestWatchStallTimeout:
+    def test_stalled_file_stream_exits_5(self, tmp_path, capsys):
+        import os
+        import time as _time
+
+        from repro.obs.live import LiveRun
+
+        path = tmp_path / "progress.jsonl"
+        live = LiveRun(progress_path=path)
+        live.run_started("k-path", "sequential")
+        live.stage_started("k-path", 4, 3, 2)
+        live.round_done(0, False, 0.0)  # never ends: the run "hung" here
+        live.close()
+        old = _time.time() - 60.0
+        os.utime(path, (old, old))
+        assert main(["watch", str(path), "--stall-timeout", "5"]) == 5
+        assert "stalled" in capsys.readouterr().err
+
+    def test_live_file_stream_not_stalled(self, tmp_path, capsys):
+        from repro.obs.live import LiveRun
+
+        path = tmp_path / "progress.jsonl"
+        live = LiveRun(progress_path=path)
+        live.run_started("k-path", "sequential")
+        live.run_ended("done")
+        live.close()
+        assert main(["watch", str(path), "--stall-timeout", "5"]) == 0
+
+    def test_stalled_url_exits_5(self, tmp_path, capsys):
+        from repro.obs.http import LiveServer
+
+        srv = LiveServer(lambda: {"state": "running", "problem": "k-path",
+                                  "mode": "sequential", "rounds_completed": 1,
+                                  "rounds_planned": 4,
+                                  "heartbeat_age_seconds": 120.0})
+        srv.start(0)
+        try:
+            rc = main(["watch", srv.url, "--stall-timeout", "5",
+                       "--interval", "0.01"])
+        finally:
+            srv.stop()
+        assert rc == 5
+        assert "stalled" in capsys.readouterr().err

@@ -1,0 +1,472 @@
+"""Durable checkpoints, crash recovery, and the wall-clock watchdog.
+
+The acceptance bar: killing a run at *every* round boundary and resuming
+must reproduce the uninterrupted run bit-for-bit — same witness verdict,
+same accumulator values, same virtual seconds, same replay digests, same
+resilience accounting.  The corruption matrix pins the typed rejection
+of damaged checkpoints, and the watchdog tests pin graceful degradation
+(a valid partial result carrying the live ``0.8^rounds`` bound).
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.midas import MidasRuntime, detect_path, detect_tree, scan_grid
+from repro.errors import (
+    CheckpointCorruptError,
+    ConfigurationError,
+    WatchdogExpired,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.templates import TreeTemplate
+from repro.obs.live import LiveRun, ROUND_FAILURE
+from repro.runtime.durable import (
+    CHECKPOINT_FILE,
+    CheckpointManager,
+    Watchdog,
+    load_run_config,
+    read_envelope,
+    write_envelope,
+    write_run_config,
+)
+from repro.runtime.faults import FaultPlan, crash, drop
+from repro.sanitize.replay import DigestLog
+from repro.util.rng import RngStream
+
+
+def clique_islands(n_cliques=6, size=4):
+    """Disjoint ``size``-cliques: no path on more than ``size`` vertices
+    exists, so a k=size+1 detection runs every planned round (the
+    witness-free regime where checkpointing actually matters)."""
+    edges = []
+    for c in range(n_cliques):
+        base = c * size
+        edges.extend(
+            (base + i, base + j)
+            for i in range(size) for j in range(i + 1, size)
+        )
+    return CSRGraph.from_edges(n_cliques * size, edges)
+
+
+@pytest.fixture(scope="module")
+def islands():
+    return clique_islands()
+
+
+class _Kill(BaseException):
+    """Simulated SIGKILL: not an Exception, so no handler in the engine
+    or driver can swallow it — execution stops exactly at the raise."""
+
+
+def _kill_after(ckpt, n_rounds):
+    """Poison a manager so the process 'dies' right after the n-th
+    round's checkpoint commit — the on-disk state a real SIGKILL at
+    that boundary would leave behind."""
+    orig = ckpt.note_round
+    seen = {"n": 0}
+
+    def poisoned(*args, **kwargs):
+        orig(*args, **kwargs)
+        seen["n"] += 1
+        if seen["n"] >= n_rounds:
+            raise _Kill()
+
+    ckpt.note_round = poisoned
+
+
+def _values(res):
+    return [r.value for r in res.rounds]
+
+
+def _virtuals(res):
+    return [r.virtual_seconds for r in res.rounds]
+
+
+# ----------------------------------------------------------------- envelope
+class TestEnvelope:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        payload = {"a": [1, 2, 3], "nested": {"x": "y"}, "f": 0.25}
+        write_envelope(path, payload)
+        assert read_envelope(path) == payload
+
+    def test_overwrite_is_atomic_rename(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        write_envelope(path, {"gen": 1})
+        write_envelope(path, {"gen": 2})
+        assert read_envelope(path) == {"gen": 2}
+        # no temp litter left behind
+        assert [p.name for p in tmp_path.iterdir()] == ["state.ckpt"]
+
+    def test_truncated_body_rejected(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        write_envelope(path, {"key": "value" * 50})
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 20])
+        with pytest.raises(CheckpointCorruptError) as ei:
+            read_envelope(path)
+        assert ei.value.reason == "truncated"
+        assert str(path) in str(ei.value)
+
+    def test_bit_flip_rejected_by_crc(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        write_envelope(path, {"key": 12345})
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0x40  # flip one bit inside the JSON body
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorruptError) as ei:
+            read_envelope(path)
+        assert ei.value.reason == "crc"
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        write_envelope(path, {"key": 1})
+        raw = path.read_bytes()
+        path.write_bytes(raw.replace(b" v1 ", b" v9 ", 1))
+        with pytest.raises(CheckpointCorruptError) as ei:
+            read_envelope(path)
+        assert ei.value.reason == "version"
+
+    def test_garbage_header_rejected(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        path.write_bytes(b"not a checkpoint at all\n{}")
+        with pytest.raises(CheckpointCorruptError) as ei:
+            read_envelope(path)
+        assert ei.value.reason == "header"
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        path.write_bytes(b"no newline anywhere")
+        with pytest.raises(CheckpointCorruptError) as ei:
+            read_envelope(path)
+        assert ei.value.reason == "header"
+
+
+class TestRunConfig:
+    def test_roundtrip(self, tmp_path):
+        write_run_config(tmp_path, {"command": "detect-path", "k": 5})
+        assert load_run_config(tmp_path) == {"command": "detect-path", "k": 5}
+
+    def test_missing_names_the_flag(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="--checkpoint-dir"):
+            load_run_config(tmp_path)
+
+    def test_non_object_rejected(self, tmp_path):
+        (tmp_path / "run.json").write_text("[1, 2]")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            load_run_config(tmp_path)
+
+
+# ---------------------------------------------------------- manager basics
+class TestCheckpointManager:
+    def test_corrupt_checkpoint_blocks_resume(self, tmp_path):
+        path = tmp_path / CHECKPOINT_FILE
+        write_envelope(path, {"engines": {}})
+        raw = bytearray(path.read_bytes())
+        raw[-2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorruptError):
+            CheckpointManager(tmp_path, resume=True)
+
+    def test_allow_restart_discards_corruption(self, tmp_path):
+        path = tmp_path / CHECKPOINT_FILE
+        path.write_bytes(b"garbage\n")
+        mgr = CheckpointManager(tmp_path, resume=True, allow_restart=True)
+        assert mgr.resumed_from is None  # fresh start, not a resume
+
+    def test_config_hash_mismatch_rejected(self, tmp_path):
+        CheckpointManager(tmp_path, config_hash="aaa").save()
+        with pytest.raises(ConfigurationError, match="different"):
+            CheckpointManager(tmp_path, resume=True, config_hash="bbb")
+
+    def test_resume_without_checkpoint_is_fresh(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, resume=True)
+        assert mgr.resumed_from is None
+
+    def test_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointManager(tmp_path, every=0)
+
+
+# -------------------------------------------------- kill/resume property
+class TestKillResumeBitIdentity:
+    """The tentpole property: SIGKILL at every round boundary + resume
+    == uninterrupted run, bit for bit."""
+
+    K, EPS = 5, 0.3
+
+    def _control(self, islands, **rt_kw):
+        rt = MidasRuntime(digest_log=DigestLog(), **rt_kw)
+        res = detect_path(islands, self.K, eps=self.EPS,
+                          rng=RngStream(7).child("detect"), runtime=rt)
+        return res, rt
+
+    def _assert_identical(self, res0, res1, rt0, rt1):
+        assert res1.found == res0.found
+        assert _values(res1) == _values(res0)
+        assert _virtuals(res1) == _virtuals(res0)
+        assert rt1.digest_log.rounds == rt0.digest_log.rounds
+        assert rt1.digest_log.phases == rt0.digest_log.phases
+
+    @pytest.mark.parametrize("mode", ["sequential", "simulated"])
+    def test_every_round_boundary(self, islands, tmp_path, mode):
+        rt_kw = {"mode": mode}
+        if mode == "simulated":
+            rt_kw.update(n_processors=4, n1=2)
+        res0, rt0 = self._control(islands, **rt_kw)
+        assert not res0.found and len(res0.rounds) >= 3  # witness-free
+
+        for boundary in range(1, len(res0.rounds)):
+            ckpt_dir = tmp_path / f"{mode}-r{boundary}"
+            rt1 = MidasRuntime(digest_log=DigestLog(),
+                               checkpoint_dir=str(ckpt_dir), **rt_kw)
+            _kill_after(rt1.get_checkpoint(), boundary)
+            with pytest.raises(_Kill):
+                detect_path(islands, self.K, eps=self.EPS,
+                            rng=RngStream(7).child("detect"), runtime=rt1)
+
+            rt2 = MidasRuntime(digest_log=DigestLog(),
+                               checkpoint_dir=str(ckpt_dir),
+                               resume=True, **rt_kw)
+            res1 = detect_path(islands, self.K, eps=self.EPS,
+                               rng=RngStream(7).child("detect"), runtime=rt2)
+            self._assert_identical(res0, res1, rt0, rt2)
+            assert res1.details["resumed_from"] == str(ckpt_dir)
+
+    def test_resume_restores_fault_state(self, islands, tmp_path):
+        plan = FaultPlan([crash(rank=1, after_ops=40, max_events=2),
+                          drop(src=0, dst=1, p=0.05, max_events=2)], seed=11)
+        rt_kw = dict(mode="simulated", n_processors=4, n1=2, fault_plan=plan)
+        res0 = detect_path(islands, self.K, eps=0.5,
+                           rng=RngStream(7).child("detect"),
+                           runtime=MidasRuntime(**rt_kw))
+        assert res0.details["resilience"]["retries"] > 0
+
+        for boundary in range(1, len(res0.rounds)):
+            ckpt_dir = tmp_path / f"faults-r{boundary}"
+            rt1 = MidasRuntime(checkpoint_dir=str(ckpt_dir), **rt_kw)
+            _kill_after(rt1.get_checkpoint(), boundary)
+            with pytest.raises(_Kill):
+                detect_path(islands, self.K, eps=0.5,
+                            rng=RngStream(7).child("detect"), runtime=rt1)
+            rt2 = MidasRuntime(checkpoint_dir=str(ckpt_dir), resume=True,
+                               **rt_kw)
+            res1 = detect_path(islands, self.K, eps=0.5,
+                               rng=RngStream(7).child("detect"), runtime=rt2)
+            assert _values(res1) == _values(res0)
+            assert _virtuals(res1) == _virtuals(res0)
+            # injected-fault budgets and retry accounting carried over:
+            # the resumed run reports the *whole* run's resilience story
+            assert res1.details["resilience"] == res0.details["resilience"]
+
+    def test_resume_completed_run_recomputes_nothing(self, islands, tmp_path):
+        rt1 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path))
+        res0 = detect_path(islands, self.K, eps=self.EPS,
+                           rng=RngStream(7).child("detect"), runtime=rt1)
+
+        rt2 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path),
+                           resume=True)
+        from repro.core import engine as engine_mod
+
+        def boom(*a, **k):  # any executed round means state was recomputed
+            raise AssertionError("resume of a completed run ran a round")
+
+        orig = engine_mod.SequentialBackend.run_round
+        engine_mod.SequentialBackend.run_round = boom
+        try:
+            res1 = detect_path(islands, self.K, eps=self.EPS,
+                               rng=RngStream(7).child("detect"), runtime=rt2)
+        finally:
+            engine_mod.SequentialBackend.run_round = orig
+        assert _values(res1) == _values(res0)
+        assert _virtuals(res1) == _virtuals(res0)
+
+    def test_resume_with_witness_hit(self, tmp_path):
+        # a graph WITH a k-path: the hit round is checkpointed as final
+        g = clique_islands(n_cliques=2, size=6)
+        rt1 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path))
+        res0 = detect_path(g, 4, eps=0.3, rng=RngStream(7).child("detect"),
+                           runtime=rt1)
+        assert res0.found
+        rt2 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path),
+                           resume=True)
+        res1 = detect_path(g, 4, eps=0.3, rng=RngStream(7).child("detect"),
+                           runtime=rt2)
+        assert res1.found and _values(res1) == _values(res0)
+
+    def test_multi_stage_scan_resume(self, islands, tmp_path):
+        # scan_grid runs one stage per size: stage keys must line up
+        weights = np.zeros(islands.n, dtype=np.int64)
+        weights[:4] = 1
+        res0 = scan_grid(islands, weights, k=4, eps=0.5,
+                         rng=RngStream(9).child("scan"),
+                         runtime=MidasRuntime(mode="sequential"))
+        rt1 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path))
+        _kill_after(rt1.get_checkpoint(), 3)
+        with pytest.raises(_Kill):
+            scan_grid(islands, weights, k=4, eps=0.5,
+                      rng=RngStream(9).child("scan"), runtime=rt1)
+        rt2 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path),
+                           resume=True)
+        res1 = scan_grid(islands, weights, k=4, eps=0.5,
+                         rng=RngStream(9).child("scan"), runtime=rt2)
+        assert np.array_equal(res1.detected, res0.detected)
+        assert res1.virtual_seconds == res0.virtual_seconds
+
+    def test_detect_tree_resume(self, islands, tmp_path):
+        tmpl = TreeTemplate.star(5)
+        res0 = detect_tree(islands, tmpl, eps=0.3,
+                           rng=RngStream(3).child("detect"),
+                           runtime=MidasRuntime(mode="sequential"))
+        rt1 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path))
+        _kill_after(rt1.get_checkpoint(), 2)
+        with pytest.raises(_Kill):
+            detect_tree(islands, tmpl, eps=0.3,
+                        rng=RngStream(3).child("detect"), runtime=rt1)
+        rt2 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path),
+                           resume=True)
+        res1 = detect_tree(islands, tmpl, eps=0.3,
+                           rng=RngStream(3).child("detect"), runtime=rt2)
+        assert res1.found == res0.found and _values(res1) == _values(res0)
+
+    def test_live_counters_jump_on_restore(self, islands, tmp_path):
+        rt1 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path))
+        _kill_after(rt1.get_checkpoint(), 2)
+        with pytest.raises(_Kill):
+            detect_path(islands, self.K, eps=self.EPS,
+                        rng=RngStream(7).child("detect"), runtime=rt1)
+        live = LiveRun()
+        events = []
+        live.subscribe(events.append)
+        rt2 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path),
+                           resume=True, live=live)
+        detect_path(islands, self.K, eps=self.EPS,
+                    rng=RngStream(7).child("detect"), runtime=rt2)
+        restores = [e for e in events if e["event"] == "restore"]
+        assert len(restores) == 1 and restores[0]["rounds"] == 2
+        snap = live.status.snapshot()
+        assert snap["rounds_completed"] == snap["rounds_planned"]
+
+
+# --------------------------------------------------------------- watchdog
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestWatchdogUnit:
+    def test_deadline_trips(self):
+        clk = FakeClock()
+        wd = Watchdog(deadline=10.0, clock=clk).start(monitor=False)
+        wd.check()  # inside budget
+        clk.t = 10.5
+        with pytest.raises(WatchdogExpired) as ei:
+            wd.check()
+        assert ei.value.reason == "deadline"
+        assert wd.tripped[0] == "deadline"
+
+    def test_beat_resets_stall_clock(self):
+        clk = FakeClock()
+        wd = Watchdog(hang_timeout=5.0, clock=clk).start(monitor=False)
+        clk.t = 4.0
+        wd.beat()
+        clk.t = 8.0  # 4s since beat: alive
+        wd.check()
+        clk.t = 13.5  # 9.5s since beat: stalled
+        with pytest.raises(WatchdogExpired) as ei:
+            wd.check()
+        assert ei.value.reason == "stall"
+
+    def test_trip_is_sticky(self):
+        clk = FakeClock()
+        wd = Watchdog(deadline=1.0, clock=clk).start(monitor=False)
+        clk.t = 2.0
+        with pytest.raises(WatchdogExpired):
+            wd.check()
+        clk.t = 0.5  # even if the clock went backwards, the trip holds
+        with pytest.raises(WatchdogExpired):
+            wd.check()
+
+    def test_unarmed_never_trips(self):
+        wd = Watchdog().start(monitor=False)
+        assert not wd.armed
+        wd.check()
+
+    def test_monitor_thread_fires_on_trip_once(self):
+        fired = []
+        done = threading.Event()
+
+        def on_trip():
+            fired.append(1)
+            done.set()
+
+        wd = Watchdog(deadline=0.01, poll_interval=0.005)
+        wd.start(on_trip=on_trip)
+        assert done.wait(2.0), "monitor thread never tripped"
+        wd.stop()
+        assert fired == [1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Watchdog(deadline=0.0)
+        with pytest.raises(ConfigurationError):
+            Watchdog(hang_timeout=-1.0)
+
+
+class TestWatchdogDegraded:
+    def test_deadline_degrades_with_bound(self, islands, tmp_path):
+        live = LiveRun()
+        rt = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path),
+                          deadline=1e-9, live=live)
+        res = detect_path(islands, 5, eps=0.3,
+                          rng=RngStream(7).child("detect"), runtime=rt)
+        rt.close_live()
+        d = res.details["degraded"]
+        assert d["reason"] == "deadline"
+        assert d["p_failure_bound"] == pytest.approx(
+            ROUND_FAILURE ** d["rounds_completed"])
+        assert len(res.rounds) == d["rounds_completed"]
+        assert live.status.snapshot()["state"] == "degraded"
+        # the trip flushed a checkpoint for a later resume
+        assert (tmp_path / CHECKPOINT_FILE).exists()
+
+    def test_degraded_then_resume_completes(self, islands, tmp_path):
+        res0 = detect_path(islands, 5, eps=0.3,
+                           rng=RngStream(7).child("detect"),
+                           runtime=MidasRuntime(mode="sequential"))
+        rt1 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path),
+                           deadline=1e-9)
+        detect_path(islands, 5, eps=0.3, rng=RngStream(7).child("detect"),
+                    runtime=rt1)
+        rt1.close_live()
+        rt2 = MidasRuntime(mode="sequential", checkpoint_dir=str(tmp_path),
+                           resume=True)
+        res1 = detect_path(islands, 5, eps=0.3,
+                           rng=RngStream(7).child("detect"), runtime=rt2)
+        assert "degraded" not in res1.details
+        assert _values(res1) == _values(res0)
+        assert _virtuals(res1) == _virtuals(res0)
+
+    def test_degraded_without_checkpoint_still_flushes_result(self, islands):
+        rt = MidasRuntime(mode="sequential", deadline=1e-9)
+        res = detect_path(islands, 5, eps=0.3,
+                          rng=RngStream(7).child("detect"), runtime=rt)
+        rt.close_live()
+        assert res.details["degraded"]["reason"] == "deadline"
+        assert res.found is False
+
+    def test_runtime_validation(self):
+        with pytest.raises(ConfigurationError):
+            MidasRuntime(deadline=-1.0)
+        with pytest.raises(ConfigurationError):
+            MidasRuntime(hang_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            MidasRuntime(checkpoint_every=0)
+        with pytest.raises(ConfigurationError):
+            MidasRuntime(resume=True)  # resume needs a checkpoint_dir

@@ -97,6 +97,34 @@ class TestLiveRunEvents:
         assert s["rounds_planned"] == 4
         assert s["stage"] == "size2"
 
+    def test_degraded_is_a_terminal_state(self):
+        live = LiveRun()
+        live.run_started("k-path", "sequential")
+        live.run_ended("degraded", error="deadline exhausted")
+        snap = live.status.snapshot()
+        assert snap["state"] == "degraded"
+        assert snap["error"] == "deadline exhausted"
+
+    def test_rounds_restored_jumps_counters(self):
+        events = []
+        live = LiveRun()
+        live.subscribe(events.append)
+        live.run_started("k-path", "sequential")
+        live.stage_started("k-path", 5, 6, 4)
+        live.rounds_restored(4, 2.5)
+        snap = live.status.snapshot()
+        assert snap["rounds_completed"] == 4
+        assert snap["stage_rounds_completed"] == 4
+        assert snap["virtual_seconds"] == 2.5
+        assert snap["p_failure_bound"] == pytest.approx(0.8 ** 4)
+        restores = [e for e in events if e["event"] == "restore"]
+        assert restores == [pytest.approx(
+            {"t": restores[0]["t"], "event": "restore",
+             "rounds": 4, "virtual_seconds": 2.5})]
+        # the remaining rounds continue the same stage
+        live.round_done(4, False, 3.0)
+        assert live.status.snapshot()["rounds_completed"] == 5
+
     def test_bad_terminal_state_rejected(self):
         live = LiveRun()
         with pytest.raises(ValueError):

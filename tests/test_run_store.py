@@ -61,8 +61,25 @@ class TestRunStore:
         assert st.latest("a").values["makespan"] == 1.1
 
     def test_bad_line_raises_with_location(self, tmp_path):
+        # a malformed line in the *middle* of the file is real corruption
         p = tmp_path / "runs.jsonl"
-        p.write_text('{"type": "RunRecord", "scenario": "a"}\nnot json\n')
+        p.write_text('{"type": "RunRecord", "scenario": "a"}\nnot json\n'
+                     '{"type": "RunRecord", "scenario": "b"}\n')
+        with pytest.raises(ConfigurationError, match="runs.jsonl:2"):
+            RunStore(p).load()
+
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        # ...but a torn *final* line is the signature of a killed append
+        p = tmp_path / "runs.jsonl"
+        p.write_text('{"type": "RunRecord", "scenario": "a"}\n'
+                     '{"type": "RunRecord", "scen')
+        recs = RunStore(p).load()
+        assert [r.scenario for r in recs] == ["a"]
+
+    def test_well_formed_but_invalid_line_still_raises(self, tmp_path):
+        # valid JSON that is not a RunRecord raises even on the last line
+        p = tmp_path / "runs.jsonl"
+        p.write_text('{"type": "RunRecord", "scenario": "a"}\n{"type": "x"}\n')
         with pytest.raises(ConfigurationError, match="runs.jsonl:2"):
             RunStore(p).load()
 
@@ -243,3 +260,73 @@ class TestBenchEmission:
         assert r.scenario == "bench:fig_x"
         assert r.values == {"5:seconds": 1.25}  # inf filtered
         assert r.config_hash == doc["config_hash"]
+
+
+class TestCrashSafeAppends:
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        import threading
+
+        st = RunStore(tmp_path / "runs.jsonl")
+        n_threads, per_thread = 8, 25
+
+        def writer(tid):
+            for i in range(per_thread):
+                st.append(rec("s", float(tid * 1000 + i)))
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        recs = st.load()  # every line parses: no torn/interleaved records
+        assert len(recs) == n_threads * per_thread
+        seen = {r.values["makespan"] for r in recs}
+        assert len(seen) == n_threads * per_thread
+
+    def test_append_after_truncated_tail_still_loads(self, tmp_path):
+        st = RunStore(tmp_path / "runs.jsonl")
+        st.append(rec("s", 1.0))
+        with st.path.open("a") as fh:
+            fh.write('{"type": "RunRec')  # killed mid-append
+        recs = st.load()
+        assert len(recs) == 1
+
+
+class TestProvenanceFlags:
+    def test_flags_detected(self):
+        r = rec("s", 1.0)
+        assert r.provenance_flags == []
+        r.meta["resumed_from"] = "/tmp/ckpt"
+        r.meta["degraded"] = "True"
+        assert r.provenance_flags == ["resumed_from", "degraded"]
+        r.meta["degraded"] = "false"  # explicit falsy strings don't count
+        assert r.provenance_flags == ["resumed_from"]
+
+    def test_rolling_baseline_skips_flagged_records(self, tmp_path):
+        st = RunStore(tmp_path / "runs.jsonl")
+        st.append(rec("s", 1.0))
+        st.append(rec("s", 1.2))
+        partial = rec("s", 500.0)  # a degraded partial: absurdly cheap/odd
+        partial.meta["degraded"] = "True"
+        st.append(partial)
+        st.append(rec("s", 1.1))  # the newest, to be compared
+        base = st.rolling_baseline("s", window=5)
+        assert base.values["makespan"] == pytest.approx((1.0 + 1.2) / 2)
+
+    def test_baseline_none_when_only_flagged_priors(self, tmp_path):
+        st = RunStore(tmp_path / "runs.jsonl")
+        partial = rec("s", 1.0)
+        partial.meta["resumed_from"] = "/tmp/ckpt"
+        st.append(partial)
+        st.append(rec("s", 1.1))
+        assert st.rolling_baseline("s") is None
+
+    def test_markdown_warns_on_flagged_sides(self):
+        flagged = rec("s", 1.0)
+        flagged.meta["resumed_from"] = "/tmp/ckpt"
+        cmp = compare_runs(rec("s", 1.0), flagged)
+        md = cmp.markdown()
+        assert "provenance flag" in md and "resumed_from" in md
+        clean = compare_runs(rec("s", 1.0), rec("s", 1.0)).markdown()
+        assert "provenance flag" not in clean
