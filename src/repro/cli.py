@@ -16,7 +16,16 @@ Commands map one-to-one to the library's top-level workflows:
   ``/status`` or tail a ``--progress-out`` JSONL stream
   (``--stall-timeout`` turns a dead heartbeat into a nonzero exit);
 * ``resume`` — continue a killed run from its ``--checkpoint-dir``,
-  bit-identically to an uninterrupted execution.
+  bit-identically to an uninterrupted execution;
+* ``serve`` — run the persistent multi-tenant detection service
+  (preloaded graphs, engine-session reuse, result cache, quotas);
+* ``query`` — send one query to a running ``serve`` endpoint.
+
+The detection commands route through the service client abstraction:
+in-process (:class:`~repro.service.client.LocalClient`) by default,
+or against a remote ``repro serve`` with ``--server URL`` — results
+are bit-identical either way because the query carries the exact RNG
+lineage the standalone driver would have consumed.
 """
 
 from __future__ import annotations
@@ -52,6 +61,28 @@ def _load_graph(args):
     if args.edge_list:
         return read_edge_list(args.edge_list), rng
     return erdos_renyi(args.er, rng=rng.child("er")), rng
+
+
+def _graph_label(args) -> str:
+    """A human name for the loaded graph (registry alias, scenarios)."""
+    if getattr(args, "dataset", None):
+        return args.dataset
+    if getattr(args, "edge_list", None):
+        from pathlib import Path
+
+        return Path(args.edge_list).stem
+    return f"er{args.er}" if getattr(args, "er", None) else "graph"
+
+
+def _add_client_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--server", metavar="URL", default=None,
+                   help="send the query to a running `repro serve` endpoint "
+                        "instead of executing in-process (runtime flags like "
+                        "--mode then apply server-side, not here); results "
+                        "are bit-identical either way")
+    p.add_argument("--tenant", default="cli",
+                   help="tenant id for the service's per-tenant quota "
+                        "(default 'cli')")
 
 
 def _add_runtime_args(p: argparse.ArgumentParser) -> None:
@@ -333,37 +364,123 @@ def cmd_datasets(args) -> int:
     return 0
 
 
-def cmd_detect_path(args) -> int:
-    from repro.core.midas import detect_path
+def _spec_for(args, kind: str, rng, weights=None) -> dict:
+    """The service QuerySpec dict for one CLI detection invocation.
 
-    g, rng = _load_graph(args)
-    print(f"graph: {g}")
-    rt = _runtime(args)
+    The seed policy pins the exact RNG lineage the standalone driver
+    would have consumed (``rng.child("detect")`` / ``rng.child("scan")``
+    of the CLI root stream), so a service-routed query — local, remote,
+    cached, or coalesced — is bit-identical to the pre-service CLI.
+    """
+    child = rng.child("scan" if kind == "scan" else "detect")
+    spec = {"kind": kind, "graph": "", "k": args.k, "eps": args.eps,
+            "seed": child.state()}
+    if kind == "detect-tree":
+        spec["template"] = args.template
+    if kind == "scan":
+        spec.update(statistic=args.statistic, alpha=args.alpha,
+                    extract=bool(args.extract))
+        if weights is not None:
+            spec["weights"] = [int(x) for x in weights]
+    return spec
+
+
+def _run_query(args, kind: str, g, rng, rt, weights=None):
+    """Route one detection through the client abstraction.
+
+    ``rt`` is the locally built runtime (None on the ``--server`` path,
+    where execution configuration lives server-side).  Returns the
+    :class:`~repro.service.broker.QueryOutcome`; in-process outcomes
+    carry the raw result object for rich rendering.
+    """
+    spec = _spec_for(args, kind, rng, weights=weights)
+    tenant = getattr(args, "tenant", "cli") or "cli"
+    if getattr(args, "server", None):
+        from repro.service.client import HttpClient
+
+        client = HttpClient(args.server)
+        spec["graph"] = client.register_graph(g, name=_graph_label(args))
+        return client.query(spec, tenant=tenant)
+    from repro.service.client import LocalClient
+
+    client = LocalClient()
     try:
-        res = detect_path(g, args.k, eps=args.eps, rng=rng.child("detect"),
-                          runtime=rt)
-    except KeyboardInterrupt:
-        return _flush_interrupted(args, rt, "k-path")
+        spec["graph"] = client.register_graph(g, name=_graph_label(args))
+        return client.query(spec, tenant=tenant, runtime=rt)
     finally:
-        rt.close_live()
-    print(res.summary())
-    resilience = res.details.get("resilience")
+        client.close()
+
+
+def _report_run(args, rt, problem: str, details: dict, estimate=None):
+    """Shared post-detection tail for the three detection commands:
+    resilience/sanitizer/recovery rendering plus artifact emission.
+    Returns the ``degraded`` annotation (None for a full-quality run)."""
+    resilience = details.get("resilience")
     if resilience:
         _print_resilience(resilience)
-    sanitizer = res.details.get("sanitizer")
+    sanitizer = details.get("sanitizer")
     if sanitizer:
         _print_sanitizer(sanitizer)
-    degraded, resumed_from = _print_recovery(res.details)
-    _write_obs(args, rt, problem="k-path", estimate=res.details.get("estimate"),
-               resilience=resilience, sanitizer=sanitizer,
-               degraded=degraded, resumed_from=resumed_from)
-    if res.found:
+    degraded, resumed_from = _print_recovery(details)
+    if rt is not None:
+        _write_obs(args, rt, problem=problem, estimate=estimate,
+                   resilience=resilience, sanitizer=sanitizer,
+                   degraded=degraded, resumed_from=resumed_from)
+    elif (getattr(args, "report_out", None) or getattr(args, "store", None)
+          or getattr(args, "trace_out", None)):
+        print("--server runs record observability server-side; skipping "
+              "local artifacts", file=sys.stderr)
+    return degraded
+
+
+def _print_remote_detection(outcome) -> None:
+    """Render a detection payload that has no raw result (HTTP path)."""
+    r = outcome.result
+    served = outcome.served
+    via = "cache" if outcome.cache_hit else (
+        "coalesced" if outcome.coalesced else "server")
+    tail = (f"[via {via}, tenant={served.get('tenant', '?')}, "
+            f"wall={outcome.payload.get('timing', {}).get('wall_seconds', 0.0):.3f}s]")
+    if r.get("problem") == "scanstat":
+        cell = (f"size={r.get('best_size')}, weight={r.get('best_weight')}"
+                if r.get("best_size") is not None else "none")
+        print(f"anomaly: score={r.get('best_score', 0.0):.4f} at [{cell}] "
+              f"after {r.get('rounds_run', 0)} round(s) {tail}")
+        if r.get("cluster") is not None:
+            print(f"cluster: {r['cluster']}")
+        return
+    verdict = "FOUND" if r.get("found") else "not found"
+    print(f"{r.get('problem', '?')}(k={r.get('k', '?')}): {verdict} after "
+          f"{r.get('rounds_run', 0)} round(s) {tail}")
+
+
+def cmd_detect_path(args) -> int:
+    g, rng = _load_graph(args)
+    print(f"graph: {g}")
+    rt = None if getattr(args, "server", None) else _runtime(args)
+    try:
+        outcome = _run_query(args, "detect-path", g, rng, rt)
+    except KeyboardInterrupt:
+        if rt is None:
+            return 130
+        return _flush_interrupted(args, rt, "k-path")
+    finally:
+        if rt is not None:
+            rt.close_live()
+    raw = outcome.raw
+    if raw is not None:
+        print(raw.summary())
+        details, estimate = raw.details, raw.details.get("estimate")
+    else:
+        _print_remote_detection(outcome)
+        details, estimate = outcome.result.get("details") or {}, None
+    degraded = _report_run(args, rt, "k-path", details, estimate)
+    if outcome.found:
         return 0  # a witness is a certificate even from a degraded run
     return 4 if degraded else 1
 
 
 def cmd_detect_tree(args) -> int:
-    from repro.core.midas import detect_tree
     from repro.graph.templates import TreeTemplate
 
     g, rng = _load_graph(args)
@@ -375,69 +492,59 @@ def cmd_detect_tree(args) -> int:
     }
     tmpl = factories[args.template](args.k)
     print(f"graph: {g}\ntemplate: {tmpl}")
-    rt = _runtime(args)
+    rt = None if getattr(args, "server", None) else _runtime(args)
     try:
-        res = detect_tree(g, tmpl, eps=args.eps, rng=rng.child("detect"),
-                          runtime=rt)
+        outcome = _run_query(args, "detect-tree", g, rng, rt)
     except KeyboardInterrupt:
+        if rt is None:
+            return 130
         return _flush_interrupted(args, rt, "k-tree")
     finally:
-        rt.close_live()
-    print(res.summary())
-    resilience = res.details.get("resilience")
-    if resilience:
-        _print_resilience(resilience)
-    sanitizer = res.details.get("sanitizer")
-    if sanitizer:
-        _print_sanitizer(sanitizer)
-    degraded, resumed_from = _print_recovery(res.details)
-    _write_obs(args, rt, problem="k-tree", estimate=res.details.get("estimate"),
-               resilience=resilience, sanitizer=sanitizer,
-               degraded=degraded, resumed_from=resumed_from)
-    if res.found:
+        if rt is not None:
+            rt.close_live()
+    raw = outcome.raw
+    if raw is not None:
+        print(raw.summary())
+        details, estimate = raw.details, raw.details.get("estimate")
+    else:
+        _print_remote_detection(outcome)
+        details, estimate = outcome.result.get("details") or {}, None
+    degraded = _report_run(args, rt, "k-tree", details, estimate)
+    if outcome.found:
         return 0
     return 4 if degraded else 1
 
 
 def cmd_scan(args) -> int:
     from repro.graph.generators import plant_cluster
-    from repro.scanstat.detect import AnomalyDetector
-    from repro.scanstat.statistics import BerkJones, ElevatedMean, HigherCriticism
 
     g, rng = _load_graph(args)
     print(f"graph: {g}")
-    stats = {
-        "berk-jones": lambda: BerkJones(alpha=args.alpha),
-        "higher-criticism": lambda: HigherCriticism(alpha=args.alpha),
-        "elevated-mean": lambda: ElevatedMean(baseline_per_node=args.alpha),
-    }
     w = np.zeros(g.n, dtype=np.int64)
     if args.plant:
         hot = plant_cluster(g, args.plant, rng=rng.child("plant"))
         w[hot] = 1
         print(f"planted hot cluster: {sorted(hot.tolist())}")
-    rt = _runtime(args)
-    det = AnomalyDetector(g, stats[args.statistic](), k=args.k,
-                          runtime=rt, eps=args.eps)
+    rt = None if getattr(args, "server", None) else _runtime(args)
     try:
-        res = det.detect(w, rng=rng.child("scan"), extract=args.extract)
+        outcome = _run_query(args, "scan", g, rng, rt, weights=w)
     except KeyboardInterrupt:
+        if rt is None:
+            return 130
         return _flush_interrupted(args, rt, "scanstat")
     finally:
-        rt.close_live()
-    print(res.summary())
-    if res.cluster is not None:
-        print(f"cluster: {sorted(int(x) for x in res.cluster)}")
-    resilience = res.grid.details.get("resilience")
-    if resilience:
-        _print_resilience(resilience)
-    sanitizer = res.grid.details.get("sanitizer")
-    if sanitizer:
-        _print_sanitizer(sanitizer)
-    degraded, resumed_from = _print_recovery(res.grid.details)
-    _write_obs(args, rt, problem="scanstat", resilience=resilience,
-               sanitizer=sanitizer, degraded=degraded,
-               resumed_from=resumed_from)
+        if rt is not None:
+            rt.close_live()
+    raw = outcome.raw
+    if raw is not None:
+        print(raw.summary())
+        if raw.cluster is not None:
+            print(f"cluster: {sorted(int(x) for x in raw.cluster)}")
+        details = raw.grid.details
+    else:
+        _print_remote_detection(outcome)
+        details = outcome.result.get("details") or {}
+    degraded = _report_run(args, rt, "scanstat", details)
     return 4 if degraded else 0
 
 
@@ -854,6 +961,130 @@ def cmd_watch(args) -> int:
     return _watch_file(args)
 
 
+def _serve_register(svc, spec: str) -> None:
+    """Register one ``--register NAME=SOURCE`` graph on a service, where
+    SOURCE is ``er:N[:M[:SEED]]`` or an edge-list path."""
+    from repro.errors import ConfigurationError
+
+    name, eq, src = spec.partition("=")
+    if not eq or not name or not src:
+        raise ConfigurationError(
+            f"--register wants NAME=er:N[:M[:SEED]] or NAME=PATH, got {spec!r}"
+        )
+    if src.startswith("er:"):
+        from repro.graph.generators import erdos_renyi
+        from repro.util.rng import RngStream
+
+        parts = src.split(":")[1:]
+        try:
+            n = int(parts[0])
+            m = int(parts[1]) if len(parts) > 1 and parts[1] else None
+            seed = int(parts[2]) if len(parts) > 2 else 0
+        except (ValueError, IndexError) as exc:
+            raise ConfigurationError(f"bad er spec {src!r}: {exc}") from exc
+        g = erdos_renyi(n, m=m, rng=RngStream(seed, name="serve-er"))
+    else:
+        from repro.graph.io import read_edge_list
+
+        g = read_edge_list(src)
+    entry = svc.register_graph(g, name=name)
+    print(f"registered {name}: {entry.sha[:12]} "
+          f"({g.n} nodes, {g.num_edges} edges)")
+
+
+def cmd_serve(args) -> int:
+    """Run the persistent multi-tenant detection service until
+    interrupted (or for --run-seconds, for scripted smoke tests)."""
+    import time as _time
+
+    from repro.errors import ConfigurationError
+    from repro.service import DetectionService
+
+    runtime_config = {
+        "mode": args.mode, "n_processors": args.processors,
+        "n1": args.n1, "n2": args.n2, "workers": args.workers,
+        "sanitize": args.sanitize,
+    }
+    svc = DetectionService(
+        quota=args.quota, cache_size=args.cache_size,
+        coalesce=not args.no_coalesce, workers=args.pool_workers,
+        store_path=args.store, sweep_interval=args.sweep_interval,
+        runtime_config=runtime_config, host=args.host,
+    )
+    try:
+        for spec in args.register or []:
+            _serve_register(svc, spec)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        svc.close()
+        return 1
+    port = svc.serve(args.port)
+    print(f"serving detection API on http://{args.host}:{port}  "
+          f"(/api/query /api/graphs /api/service /metrics /status /healthz)")
+    print(f"{len(svc.registry)} graph(s) preloaded; quota "
+          f"{args.quota} in-flight/tenant; mode={args.mode}", flush=True)
+
+    # Shell background jobs ('repro serve ... &' from a script, which is
+    # how the CI smoke job runs) inherit SIGINT as SIG_IGN, so Python
+    # never arms its KeyboardInterrupt handler and 'kill -INT' would be
+    # silently ignored.  Install handlers explicitly; SIGTERM gets the
+    # same clean-drain path.
+    import signal as _signal
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        _signal.signal(_signal.SIGINT, _interrupt)
+        _signal.signal(_signal.SIGTERM, _interrupt)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    try:
+        if args.run_seconds:
+            _time.sleep(args.run_seconds)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        svc.close()
+    return 0
+
+
+def cmd_query(args) -> int:
+    """One-shot client for a running ``repro serve`` endpoint."""
+    from repro.errors import ConfigurationError, QuotaExceededError, ServiceError
+    from repro.service.client import HttpClient
+
+    spec = {"kind": args.kind, "graph": args.graph, "k": args.k,
+            "eps": args.eps, "seed": {"seed": args.seed}}
+    if args.kind == "detect-tree":
+        spec["template"] = args.template
+    if args.kind == "scan":
+        spec.update(statistic=args.statistic, alpha=args.alpha,
+                    extract=bool(args.extract))
+    client = HttpClient(args.url)
+    try:
+        outcome = client.query(spec, tenant=args.tenant)
+    except QuotaExceededError as exc:
+        print(f"rejected: {exc}", file=sys.stderr)
+        return 6
+    except (ConfigurationError, ServiceError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(outcome.payload, indent=2))
+    else:
+        _print_remote_detection(outcome)
+    found = outcome.found
+    if args.kind == "scan":
+        return 0
+    return 0 if found else 1
+
+
 def cmd_figures(args) -> int:
     from repro.experiments import FIGURES, figure_rows
     from repro.runtime.costmodel import KernelCalibration
@@ -895,12 +1126,14 @@ def build_parser() -> argparse.ArgumentParser:
     dp = sub.add_parser("detect-path", help="decide whether a k-path exists")
     _add_graph_args(dp)
     _add_runtime_args(dp)
+    _add_client_args(dp)
     dp.add_argument("-k", type=int, required=True)
     dp.set_defaults(fn=cmd_detect_path)
 
     dt = sub.add_parser("detect-tree", help="decide whether a tree template embeds")
     _add_graph_args(dt)
     _add_runtime_args(dt)
+    _add_client_args(dt)
     dt.add_argument("-k", type=int, required=True)
     dt.add_argument("--template", choices=["path", "star", "binary", "caterpillar"],
                     default="binary")
@@ -909,6 +1142,7 @@ def build_parser() -> argparse.ArgumentParser:
     sc = sub.add_parser("scan", help="scan-statistics anomaly detection")
     _add_graph_args(sc)
     _add_runtime_args(sc)
+    _add_client_args(sc)
     sc.add_argument("-k", type=int, required=True)
     sc.add_argument("--statistic", choices=["berk-jones", "higher-criticism",
                                             "elevated-mean"], default="berk-jones")
@@ -1022,6 +1256,73 @@ def build_parser() -> argparse.ArgumentParser:
                     help="if the checkpoint is corrupt, discard it and "
                          "restart from scratch instead of failing (exit 2)")
     rs.set_defaults(fn=cmd_resume)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the persistent multi-tenant detection service: preloaded "
+             "graphs, session reuse, result cache, per-tenant quotas",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0,
+                    help="HTTP port (default 0 = ephemeral; the bound port "
+                         "is printed and reported in /status)")
+    sv.add_argument("--register", action="append", metavar="NAME=SOURCE",
+                    help="preload a graph: NAME=er:N[:M[:SEED]] generates, "
+                         "NAME=PATH reads an edge list (repeatable)")
+    sv.add_argument("--quota", type=int, default=8,
+                    help="max in-flight executions per tenant; the next "
+                         "query is rejected with HTTP 429 (default 8)")
+    sv.add_argument("--cache-size", type=int, default=256,
+                    help="result-cache entries, LRU-evicted (0 disables)")
+    sv.add_argument("--no-coalesce", action="store_true",
+                    help="do not join identical in-flight queries")
+    sv.add_argument("--pool-workers", type=int, default=None,
+                    help="executor threads running detections (default 4)")
+    sv.add_argument("--sweep-interval", type=float, default=0.05,
+                    help="coordinator sweep period in seconds (default 0.05)")
+    sv.add_argument("--store", metavar="PATH", default=None,
+                    help="append a RunRecord per served query to this JSONL "
+                         "run-history store")
+    sv.add_argument("--run-seconds", type=float, default=None,
+                    help="exit cleanly after this long (smoke tests; "
+                         "default: serve until Ctrl-C)")
+    sv.add_argument("--mode", choices=["sequential", "simulated", "modeled",
+                                       "threaded"], default="sequential",
+                    help="execution backend for served queries")
+    sv.add_argument("--workers", type=int, default=None,
+                    help="threads per execution for --mode threaded")
+    sv.add_argument("-N", "--processors", type=int, default=1)
+    sv.add_argument("--n1", type=int, default=1)
+    sv.add_argument("--n2", type=int, default=None)
+    sv.add_argument("--sanitize", choices=["off", "warn", "strict"],
+                    default="off")
+    sv.set_defaults(fn=cmd_serve)
+
+    qu = sub.add_parser(
+        "query",
+        help="send one detection query to a running `repro serve` endpoint",
+    )
+    qu.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8641")
+    qu.add_argument("--kind", choices=["detect-path", "detect-tree", "scan"],
+                    default="detect-path")
+    qu.add_argument("--graph", required=True,
+                    help="registered graph name, sha, or sha prefix")
+    qu.add_argument("-k", type=int, required=True)
+    qu.add_argument("--eps", type=float, default=0.1)
+    qu.add_argument("--seed", type=int, default=0,
+                    help="pinned seed policy: the same seed always returns "
+                         "a bit-identical result (and hits the cache)")
+    qu.add_argument("--template", choices=["path", "star", "binary",
+                                           "caterpillar"], default="binary")
+    qu.add_argument("--statistic", choices=["berk-jones", "higher-criticism",
+                                            "elevated-mean"],
+                    default="berk-jones")
+    qu.add_argument("--alpha", type=float, default=0.05)
+    qu.add_argument("--extract", action="store_true")
+    qu.add_argument("--tenant", default="cli")
+    qu.add_argument("--json", action="store_true",
+                    help="print the full JSON payload instead of a summary")
+    qu.set_defaults(fn=cmd_query)
 
     fg = sub.add_parser("figures", help="regenerate the paper's figure series")
     fg.add_argument("name", nargs="?", default=None,

@@ -154,6 +154,7 @@ class MidasRuntime:
     deadline: Optional[float] = None
     hang_timeout: Optional[float] = None
     watchdog: Optional[object] = None
+    session: Optional["EngineSession"] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -215,7 +216,11 @@ class MidasRuntime:
         return laptop(nodes)
 
     def get_calibration(self) -> KernelCalibration:
-        return self.calibration if self.calibration is not None else KernelCalibration.synthetic()
+        if self.calibration is not None:
+            return self.calibration
+        if self.session is not None:
+            return self.session.get_calibration()
+        return KernelCalibration.synthetic()
 
     def get_metrics(self) -> MetricsRegistry:
         return self.metrics if self.metrics is not None else get_default_registry()
@@ -729,6 +734,148 @@ _BACKENDS: Dict[str, Type[ExecutionBackend]] = {
 }
 
 
+class EngineSession:
+    """Reusable prepared stage state for one ``(graph, decomposition)``.
+
+    A one-shot :class:`DetectionEngine` rebuilds the partition, the halo
+    views, the GF(2^l) field tables, and the kernel calibration on every
+    driver call — fine for a single CLI invocation, wasteful for a
+    service answering many queries against the same preloaded graph.  A
+    session hoists exactly the state that is (a) expensive to build and
+    (b) *immutable once built*:
+
+    * the vertex partition (deterministic in ``(graph, n1,
+      partition_method, partition_seed)`` — the session's RNG lineage);
+    * the halo views derived from it (simulated mode);
+    * GF(2^l) table sets, cached per field degree;
+    * the kernel calibration used by the modeled estimates.
+
+    Everything *mutable* during a run — accumulators, round RNG children,
+    fault state, live status, the virtual clock — stays on the engine
+    (or its runtime), so any number of concurrent engines may share one
+    session safely; the internal lock only guards lazy construction.
+    Attach a session via ``MidasRuntime(session=...)``; the engine
+    validates that the runtime's decomposition matches the session's at
+    construction time and raises :class:`ConfigurationError` on drift
+    (a partition built for a different ``n1`` would silently skew the
+    simulated decomposition).
+
+    Determinism contract: results with and without a session are
+    bit-identical — the partition inputs are the same, and field tables
+    of equal degree are equal.  Property-tested in
+    ``tests/test_engine_sessions.py``.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        n1: int = 1,
+        partition_method: str = "random",
+        partition_seed: int = 7777,
+        calibration: Optional[KernelCalibration] = None,
+    ) -> None:
+        self.graph = graph
+        self.n1 = n1
+        self.partition_method = partition_method
+        self.partition_seed = partition_seed
+        self._calibration = calibration
+        self._partition = None
+        self._views = None
+        self._fields: Dict[int, object] = {}  # field degree -> GF2m tables
+        self._lock = threading.Lock()
+        self.uses = 0  # engines ever attached (for /api/service stats)
+
+    @classmethod
+    def for_runtime(cls, graph: CSRGraph, rt: "MidasRuntime") -> "EngineSession":
+        """A session matching ``rt``'s decomposition knobs."""
+        return cls(graph, n1=rt.n1, partition_method=rt.partition_method,
+                   partition_seed=rt.partition_seed,
+                   calibration=rt.calibration)
+
+    def compatible(self, graph: CSRGraph, rt: "MidasRuntime") -> Optional[str]:
+        """``None`` when this session may serve ``(graph, rt)``, else the
+        human-readable mismatch."""
+        if graph is not self.graph:
+            return "session was prepared for a different graph object"
+        for attr in ("n1", "partition_method", "partition_seed"):
+            if getattr(rt, attr) != getattr(self, attr):
+                return (f"runtime {attr}={getattr(rt, attr)!r} != session "
+                        f"{attr}={getattr(self, attr)!r}")
+        return None
+
+    def attach(self) -> None:
+        with self._lock:
+            self.uses += 1
+
+    # ------------------------------------------------------ prepared state
+    def ensure_partition(self, prof=None):
+        """The session's vertex partition, built once under the lock."""
+        with self._lock:
+            if self._partition is None:
+                span = (prof.span("partition", phase="setup",
+                                  callsite=self.partition_method)
+                        if prof is not None else _null_span())
+                with span:
+                    self._partition = make_partition(
+                        self.graph, self.n1, self.partition_method,
+                        rng=RngStream(self.partition_seed, name="partition"),
+                    )
+            return self._partition
+
+    def ensure_views(self, prof=None, problem: str = ""):
+        """The halo views over :meth:`ensure_partition`, built once."""
+        part = self.ensure_partition(prof)
+        with self._lock:
+            if self._views is None:
+                span = (prof.span("halo", phase="setup", callsite=problem)
+                        if prof is not None else _null_span())
+                with span:
+                    self._views = build_halo_views(self.graph, part)
+            return self._views
+
+    def field_for_k(self, k: int):
+        """The GF(2^l) table set for iteration exponent ``k``, cached per
+        field degree (many ``k`` share one degree)."""
+        from repro.ff.gf2m import default_field_for_k, field_degree_for_k
+
+        deg = field_degree_for_k(k)
+        with self._lock:
+            fld = self._fields.get(deg)
+            if fld is None:
+                fld = self._fields[deg] = default_field_for_k(k)
+            return fld
+
+    def get_calibration(self) -> KernelCalibration:
+        with self._lock:
+            if self._calibration is None:
+                self._calibration = KernelCalibration.synthetic()
+            return self._calibration
+
+    def describe(self) -> dict:
+        """JSON-safe session stats for the service's ``/api/service``."""
+        with self._lock:
+            return {
+                "n1": self.n1,
+                "partition_method": self.partition_method,
+                "partition_seed": self.partition_seed,
+                "partition_built": self._partition is not None,
+                "views_built": self._views is not None,
+                "fields_cached": sorted(self._fields),
+                "uses": self.uses,
+            }
+
+
+class _null_span:
+    """Context-manager no-op stand-in for a profiler span."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
 class DetectionEngine:
     """The round → batch → phase evaluation loop, written once.
 
@@ -773,6 +920,12 @@ class DetectionEngine:
             self.backend = _BACKENDS[rt.mode](self)
         except KeyError:  # unreachable given MidasRuntime validation
             raise ConfigurationError(f"no backend for mode {rt.mode!r}") from None
+        self.session = rt.session
+        if self.session is not None:
+            mismatch = self.session.compatible(graph, rt)
+            if mismatch is not None:
+                raise ConfigurationError(f"engine session mismatch: {mismatch}")
+            self.session.attach()
         self.partition = None
         self.views = None
         self.prof = rt.get_profiler()
@@ -911,18 +1064,27 @@ class DetectionEngine:
     # ------------------------------------------------------------ resources
     def ensure_partition(self):
         if self.partition is None:
-            with self.prof.span("partition", phase="setup",
-                                callsite=self.rt.partition_method):
-                self.partition = make_partition(
-                    self.graph, self.rt.n1, self.rt.partition_method,
-                    rng=RngStream(self.rt.partition_seed, name="partition"),
-                )
+            if self.session is not None:
+                # session-cached: built once per (graph, n1, method, seed),
+                # identical to the one-shot construction below
+                self.partition = self.session.ensure_partition(self.prof)
+            else:
+                with self.prof.span("partition", phase="setup",
+                                    callsite=self.rt.partition_method):
+                    self.partition = make_partition(
+                        self.graph, self.rt.n1, self.rt.partition_method,
+                        rng=RngStream(self.rt.partition_seed, name="partition"),
+                    )
         return self.partition
 
     def ensure_views(self):
         if self.views is None:
-            with self.prof.span("halo", phase="setup", callsite=self.problem):
-                self.views = build_halo_views(self.graph, self.ensure_partition())
+            if self.session is not None:
+                self.views = self.session.ensure_views(self.prof, self.problem)
+            else:
+                with self.prof.span("halo", phase="setup", callsite=self.problem):
+                    self.views = build_halo_views(self.graph,
+                                                  self.ensure_partition())
         return self.views
 
     # ------------------------------------------------------------ main loop
@@ -1086,6 +1248,7 @@ class DetectionEngine:
 __all__ = [
     "MidasRuntime",
     "DetectionEngine",
+    "EngineSession",
     "ExecutionBackend",
     "SequentialBackend",
     "SimulatedBackend",

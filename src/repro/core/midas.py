@@ -37,7 +37,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.engine import DetectionEngine, MidasRuntime
+from repro.core.engine import DetectionEngine, EngineSession, MidasRuntime
 from repro.core.problems import (
     ProblemSpec,
     path_problem,
@@ -54,6 +54,12 @@ from repro.util.log import get_logger
 from repro.util.rng import as_stream
 
 _LOG = get_logger(__name__)
+
+
+def _session_field(rt: MidasRuntime, k: int):
+    """The runtime session's cached GF(2^l) tables for ``k``, or ``None``
+    (the problem factory then builds a fresh, identical table set)."""
+    return rt.session.field_for_k(k) if rt.session is not None else None
 
 
 def _run_scalar_detection(
@@ -122,7 +128,8 @@ def detect_path(
     """
     rt = runtime or MidasRuntime()
     return _run_scalar_detection(
-        graph, path_problem(graph, k), k, eps, rng, rt, early_exit
+        graph, path_problem(graph, k, field=_session_field(rt, k)),
+        k, eps, rng, rt, early_exit
     )
 
 
@@ -137,7 +144,9 @@ def detect_tree(
     """Decide whether the template tree has a non-induced embedding."""
     rt = runtime or MidasRuntime()
     return _run_scalar_detection(
-        graph, tree_problem(graph, template), template.k, eps, rng, rt, early_exit
+        graph, tree_problem(graph, template,
+                            field=_session_field(rt, template.k)),
+        template.k, eps, rng, rt, early_exit
     )
 
 
@@ -175,7 +184,8 @@ def max_weight_path(
         z_max = int(np.sort(w)[-k:].sum())
     rounds = rounds_for_epsilon(eps)
     rng = as_stream(rng, "max-weight-path")
-    spec = weighted_path_problem(graph, w, k, z_max)
+    spec = weighted_path_problem(graph, w, k, z_max,
+                                 field=_session_field(rt, k))
     with DetectionEngine(graph, rt, spec.name) as engine:
         out = engine.run_stage(spec, rounds, rng, eps=eps,
                                want_estimate=engine.want_estimate_default())
@@ -211,7 +221,8 @@ def detect_scan_cell(
         return False
     rounds = rounds_for_epsilon(eps)
     rng = as_stream(rng, "scan-cell")
-    spec = scanstat_problem(graph, w, size, z_max=weight)
+    spec = scanstat_problem(graph, w, size, z_max=weight,
+                            field=_session_field(rt, max(size, 2)))
     with DetectionEngine(graph, rt, spec.name) as engine:
         out = engine.run_stage(spec, rounds, rng, eps=eps,
                                stop=lambda acc: acc[weight] != 0)
@@ -265,7 +276,8 @@ def scan_grid(
     with DetectionEngine(graph, rt, "scanstat") as engine:
         for j in sizes:
             out = engine.run_stage(
-                scanstat_problem(graph, w, j, z_max), rounds,
+                scanstat_problem(graph, w, j, z_max,
+                                 field=_session_field(rt, max(j, 2))), rounds,
                 rng.child(f"size{j}"), eps=eps,
                 key_prefix=f"size{j}/", label=f"size{j}",
                 want_estimate=(rt.mode == "modeled"),
@@ -295,6 +307,7 @@ def scan_grid(
 
 __all__ = [
     "MidasRuntime",
+    "EngineSession",
     "detect_path",
     "detect_tree",
     "sequential_detect_path",

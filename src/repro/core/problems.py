@@ -122,9 +122,16 @@ class ProblemSpec:
 
 
 # -------------------------------------------------------------- instances
-def path_problem(graph: CSRGraph, k: int) -> ProblemSpec:
-    """Simple k-vertex path detection (paper Algorithm 3)."""
-    fld = default_field_for_k(k)
+def path_problem(graph: CSRGraph, k: int, field: Any = None) -> ProblemSpec:
+    """Simple k-vertex path detection (paper Algorithm 3).
+
+    ``field`` optionally supplies a prebuilt GF(2^l) table set (an
+    :class:`~repro.core.engine.EngineSession` caches one per degree so
+    repeated queries skip table construction); the default builds a
+    fresh ``default_field_for_k(k)``.  Either way the tables are
+    identical, so results never depend on who built them.
+    """
+    fld = field if field is not None else default_field_for_k(k)
     return ProblemSpec(
         name="k-path",
         k=k,
@@ -139,11 +146,15 @@ def path_problem(graph: CSRGraph, k: int) -> ProblemSpec:
     )
 
 
-def tree_problem(graph: CSRGraph, template: TreeTemplate) -> ProblemSpec:
-    """Non-induced tree template embedding (paper Algorithm 4)."""
+def tree_problem(graph: CSRGraph, template: TreeTemplate,
+                 field: Any = None) -> ProblemSpec:
+    """Non-induced tree template embedding (paper Algorithm 4).
+
+    ``field`` is an optional prebuilt table set — see :func:`path_problem`.
+    """
     specs = decompose_template(template)
     k = template.k
-    fld = default_field_for_k(k)
+    fld = field if field is not None else default_field_for_k(k)
     return ProblemSpec(
         name="k-tree",
         k=k,
@@ -166,11 +177,15 @@ def tree_problem(graph: CSRGraph, template: TreeTemplate) -> ProblemSpec:
 
 
 def weighted_path_problem(
-    graph: CSRGraph, weights: np.ndarray, k: int, z_max: int
+    graph: CSRGraph, weights: np.ndarray, k: int, z_max: int,
+    field: Any = None,
 ) -> ProblemSpec:
-    """Weight-resolved k-path detection (Problem 1's max-weight variant)."""
+    """Weight-resolved k-path detection (Problem 1's max-weight variant).
+
+    ``field`` is an optional prebuilt table set — see :func:`path_problem`.
+    """
     w = np.asarray(weights, dtype=np.int64)
-    fld = default_field_for_k(k)
+    fld = field if field is not None else default_field_for_k(k)
     return ProblemSpec(
         name="weighted-path",
         k=k,
@@ -194,7 +209,8 @@ def weighted_path_problem(
 
 
 def scanstat_problem(
-    graph: CSRGraph, weights: np.ndarray, size: int, z_max: int
+    graph: CSRGraph, weights: np.ndarray, size: int, z_max: int,
+    field: Any = None,
 ) -> ProblemSpec:
     """One size row of the scan-statistics grid (paper Algorithm 5).
 
@@ -203,7 +219,7 @@ def scanstat_problem(
     at once (the driver assembles the full grid from one spec per size).
     """
     w = np.asarray(weights, dtype=np.int64)
-    fld = default_field_for_k(max(size, 2))
+    fld = field if field is not None else default_field_for_k(max(size, 2))
     return ProblemSpec(
         name="scanstat",
         k=size,

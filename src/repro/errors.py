@@ -193,3 +193,44 @@ class ResourceExhaustedError(ReproError, RuntimeError):
 
 class DetectionError(ReproError, RuntimeError):
     """A detection pipeline failed to produce a usable answer."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The detection service could not satisfy a request.
+
+    Base class for broker/registry failures that are *request* problems
+    (unknown graph, malformed query, quota), as opposed to engine bugs.
+    HTTP transports map subclasses onto status codes (404/400/429); the
+    in-process client raises them directly.
+    """
+
+
+class UnknownGraphError(ServiceError, KeyError):
+    """A query referenced a graph the registry does not hold.
+
+    ``ref`` is the sha prefix or name the client sent.  Maps to HTTP 404.
+    """
+
+    def __init__(self, ref: str):
+        super().__init__(f"no registered graph matches {ref!r}")
+        self.ref = ref
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant exceeded its in-flight query quota (backpressure).
+
+    The broker admits at most ``limit`` concurrently *executing* queries
+    per tenant; the excess is rejected immediately — clients back off and
+    retry rather than queueing unboundedly.  Maps to HTTP 429.
+    """
+
+    def __init__(self, tenant: str, limit: int):
+        super().__init__(
+            f"tenant {tenant!r} exceeded its quota of {limit} in-flight "
+            f"quer{'y' if limit == 1 else 'ies'}; retry after one completes"
+        )
+        self.tenant = tenant
+        self.limit = limit

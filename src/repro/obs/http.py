@@ -1,19 +1,30 @@
-"""Stdlib HTTP exporter for live runs.
+"""Stdlib HTTP exporter for live runs and the detection service.
 
 :class:`LiveServer` runs a ``ThreadingHTTPServer`` on a daemon thread
-and serves three endpoints:
+and serves three built-in endpoints:
 
 * ``/metrics`` — Prometheus text exposition 0.0.4, rendered from the
   metrics registry via ``MetricsSnapshot.to_prometheus()``;
-* ``/status`` — the JSON :class:`~repro.obs.live.RunStatus` snapshot;
+* ``/status`` — the JSON :class:`~repro.obs.live.RunStatus` snapshot,
+  with the server's own ``{"host", "port"}`` spliced in under
+  ``"server"`` (so a port-0 ephemeral bind is discoverable from the
+  endpoint itself);
 * ``/healthz`` — ``ok`` (liveness for the service coordinator).
+
+Additional routes — the detection service mounts its ``/api/*``
+endpoints here — are registered via the ``routes`` constructor argument
+or :meth:`LiveServer.add_route`.  A route handler has the signature
+``handler(method, path, query, body) -> (status, content_type, bytes)``
+and runs on the request thread; built-in paths always win over routes.
 
 No third-party dependency: ``http.server`` is enough for a scrape
 endpoint, and the threading server keeps slow scrapers from blocking
 each other.  Use port 0 to bind an ephemeral port (the bound port is
 reported by :meth:`LiveServer.start` and ``.port``); :meth:`stop` shuts
 the server down and joins its thread, so tests can assert nothing
-leaked.
+leaked.  :meth:`start` is idempotent, and a failed bind (port already
+taken) raises a typed :class:`~repro.errors.ConfigurationError` while
+leaving the server stopped — no half-started thread to leak.
 """
 
 from __future__ import annotations
@@ -21,8 +32,9 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
+from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry, get_default_registry
 from repro.util.log import get_logger
 
@@ -31,24 +43,50 @@ _LOG = get_logger(__name__)
 #: content type of the Prometheus text exposition format
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: a mounted route: (method, path, query, body) -> (status, ctype, body)
+RouteHandler = Callable[[str, str, str, bytes], Tuple[int, str, bytes]]
+
 
 class _Handler(BaseHTTPRequestHandler):
     # the server instance carries the providers (see LiveServer.start)
     server: "ThreadingHTTPServer"
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
         if path == "/metrics":
             body = self.server._metrics_provider().encode()  # type: ignore[attr-defined]
             self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
         elif path == "/status":
             status = self.server._status_provider()  # type: ignore[attr-defined]
+            if isinstance(status, dict):
+                status = dict(status)
+                status.setdefault("server", self.server._self_address)  # type: ignore[attr-defined]
             self._reply(200, "application/json",
                         json.dumps(status).encode())
         elif path == "/healthz":
             self._reply(200, "text/plain; charset=utf-8", b"ok\n")
         else:
+            self._dispatch_route("GET", path, query, b"")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path, _, query = self.path.partition("?")
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        self._dispatch_route("POST", path, query, body)
+
+    def _dispatch_route(self, method: str, path: str, query: str,
+                        body: bytes) -> None:
+        handler = self.server._routes.get(path)  # type: ignore[attr-defined]
+        if handler is None:
             self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+            return
+        try:
+            code, ctype, payload = handler(method, path, query, body)
+        except Exception as exc:  # a broken route must not kill the server
+            _LOG.exception("route %s %s failed", method, path)
+            payload = json.dumps({"ok": False, "error": str(exc)}).encode()
+            code, ctype = 500, "application/json"
+        self._reply(code, ctype, payload)
 
     def _reply(self, code: int, ctype: str, body: bytes) -> None:
         self.send_response(code)
@@ -66,7 +104,8 @@ class LiveServer:
 
     ``status_provider`` returns the ``/status`` JSON payload (a plain
     dict — typically ``RunStatus.snapshot``); ``registry`` is snapshotted
-    per ``/metrics`` scrape.
+    per ``/metrics`` scrape; ``routes`` maps extra exact paths to
+    :data:`RouteHandler` callables (the detection service's ``/api/*``).
     """
 
     def __init__(
@@ -74,10 +113,12 @@ class LiveServer:
         status_provider: Callable[[], dict],
         registry: Optional[MetricsRegistry] = None,
         host: str = "127.0.0.1",
+        routes: Optional[Dict[str, RouteHandler]] = None,
     ) -> None:
         self._status_provider = status_provider
         self._registry = registry if registry is not None else get_default_registry()
         self._host = host
+        self._routes: Dict[str, RouteHandler] = dict(routes or {})
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -90,16 +131,39 @@ class LiveServer:
     def url(self) -> Optional[str]:
         return f"http://{self._host}:{self.port}" if self._httpd is not None else None
 
+    def add_route(self, path: str, handler: RouteHandler) -> None:
+        """Mount ``handler`` at exact path ``path`` (effective immediately;
+        built-in ``/metrics`` ``/status`` ``/healthz`` cannot be shadowed)."""
+        if not path.startswith("/"):
+            raise ConfigurationError(f"route path must start with '/', got {path!r}")
+        self._routes[path] = handler
+
     def start(self, port: int = 0) -> int:
-        """Bind and serve on a daemon thread; returns the bound port."""
+        """Bind and serve on a daemon thread; returns the bound port.
+
+        Idempotent: a started server returns its existing port (the
+        requested ``port`` is ignored — stop first to rebind).  A bind
+        failure raises :class:`~repro.errors.ConfigurationError` and
+        leaves the server fully stopped: the socket is closed by the
+        ``TCPServer`` constructor and no thread was ever started.
+        """
         if self._httpd is not None:
             return self.port  # idempotent
-        httpd = ThreadingHTTPServer((self._host, port), _Handler)
+        try:
+            httpd = ThreadingHTTPServer((self._host, port), _Handler)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot bind live endpoint on {self._host}:{port}: {exc}"
+            ) from exc
         httpd.daemon_threads = True
         httpd._status_provider = self._status_provider  # type: ignore[attr-defined]
         httpd._metrics_provider = (  # type: ignore[attr-defined]
             lambda: self._registry.snapshot().to_prometheus()
         )
+        httpd._routes = self._routes  # type: ignore[attr-defined]
+        httpd._self_address = {  # type: ignore[attr-defined]
+            "host": self._host, "port": httpd.server_address[1],
+        }
         self._httpd = httpd
         self._thread = threading.Thread(
             target=httpd.serve_forever,
@@ -111,7 +175,9 @@ class LiveServer:
         return self.port
 
     def stop(self) -> None:
-        """Shut down, close the socket, and join the serving thread."""
+        """Shut down, close the socket, and join the serving thread.
+        Idempotent: extra calls (and calls on a never-started server)
+        are no-ops."""
         if self._httpd is None:
             return
         self._httpd.shutdown()
@@ -122,4 +188,4 @@ class LiveServer:
         self._thread = None
 
 
-__all__ = ["LiveServer", "PROMETHEUS_CONTENT_TYPE"]
+__all__ = ["LiveServer", "PROMETHEUS_CONTENT_TYPE", "RouteHandler"]

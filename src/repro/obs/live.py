@@ -194,14 +194,26 @@ class LiveRun:
         """Register a callback receiving every event dict."""
         self._subs.append(fn)
 
-    def serve(self, port: int = 0, host: str = "127.0.0.1"):
-        """Start the HTTP exporter on ``port`` (0 = ephemeral); idempotent."""
+    def serve(self, port: int = 0, host: str = "127.0.0.1", routes=None):
+        """Start the HTTP exporter on ``port`` (0 = ephemeral); idempotent.
+
+        ``routes`` optionally mounts extra endpoints beside ``/metrics``
+        ``/status`` ``/healthz`` — this is how the detection service
+        shares one exporter with live telemetry instead of binding a
+        second port.  On an already-running server new routes are merged
+        in (existing paths are preserved, not shadowed).
+        """
         if self._server is None:
             from repro.obs.http import LiveServer  # local: optional layer
 
             self._server = LiveServer(self.status.snapshot,
-                                      registry=self._metrics, host=host)
+                                      registry=self._metrics, host=host,
+                                      routes=routes)
             self._server.start(port)
+        elif routes:
+            for path, handler in routes.items():
+                if path not in self._server._routes:
+                    self._server.add_route(path, handler)
         return self._server
 
     @property

@@ -68,19 +68,27 @@ DEFAULT_TIME_BUCKETS = log_buckets(1e-9, 1e3, per_decade=3)
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value.
+
+    Mutation is lock-protected: metric children are shared across the
+    threaded backend's workers and the detection service's concurrent
+    query executions, and ``+=`` on a float is a read-modify-write that
+    can drop increments under the GIL.
+    """
 
     kind = "counter"
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_lock")
 
     def __init__(self) -> None:
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ConfigurationError(f"counter increments must be >= 0, got {amount}")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -94,23 +102,28 @@ class Counter:
 
 
 class Gauge:
-    """Value that can go up and down."""
+    """Value that can go up and down (mutation lock-protected, like
+    :class:`Counter`)."""
 
     kind = "gauge"
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_lock")
 
     def __init__(self) -> None:
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self._value -= amount
+        with self._lock:
+            self._value -= amount
 
     @property
     def value(self) -> float:
@@ -134,7 +147,7 @@ class Histogram:
 
     kind = "histogram"
 
-    __slots__ = ("bounds", "bucket_counts", "overflow", "count", "sum")
+    __slots__ = ("bounds", "bucket_counts", "overflow", "count", "sum", "_lock")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -145,11 +158,10 @@ class Histogram:
         self.overflow = 0
         self.count = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         v = float(value)
-        self.count += 1
-        self.sum += v
         lo, hi = 0, len(self.bounds)
         while lo < hi:  # first bound >= v
             mid = (lo + hi) // 2
@@ -157,10 +169,13 @@ class Histogram:
                 lo = mid + 1
             else:
                 hi = mid
-        if lo == len(self.bounds):
-            self.overflow += 1
-        else:
-            self.bucket_counts[lo] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += v
+            if lo == len(self.bounds):
+                self.overflow += 1
+            else:
+                self.bucket_counts[lo] += 1
 
     @property
     def mean(self) -> float:
@@ -200,6 +215,7 @@ class MetricFamily:
         self.help = help
         self._buckets = tuple(buckets) if buckets is not None else None
         self._children: Dict[LabelKey, Any] = {}
+        self._lock = threading.Lock()
 
     def _make_child(self):
         if self.kind == "histogram":
@@ -208,11 +224,19 @@ class MetricFamily:
         return _KINDS[self.kind]()
 
     def labels(self, **labelvalues):
-        """The child carrying these label values (created on first use)."""
+        """The child carrying these label values (created on first use).
+
+        Creation is lock-protected so two threads first touching the same
+        label set never race to install distinct children (one of which
+        would silently swallow the loser's increments).
+        """
         key = _label_key(labelvalues)
         child = self._children.get(key)
         if child is None:
-            child = self._children[key] = self._make_child()
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = self._make_child()
         return child
 
     # ------------------------------------------- unlabeled-child shorthand
@@ -232,9 +256,15 @@ class MetricFamily:
     def value(self) -> float:
         return self.labels().value
 
+    def _items(self):
+        # shallow copy under the lock: a mid-scrape child creation on
+        # another thread must not blow up the snapshot's iteration
+        with self._lock:
+            return sorted(self._children.items())
+
     def children(self):
         """Iterate ``(labels_dict, child)`` pairs."""
-        for key, child in sorted(self._children.items()):
+        for key, child in self._items():
             yield dict(key), child
 
     def _collect(self) -> dict:
@@ -244,12 +274,12 @@ class MetricFamily:
             "help": self.help,
             "samples": [
                 {"labels": dict(key), **child._sample()}
-                for key, child in sorted(self._children.items())
+                for key, child in self._items()
             ],
         }
 
     def _reset(self) -> None:
-        for child in self._children.values():
+        for _, child in self._items():
             child._reset()
 
 
@@ -289,7 +319,8 @@ class MetricsRegistry:
         return self._families.get(name)
 
     def families(self) -> List[MetricFamily]:
-        return [self._families[n] for n in sorted(self._families)]
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
 
     def snapshot(self) -> "MetricsSnapshot":
         """An immutable plain-data copy of every family's current state."""

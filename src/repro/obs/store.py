@@ -241,6 +241,31 @@ class RunStore:
             # closing the fd releases the flock
             os.close(fd)
 
+    def append_many(self, records) -> int:
+        """Append a batch of records under one lock/open.
+
+        The detection service's coordinator sweep drains every completed
+        query since the last tick in one call — per-record opens would
+        turn a busy sweep into an fsync storm.  Returns the number of
+        records written (0 skips the open entirely).
+        """
+        records = list(records)
+        if not records:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = "".join(
+            json.dumps(r.to_dict()) + "\n" for r in records
+        ).encode("utf-8")
+        fd = os.open(str(self.path),
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
+        return len(records)
+
     def load(self, scenario: Optional[str] = None) -> List[RunRecord]:
         """All records (oldest first), optionally filtered by scenario.
 

@@ -1,0 +1,41 @@
+"""Detection as a service: a persistent, multi-tenant query layer.
+
+The standalone drivers in :mod:`repro.core.midas` rebuild everything —
+partition, halo views, field tables — on every call.  This package keeps
+that state resident between queries:
+
+* :mod:`repro.service.registry` — :class:`GraphRegistry`: preloaded CSR
+  graphs keyed by content sha, each with cached
+  :class:`~repro.core.engine.EngineSession` prepared state;
+* :mod:`repro.service.broker` — :class:`QueryBroker`: admits queries,
+  coalesces identical in-flight work, enforces per-tenant quotas,
+  caches results keyed by ``(graph sha, query, seed policy)``;
+* :mod:`repro.service.server` — :class:`DetectionService`: the asyncio
+  event loop, the coordinator sweep, and the HTTP ``/api/*`` routes
+  mounted on :class:`~repro.obs.http.LiveServer`;
+* :mod:`repro.service.client` — :class:`LocalClient` (in-process) and
+  :class:`HttpClient` (remote), one ``query()`` surface for both.
+
+Determinism contract: a service query with a pinned seed policy returns
+results bit-identical to the standalone driver — including when the
+answer came from the cache or was coalesced onto another tenant's
+in-flight execution.  Property-tested in ``tests/test_service.py``.
+"""
+
+from repro.service.broker import QueryBroker, QueryOutcome, QuerySpec, canonical_result
+from repro.service.client import HttpClient, LocalClient
+from repro.service.registry import GraphEntry, GraphRegistry, graph_sha
+from repro.service.server import DetectionService
+
+__all__ = [
+    "DetectionService",
+    "GraphEntry",
+    "GraphRegistry",
+    "HttpClient",
+    "LocalClient",
+    "QueryBroker",
+    "QueryOutcome",
+    "QuerySpec",
+    "canonical_result",
+    "graph_sha",
+]

@@ -1,0 +1,663 @@
+"""Query admission, coalescing, quotas, and the result cache.
+
+The broker is the service's concurrency heart.  Its ``submit`` coroutine
+runs **on the service event loop** (single-threaded state machine — no
+locks needed for broker state) and hands the actual detection work to a
+thread pool, so the loop stays responsive while 2^k iterations grind.
+
+Admission pipeline, in order:
+
+1. **cache** — results are keyed by ``(graph sha, canonical query, seed
+   policy)``.  Detection output is backend-independent and bit-identical
+   for a pinned seed policy, so a cached payload is exactly what a fresh
+   execution would return; cache hits cost no quota.
+2. **coalescing** — an identical query already in flight (same cache
+   key) is joined, not re-run: the later caller awaits the same future
+   and receives the identical payload.  Coalesced joins cost no quota
+   either — the work was already admitted.
+3. **quota** — each tenant may hold at most ``quota`` in-flight
+   executions; the next one is rejected *immediately* with
+   :class:`~repro.errors.QuotaExceededError` (backpressure by refusal,
+   not by unbounded queueing).
+
+Completed executions land in a drain queue; the coordinator's periodic
+:meth:`QueryBroker.sweep` turns them into ``midas_service_*`` metrics
+and :class:`~repro.obs.store.RunRecord` appends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import MidasRuntime
+from repro.errors import ConfigurationError, QuotaExceededError
+from repro.obs.metrics import MetricsRegistry
+from repro.service.registry import GraphEntry, GraphRegistry
+from repro.util.log import get_logger
+from repro.util.rng import RngStream
+
+_LOG = get_logger(__name__)
+
+class ExecutionInterrupted(Exception):
+    """Carrier for a ``KeyboardInterrupt``/``SystemExit`` raised inside a
+    query execution.  asyncio's ``Task.__step`` re-raises those two
+    *through* ``run_forever``, which would kill the service loop thread
+    while the submitting thread still waits on its cross-thread future
+    (a permanent hang — the state-transfer callback never runs).
+    Wrapping them in a plain ``Exception`` keeps the loop alive;
+    :meth:`~repro.service.server.DetectionService.query` unwraps and
+    re-raises the original in the calling thread.
+    """
+
+    def __init__(self, original: BaseException) -> None:
+        super().__init__(f"query interrupted by {type(original).__name__}")
+        self.original = original
+
+
+KINDS = ("detect-path", "detect-tree", "scan")
+TEMPLATES = ("path", "star", "binary", "caterpillar")
+STATISTICS = ("berk-jones", "higher-criticism", "elevated-mean")
+
+
+def _normalize_seed_policy(seed: Any) -> Dict[str, Any]:
+    """Canonical seed-policy dict from an int, ``{"seed": n}``, or a full
+    :meth:`~repro.util.rng.RngStream.state` lineage dict."""
+    if seed is None:
+        return {"seed": 0}
+    if isinstance(seed, (int, np.integer)):
+        return {"seed": int(seed)}
+    if isinstance(seed, dict):
+        if "entropy" in seed:
+            try:
+                ent = seed["entropy"]
+                return {
+                    "entropy": [int(x) for x in ent]
+                    if isinstance(ent, (list, tuple)) else int(ent),
+                    "spawn_key": [int(x) for x in seed.get("spawn_key", [])],
+                    "n_children_spawned": int(seed.get("n_children_spawned", 0)),
+                }
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(f"malformed seed state: {exc}") from exc
+        if "seed" in seed:
+            try:
+                return {"seed": int(seed["seed"])}
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(f"malformed seed: {exc}") from exc
+    raise ConfigurationError(
+        f"seed policy must be an int, {{'seed': n}}, or an RngStream state "
+        f"dict, got {seed!r}"
+    )
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One detection query, normalized and hashable-by-content.
+
+    ``graph`` is a registry reference (name, sha, or sha prefix);
+    ``seed`` is the canonical seed policy (see
+    :func:`_normalize_seed_policy`) — pinning it makes the query
+    deterministic and therefore cacheable/coalescable.
+    """
+
+    kind: str
+    graph: str
+    k: int
+    eps: float = 0.1
+    seed: Dict[str, Any] = field(default_factory=lambda: {"seed": 0})
+    template: str = "binary"
+    statistic: str = "berk-jones"
+    alpha: float = 0.05
+    extract: bool = False
+    weights: Optional[Tuple[int, ...]] = None
+    early_exit: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"query kind must be one of {KINDS}, got {self.kind!r}"
+            )
+        if not isinstance(self.graph, str) or not self.graph:
+            raise ConfigurationError("query must name a registered graph")
+        if not (1 <= int(self.k) <= 64):
+            raise ConfigurationError(f"k must be in [1, 64], got {self.k}")
+        if not (0.0 < float(self.eps) < 1.0):
+            raise ConfigurationError(f"eps must be in (0, 1), got {self.eps}")
+        if self.kind == "detect-tree" and self.template not in TEMPLATES:
+            raise ConfigurationError(
+                f"template must be one of {TEMPLATES}, got {self.template!r}"
+            )
+        if self.kind == "scan" and self.statistic not in STATISTICS:
+            raise ConfigurationError(
+                f"statistic must be one of {STATISTICS}, got {self.statistic!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, d: Any) -> "QuerySpec":
+        """Validated spec from a request payload (HTTP body or CLI)."""
+        if not isinstance(d, dict):
+            raise ConfigurationError(f"query must be a JSON object, got {type(d).__name__}")
+        known = {"kind", "graph", "k", "eps", "seed", "template", "statistic",
+                 "alpha", "extract", "weights", "early_exit"}
+        extra = set(d) - known
+        if extra:
+            raise ConfigurationError(f"unknown query field(s): {sorted(extra)}")
+        missing = {"kind", "graph", "k"} - set(d)
+        if missing:
+            raise ConfigurationError(f"query missing field(s): {sorted(missing)}")
+        weights = d.get("weights")
+        if weights is not None:
+            try:
+                weights = tuple(int(x) for x in weights)
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"weights must be a list of ints: {exc}"
+                ) from exc
+            if any(w < 0 for w in weights):
+                raise ConfigurationError("weights must be non-negative")
+        try:
+            return cls(
+                kind=str(d["kind"]),
+                graph=str(d["graph"]),
+                k=int(d["k"]),
+                eps=float(d.get("eps", 0.1)),
+                seed=_normalize_seed_policy(d.get("seed")),
+                template=str(d.get("template", "binary")),
+                statistic=str(d.get("statistic", "berk-jones")),
+                alpha=float(d.get("alpha", 0.05)),
+                extract=bool(d.get("extract", False)),
+                weights=weights,
+                early_exit=bool(d.get("early_exit", True)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed query: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        """JSON round-trippable form (``from_dict(to_dict(s)) == s``)."""
+        d = {
+            "kind": self.kind, "graph": self.graph, "k": self.k,
+            "eps": self.eps, "seed": dict(self.seed),
+            "early_exit": self.early_exit,
+        }
+        if self.kind == "detect-tree":
+            d["template"] = self.template
+        if self.kind == "scan":
+            d.update(statistic=self.statistic, alpha=self.alpha,
+                     extract=self.extract)
+            if self.weights is not None:
+                d["weights"] = list(self.weights)
+        return d
+
+    def seed_stream(self) -> RngStream:
+        """A fresh stream realizing the pinned seed policy — every call
+        returns an identical lineage, the root of bit-identity."""
+        if "entropy" in self.seed:
+            return RngStream.from_state(self.seed, name="query")
+        return RngStream(self.seed["seed"], name="query")
+
+    def canonical(self, sha: str) -> dict:
+        """The deterministic identity of (query, graph content): every
+        field that can change the result, and nothing else."""
+        ident = {
+            "graph_sha": sha, "kind": self.kind, "k": self.k,
+            "eps": self.eps, "seed": dict(self.seed),
+            "early_exit": self.early_exit,
+        }
+        if self.kind == "detect-tree":
+            ident["template"] = self.template
+        if self.kind == "scan":
+            ident.update(statistic=self.statistic, alpha=self.alpha,
+                         extract=self.extract)
+            w = b"" if self.weights is None else np.asarray(
+                self.weights, dtype=np.int64).tobytes()
+            ident["weights_sha"] = hashlib.sha256(w).hexdigest()
+        return ident
+
+    def cache_key(self, sha: str) -> str:
+        blob = json.dumps(self.canonical(sha), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# --------------------------------------------------------------- execution
+
+_SAFE_DETAIL_KEYS = ("reason", "template", "statistic", "n_subtrees",
+                     "degraded", "resumed_from", "resilience", "sanitizer")
+
+
+def _json_safe(obj):
+    if isinstance(obj, dict):
+        return {str(k): _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def _safe_details(details: dict) -> dict:
+    return {k: _json_safe(details[k]) for k in _SAFE_DETAIL_KEYS
+            if k in details}
+
+
+def _detection_result(res) -> dict:
+    """The deterministic slice of a DetectionResult (no wall times, no
+    mode — the payload must compare equal across backends)."""
+    return {
+        "problem": res.problem,
+        "k": res.k,
+        "found": bool(res.found),
+        "eps": res.eps,
+        "rounds_run": res.rounds_run,
+        "first_hit_round": res.first_hit_round,
+        "round_values": [int(r.value) for r in res.rounds],
+        "details": _safe_details(res.details),
+    }
+
+
+def _scan_result(res, spec: QuerySpec) -> dict:
+    grid = res.grid
+    return {
+        "problem": "scanstat",
+        "k": grid.k,
+        "eps": grid.eps,
+        "statistic": spec.statistic,
+        "best_score": float(res.best_score),
+        "best_size": res.best_size,
+        "best_weight": res.best_weight,
+        "z_max": grid.z_max,
+        "rounds_run": grid.rounds_run,
+        "detected_cells": [[int(j), int(z)] for j, z in grid.feasible_cells()],
+        "cluster": (sorted(int(x) for x in res.cluster)
+                    if res.cluster is not None else None),
+        "details": _safe_details(grid.details),
+    }
+
+
+def canonical_result(payload: dict) -> dict:
+    """The bit-identity slice of a query payload: what must compare equal
+    between service, cache, coalesced, and standalone executions."""
+    return payload.get("result") or {}
+
+
+def execute_query(spec: QuerySpec, entry: GraphEntry,
+                  rt: MidasRuntime) -> Tuple[dict, object]:
+    """Run ``spec`` against ``entry.graph`` on ``rt`` (worker thread).
+
+    Returns ``(payload, raw_result)`` — the payload's ``"result"`` holds
+    only deterministic fields; wall time and backend identity live in
+    separate keys so cached/coalesced replies stay bit-comparable.
+    """
+    from repro.core.midas import detect_path, detect_tree
+    from repro.graph.templates import TreeTemplate
+    from repro.scanstat.detect import AnomalyDetector
+    from repro.scanstat.statistics import BerkJones, ElevatedMean, HigherCriticism
+
+    graph = entry.graph
+    rng = spec.seed_stream()
+    t0 = time.perf_counter()
+    if spec.kind == "detect-path":
+        raw = detect_path(graph, spec.k, eps=spec.eps, rng=rng,
+                          runtime=rt, early_exit=spec.early_exit)
+        result = _detection_result(raw)
+        rounds, virtual = raw.rounds_run, raw.virtual_seconds
+    elif spec.kind == "detect-tree":
+        factories = {"path": TreeTemplate.path, "star": TreeTemplate.star,
+                     "binary": TreeTemplate.binary,
+                     "caterpillar": TreeTemplate.caterpillar}
+        tmpl = factories[spec.template](spec.k)
+        raw = detect_tree(graph, tmpl, eps=spec.eps, rng=rng,
+                          runtime=rt, early_exit=spec.early_exit)
+        result = _detection_result(raw)
+        result["template"] = spec.template
+        rounds, virtual = raw.rounds_run, raw.virtual_seconds
+    else:  # scan
+        stats = {
+            "berk-jones": lambda: BerkJones(alpha=spec.alpha),
+            "higher-criticism": lambda: HigherCriticism(alpha=spec.alpha),
+            "elevated-mean": lambda: ElevatedMean(baseline_per_node=spec.alpha),
+        }
+        if spec.weights is None:
+            w = np.zeros(graph.n, dtype=np.int64)
+        else:
+            w = np.asarray(spec.weights, dtype=np.int64)
+            if w.shape != (graph.n,):
+                raise ConfigurationError(
+                    f"weights must have length n={graph.n}, got {len(w)}"
+                )
+        det = AnomalyDetector(graph, stats[spec.statistic](), k=spec.k,
+                              runtime=rt, eps=spec.eps)
+        raw = det.detect(w, rng=rng, extract=spec.extract)
+        result = _scan_result(raw, spec)
+        rounds, virtual = raw.grid.rounds_run, raw.grid.virtual_seconds
+    payload = {
+        "ok": True,
+        "kind": spec.kind,
+        "graph": entry.sha,
+        "result": result,
+        "runtime": {"mode": rt.mode, "n_processors": rt.n_processors,
+                    "n1": rt.n1},
+        "timing": {"wall_seconds": time.perf_counter() - t0,
+                   "virtual_seconds": float(virtual), "rounds": int(rounds)},
+    }
+    return payload, raw
+
+
+@dataclass
+class QueryOutcome:
+    """What a client gets back: the JSON-safe payload plus (in-process
+    only) the raw result object for rich rendering."""
+
+    payload: dict
+    raw: object = None
+
+    @property
+    def result(self) -> dict:
+        return canonical_result(self.payload)
+
+    @property
+    def served(self) -> dict:
+        return self.payload.get("served") or {}
+
+    @property
+    def cache_hit(self) -> bool:
+        return bool(self.served.get("cache_hit"))
+
+    @property
+    def coalesced(self) -> bool:
+        return bool(self.served.get("coalesced"))
+
+    @property
+    def found(self):
+        return self.result.get("found")
+
+
+class QueryBroker:
+    """Loop-confined admission/coalescing/quota/cache state machine.
+
+    All mutation of broker state happens on the owning event loop (the
+    :class:`~repro.service.server.DetectionService` coordinator thread);
+    detection work itself runs in ``self.pool`` worker threads.
+    """
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        *,
+        metrics: MetricsRegistry,
+        quota: int = 8,
+        cache_size: int = 256,
+        coalesce: bool = True,
+        workers: Optional[int] = None,
+        store=None,
+        runtime_config: Optional[dict] = None,
+    ) -> None:
+        if quota < 1:
+            raise ConfigurationError(f"quota must be >= 1, got {quota}")
+        if cache_size < 0:
+            raise ConfigurationError(f"cache_size must be >= 0, got {cache_size}")
+        self.registry = registry
+        self.metrics = metrics
+        self.quota = quota
+        self.cache_size = cache_size
+        self.coalesce = coalesce
+        self.store = store
+        self._runtime_config = dict(runtime_config or {})
+        self.pool = ThreadPoolExecutor(
+            max_workers=workers or 4, thread_name_prefix="midas-query"
+        )
+        self._cache: "OrderedDict[str, dict]" = OrderedDict()
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._tenant_inflight: Dict[str, int] = {}
+        self._completed: deque = deque()
+        self.stats = {"queries": 0, "cache_hits": 0, "coalesced": 0,
+                      "rejected": 0, "errors": 0, "sweeps": 0, "records": 0}
+        m = metrics
+        self.m_queries = m.counter(
+            "midas_service_queries_total",
+            "queries by kind/tenant/outcome (ok, cached, coalesced, error)")
+        self.m_rejected = m.counter(
+            "midas_service_rejected_total", "quota rejections by tenant")
+        self.m_cache_hits = m.counter(
+            "midas_service_cache_hits_total", "result-cache hits by kind")
+        self.m_coalesced = m.counter(
+            "midas_service_coalesced_total",
+            "queries joined onto an identical in-flight execution")
+        self.m_inflight = m.gauge(
+            "midas_service_inflight", "executions currently running")
+        self.m_latency = m.histogram(
+            "midas_service_query_seconds", "execution wall time by kind")
+        self.m_rounds = m.counter(
+            "midas_service_rounds_total", "detection rounds executed")
+        self.m_sweeps = m.counter(
+            "midas_service_sweeps_total", "coordinator sweep passes")
+        self.m_cache_entries = m.gauge(
+            "midas_service_cache_entries", "result-cache population")
+        self.m_graphs = m.gauge(
+            "midas_service_graphs", "graphs in the registry")
+        self.m_sessions = m.gauge(
+            "midas_service_sessions", "engine sessions cached across graphs")
+        self.m_records = m.counter(
+            "midas_service_records_total", "RunRecords appended by the sweep")
+
+    # ----------------------------------------------------------- plumbing
+    def make_runtime(self) -> MidasRuntime:
+        """A fresh runtime per execution: engines cache mutable run state
+        (profiler, live bus, checkpoint manager) on their runtime, so
+        concurrent executions must never share one."""
+        return MidasRuntime(metrics=self.metrics, **self._runtime_config)
+
+    def _served(self, payload: dict, tenant: str, *, cache_hit: bool,
+                coalesced: bool) -> dict:
+        out = dict(payload)
+        out["served"] = {"cache_hit": cache_hit, "coalesced": coalesced,
+                         "tenant": tenant}
+        return out
+
+    def _remember(self, key: str, payload: dict) -> None:
+        if self.cache_size == 0:
+            return
+        if payload.get("result", {}).get("details", {}).get("degraded"):
+            return  # a watchdog-degraded partial answer must not be replayed
+        self._cache[key] = payload
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        self.m_cache_entries.set(len(self._cache))
+
+    # ----------------------------------------------------------- admission
+    async def submit(self, spec: QuerySpec, tenant: str = "default",
+                     runtime: Optional[MidasRuntime] = None) -> QueryOutcome:
+        """Admit and run one query (loop coroutine; see class docs).
+
+        Raises :class:`~repro.errors.UnknownGraphError` for an
+        unresolvable graph reference and
+        :class:`~repro.errors.QuotaExceededError` when ``tenant`` is at
+        its in-flight limit.
+        """
+        entry = self.registry.resolve(spec.graph)
+        key = spec.cache_key(entry.sha)
+
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.stats["cache_hits"] += 1
+            self.m_cache_hits.labels(kind=spec.kind).inc()
+            self.m_queries.labels(kind=spec.kind, tenant=tenant,
+                                  outcome="cached").inc()
+            return QueryOutcome(self._served(cached, tenant, cache_hit=True,
+                                             coalesced=False))
+
+        if self.coalesce:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.stats["coalesced"] += 1
+                self.m_coalesced.labels(kind=spec.kind).inc()
+                self.m_queries.labels(kind=spec.kind, tenant=tenant,
+                                      outcome="coalesced").inc()
+                payload = await asyncio.shield(existing)
+                return QueryOutcome(self._served(payload, tenant,
+                                                 cache_hit=False,
+                                                 coalesced=True))
+
+        held = self._tenant_inflight.get(tenant, 0)
+        if held >= self.quota:
+            self.stats["rejected"] += 1
+            self.m_rejected.labels(tenant=tenant).inc()
+            raise QuotaExceededError(tenant, self.quota)
+        self._tenant_inflight[tenant] = held + 1
+        self.m_inflight.inc()
+
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        self._inflight[key] = fut
+        rt = runtime if runtime is not None else self.make_runtime()
+        if rt.session is None:
+            sess = entry.session_for(rt)
+            if sess.compatible(entry.graph, rt) is None:
+                rt.session = sess
+        t0 = time.perf_counter()
+        try:
+            payload, raw = await loop.run_in_executor(
+                self.pool, execute_query, spec, entry, rt
+            )
+        except (KeyboardInterrupt, SystemExit) as exc:
+            self.stats["errors"] += 1
+            self.m_queries.labels(kind=spec.kind, tenant=tenant,
+                                  outcome="error").inc()
+            carrier = ExecutionInterrupted(exc)
+            if not fut.done():
+                fut.set_exception(carrier)
+                fut.exception()  # mark retrieved: waiters may be zero
+            raise carrier from exc
+        except Exception as exc:
+            self.stats["errors"] += 1
+            self.m_queries.labels(kind=spec.kind, tenant=tenant,
+                                  outcome="error").inc()
+            if not fut.done():
+                fut.set_exception(exc)
+                fut.exception()  # mark retrieved: waiters may be zero
+            raise
+        else:
+            wall = time.perf_counter() - t0
+            if not fut.done():
+                fut.set_result(payload)
+            self._remember(key, payload)
+            self.stats["queries"] += 1
+            self.m_queries.labels(kind=spec.kind, tenant=tenant,
+                                  outcome="ok").inc()
+            self.m_latency.labels(kind=spec.kind).observe(wall)
+            self._completed.append({
+                "spec": spec, "entry": entry, "tenant": tenant,
+                "wall": wall, "payload": payload, "mode": rt.mode,
+                "nranks": rt.n_processors,
+            })
+            return QueryOutcome(self._served(payload, tenant,
+                                             cache_hit=False,
+                                             coalesced=False), raw)
+        finally:
+            self._inflight.pop(key, None)
+            left = self._tenant_inflight.get(tenant, 1) - 1
+            if left > 0:
+                self._tenant_inflight[tenant] = left
+            else:
+                self._tenant_inflight.pop(tenant, None)
+            self.m_inflight.dec()
+
+    # ------------------------------------------------------------ coordinator
+    def _record_from(self, item: dict):
+        from repro.obs.store import RunRecord, config_fingerprint, current_git_sha
+
+        spec: QuerySpec = item["spec"]
+        entry: GraphEntry = item["entry"]
+        timing = item["payload"].get("timing", {})
+        label = entry.name or entry.sha[:12]
+        return RunRecord(
+            scenario=f"service:{spec.kind}:{label}:k{spec.k}",
+            git_sha=current_git_sha(),
+            config_hash=config_fingerprint(spec.canonical(entry.sha)),
+            problem=item["payload"].get("result", {}).get("problem", spec.kind),
+            mode=item["mode"],
+            nranks=item["nranks"],
+            values={
+                "wall_seconds": float(item["wall"]),
+                "virtual_seconds": float(timing.get("virtual_seconds", 0.0)),
+                "rounds": float(timing.get("rounds", 0)),
+            },
+            meta={"tenant": item["tenant"], "graph": entry.sha[:12],
+                  "kind": spec.kind, "k": str(spec.k), "service": "1"},
+        )
+
+    def sweep(self) -> dict:
+        """Drain completed executions into metrics + RunStore appends.
+
+        Called periodically by the service coordinator (and once more at
+        shutdown so nothing is lost).  Safe to call with an empty queue.
+        """
+        drained = rounds = 0
+        records = []
+        while self._completed:
+            item = self._completed.popleft()
+            drained += 1
+            rounds += int(item["payload"].get("timing", {}).get("rounds", 0))
+            if self.store is not None:
+                records.append(self._record_from(item))
+        if records:
+            try:
+                appended = self.store.append_many(records)
+            except OSError as exc:  # a full disk must not kill the coordinator
+                _LOG.error("service sweep: RunStore append failed: %s", exc)
+            else:
+                self.stats["records"] += appended
+                self.m_records.inc(appended)
+        if rounds:
+            self.m_rounds.inc(rounds)
+        self.stats["sweeps"] += 1
+        self.m_sweeps.inc()
+        self.m_graphs.set(len(self.registry))
+        self.m_sessions.set(self.registry.session_count())
+        self.m_cache_entries.set(len(self._cache))
+        return {"drained": drained, "rounds": rounds,
+                "records": len(records)}
+
+    def describe(self) -> dict:
+        """JSON-safe broker stats for ``/status`` and ``/api/service``."""
+        return {
+            "quota": self.quota,
+            "cache_size": self.cache_size,
+            "cache_entries": len(self._cache),
+            "coalesce": self.coalesce,
+            "inflight": dict(self._tenant_inflight),
+            "pending_sweep": len(self._completed),
+            "stats": dict(self.stats),
+        }
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True)
+
+
+__all__ = [
+    "ExecutionInterrupted",
+    "KINDS",
+    "QueryBroker",
+    "QueryOutcome",
+    "QuerySpec",
+    "STATISTICS",
+    "TEMPLATES",
+    "canonical_result",
+    "execute_query",
+]

@@ -1,0 +1,363 @@
+"""The persistent detection service: event loop, coordinator, HTTP API.
+
+:class:`DetectionService` owns one asyncio event loop on a daemon
+thread.  All broker state lives on that loop; callers — in-process
+:class:`~repro.service.client.LocalClient` users and the HTTP handler
+threads alike — bridge into it with ``run_coroutine_threadsafe``, so
+the admission pipeline needs no locks of its own.
+
+A **coordinator** task sweeps the broker every ``sweep_interval``
+seconds, draining completed executions into ``midas_service_*`` metrics
+and (when a store is configured) RunRecord appends.
+
+:meth:`DetectionService.serve` mounts the API on the same
+:class:`~repro.obs.http.LiveServer` stack the live-run telemetry uses,
+so one port exposes ``/metrics``, ``/status``, ``/healthz`` **and**:
+
+* ``POST /api/query``  — ``{"tenant": ..., "query": {...}}`` -> payload
+  (429 on quota, 404 on unknown graph, 400 on a malformed query);
+* ``GET/POST /api/graphs`` — list / register graphs (edge-list upload
+  or an ``er:N[:M[:SEED]]`` generator spec);
+* ``GET /api/service`` — broker + registry + session introspection.
+
+Shutdown (:meth:`close`) is leak-free by construction: cancel the
+coordinator, cancel stragglers, stop the loop, join its thread, drain
+the worker pool, stop the HTTP server, then run one final sweep so
+every completed query is recorded.  ``tests/test_service.py`` asserts
+the thread census is unchanged afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    QuotaExceededError,
+    ReproError,
+    ServiceError,
+    UnknownGraphError,
+)
+from repro.graph.csr import CSRGraph
+from repro.obs.http import LiveServer, RouteHandler
+from repro.obs.metrics import MetricsRegistry
+from repro.service.broker import (
+    ExecutionInterrupted,
+    QueryBroker,
+    QueryOutcome,
+    QuerySpec,
+)
+from repro.service.registry import GraphEntry, GraphRegistry
+from repro.util.log import get_logger
+
+_LOG = get_logger(__name__)
+
+
+def _json_reply(code: int, obj: dict) -> Tuple[int, str, bytes]:
+    return code, "application/json", json.dumps(obj).encode()
+
+
+def _error_reply(code: int, exc: Exception) -> Tuple[int, str, bytes]:
+    return _json_reply(code, {"ok": False, "error": str(exc),
+                              "error_type": type(exc).__name__})
+
+
+class DetectionService:
+    """A long-lived, multi-tenant detection endpoint (see module docs).
+
+    Use as a context manager — or pair :meth:`start` with :meth:`close`
+    — and the loop thread, worker pool, and HTTP server are all torn
+    down deterministically.
+    """
+
+    def __init__(
+        self,
+        *,
+        quota: int = 8,
+        cache_size: int = 256,
+        coalesce: bool = True,
+        workers: Optional[int] = None,
+        store_path: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        runtime_config: Optional[dict] = None,
+        sweep_interval: float = 0.05,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if sweep_interval <= 0:
+            raise ConfigurationError(
+                f"sweep_interval must be > 0, got {sweep_interval}"
+            )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.registry = GraphRegistry()
+        store = None
+        if store_path:
+            from repro.obs.store import RunStore
+
+            store = RunStore(store_path)
+        self.broker = QueryBroker(
+            self.registry, metrics=self.metrics, quota=quota,
+            cache_size=cache_size, coalesce=coalesce, workers=workers,
+            store=store, runtime_config=runtime_config,
+        )
+        self.sweep_interval = float(sweep_interval)
+        self.host = host
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._coordinator_fut = None
+        self._server: Optional[LiveServer] = None
+        self._t0: Optional[float] = None
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "DetectionService":
+        """Spin up the event loop thread + coordinator (idempotent)."""
+        if self._loop is not None:
+            return self
+        if self._closed:
+            raise ServiceError("service already closed; build a new one")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="midas-service-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=5.0)
+        self._t0 = time.monotonic()
+        self._coordinator_fut = asyncio.run_coroutine_threadsafe(
+            self._coordinate(), self._loop
+        )
+        return self
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._ready.set()
+        self._loop.run_forever()
+
+    async def _coordinate(self) -> None:
+        while True:
+            await asyncio.sleep(self.sweep_interval)
+            try:
+                self.broker.sweep()
+            except Exception:  # pragma: no cover - defensive
+                _LOG.exception("service coordinator sweep failed")
+
+    async def _drain(self) -> None:
+        """Cancel every loop task but this one and wait them out."""
+        me = asyncio.current_task()
+        tasks = [t for t in asyncio.all_tasks() if t is not me]
+        for t in tasks:
+            t.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    def close(self) -> None:
+        """Full teardown; idempotent.  See module docs for the order."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        if self._loop is not None:
+            if self._coordinator_fut is not None:
+                self._coordinator_fut.cancel()
+            loop_alive = (self._thread is not None
+                          and self._thread.is_alive()
+                          and self._loop.is_running())
+            if loop_alive:
+                try:
+                    asyncio.run_coroutine_threadsafe(
+                        self._drain(), self._loop
+                    ).result(timeout=10.0)
+                except Exception:  # pragma: no cover - best-effort drain
+                    _LOG.exception("service drain failed")
+                try:
+                    self._loop.call_soon_threadsafe(self._loop.stop)
+                except RuntimeError:  # loop closed under us
+                    pass
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+            if not self._loop.is_running():
+                self._loop.close()
+            self._loop = None
+            self._thread = None
+            self._coordinator_fut = None
+        self.broker.close()
+        self.broker.sweep()  # flush the last completed queries to the store
+
+    def __enter__(self) -> "DetectionService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ sync API
+    def register_graph(self, graph: CSRGraph,
+                       name: Optional[str] = None) -> GraphEntry:
+        return self.registry.register(graph, name=name)
+
+    def query(self, query, tenant: str = "default", runtime=None,
+              timeout: Optional[float] = None) -> QueryOutcome:
+        """Submit one query and block for its outcome (any thread).
+
+        ``query`` is a :class:`QuerySpec` or a dict for
+        :meth:`QuerySpec.from_dict`; ``runtime`` optionally overrides
+        the broker's per-execution runtime (the CLI's LocalClient path,
+        where ``--mode``/``--n1``/... flags build it).
+        """
+        spec = query if isinstance(query, QuerySpec) else QuerySpec.from_dict(query)
+        self.start()
+        fut = asyncio.run_coroutine_threadsafe(
+            self.broker.submit(spec, tenant=tenant, runtime=runtime),
+            self._loop,
+        )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                # Short poll instead of one long block: if the loop thread
+                # ever dies mid-flight, the future would never resolve.
+                return fut.result(timeout=0.5)
+            except concurrent.futures.TimeoutError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    fut.cancel()
+                    raise ServiceError(
+                        f"query timed out after {timeout}s"
+                    ) from None
+                if self._thread is None or not self._thread.is_alive():
+                    raise ServiceError(
+                        "service loop died while the query was in flight"
+                    ) from None
+            except ExecutionInterrupted as exc:
+                raise exc.original from None
+
+    def sweep_now(self, timeout: Optional[float] = 5.0) -> dict:
+        """Force one coordinator sweep from any thread (tests, shutdown)."""
+        self.start()
+
+        async def _one():
+            return self.broker.sweep()
+
+        return asyncio.run_coroutine_threadsafe(
+            _one(), self._loop
+        ).result(timeout=timeout)
+
+    def status_snapshot(self) -> dict:
+        """The ``/status`` payload: service-level, not per-run."""
+        up = time.monotonic() - self._t0 if self._t0 is not None else 0.0
+        return {
+            "state": "serving" if not self._closed else "closed",
+            "service": "midas-detection",
+            "uptime_seconds": round(up, 3),
+            "graphs": len(self.registry),
+            "broker": self.broker.describe(),
+        }
+
+    # ------------------------------------------------------------ HTTP layer
+    def serve(self, port: int = 0, host: Optional[str] = None) -> int:
+        """Mount the API over HTTP; returns the bound port (0 = ephemeral)."""
+        self.start()
+        if self._server is None:
+            self._server = LiveServer(
+                self.status_snapshot, registry=self.metrics,
+                host=host or self.host, routes=self.routes(),
+            )
+            self._server.start(port)
+        return self._server.port
+
+    @property
+    def url(self) -> Optional[str]:
+        return self._server.url if self._server is not None else None
+
+    def routes(self) -> Dict[str, RouteHandler]:
+        """The ``/api/*`` route table (mountable on any LiveServer)."""
+        return {
+            "/api/query": self._route_query,
+            "/api/graphs": self._route_graphs,
+            "/api/service": self._route_service,
+        }
+
+    def _route_query(self, method, path, query, body):
+        if method != "POST":
+            return _json_reply(405, {"ok": False, "error": "POST only"})
+        try:
+            req = json.loads(body.decode() or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return _error_reply(400, exc)
+        if not isinstance(req, dict):
+            return _json_reply(400, {"ok": False, "error": "body must be a JSON object"})
+        tenant = str(req.get("tenant") or "default")
+        try:
+            spec = QuerySpec.from_dict(req.get("query", req))
+            outcome = self.query(spec, tenant=tenant)
+        except QuotaExceededError as exc:
+            return _error_reply(429, exc)
+        except UnknownGraphError as exc:
+            return _error_reply(404, exc)
+        except ConfigurationError as exc:
+            return _error_reply(400, exc)
+        except ReproError as exc:
+            return _error_reply(500, exc)
+        return _json_reply(200, outcome.payload)
+
+    def _route_graphs(self, method, path, query, body):
+        if method == "GET":
+            return _json_reply(200, {"ok": True,
+                                     "graphs": self.registry.describe()})
+        try:
+            req = json.loads(body.decode() or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return _error_reply(400, exc)
+        try:
+            entry = self._register_from_request(req)
+        except (ConfigurationError, ReproError) as exc:
+            return _error_reply(400, exc)
+        return _json_reply(200, {"ok": True, "sha": entry.sha,
+                                 "name": entry.name,
+                                 "nodes": entry.graph.n,
+                                 "edges": entry.graph.num_edges})
+
+    def _register_from_request(self, req: dict) -> GraphEntry:
+        """Build + register a graph from an upload body: either
+        ``{"n": ..., "edges": [[u, v], ...]}`` or ``{"er": {"n": ...,
+        "seed": ...}}`` (server-side generation for big fixtures)."""
+        if not isinstance(req, dict):
+            raise ConfigurationError("graph upload must be a JSON object")
+        name = req.get("name") or None
+        if "edges" in req:
+            n = req.get("n")
+            if not isinstance(n, int) or n < 0:
+                raise ConfigurationError("edge upload needs an int 'n'")
+            graph = CSRGraph.from_edges(n, req["edges"] or [],
+                                        name=name or "")
+        elif "er" in req:
+            from repro.graph.generators import erdos_renyi
+            from repro.util.rng import RngStream
+
+            er = req["er"] or {}
+            n = er.get("n")
+            if not isinstance(n, int) or n < 1:
+                raise ConfigurationError("er spec needs an int 'n' >= 1")
+            m = er.get("m")
+            graph = erdos_renyi(
+                n, m=int(m) if m is not None else None,
+                rng=RngStream(int(er.get("seed", 0)), name="service-er"),
+            )
+        else:
+            raise ConfigurationError(
+                "graph upload needs 'edges' (with 'n') or an 'er' spec"
+            )
+        return self.register_graph(graph, name=name)
+
+    def _route_service(self, method, path, query, body):
+        return _json_reply(200, {
+            "ok": True,
+            "service": self.status_snapshot(),
+            "graphs": self.registry.describe(),
+        })
+
+
+__all__ = ["DetectionService"]

@@ -65,6 +65,45 @@ class RngStream:
         """
         return RngStream(self._seq.spawn(1)[0], name=f"{self.name}/{label}")
 
+    # -- serializable lineage ----------------------------------------------
+    def state(self) -> dict:
+        """The JSON-safe spawn lineage of this stream.
+
+        ``SeedSequence`` is fully determined by ``(entropy, spawn_key,
+        n_children_spawned)``, so :meth:`from_state` rebuilds a stream
+        whose *future* children are bit-identical to this one's — this is
+        what lets a seed policy cross a process or network boundary (the
+        detection service) without perturbing the transcript.  Generator
+        *position* (draws already consumed) is deliberately not captured:
+        ship streams before drawing from them.
+        """
+        seq = self._seq
+        entropy = seq.entropy  # an int, or a sequence of ints
+        if isinstance(entropy, (list, tuple, np.ndarray)):
+            entropy = [int(x) for x in entropy]
+        else:
+            entropy = int(entropy)
+        return {
+            "entropy": entropy,
+            "spawn_key": [int(x) for x in seq.spawn_key],
+            "n_children_spawned": int(seq.n_children_spawned),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, name: str = "restored") -> "RngStream":
+        """Rebuild a stream captured with :meth:`state` (see its caveat)."""
+        entropy = state["entropy"]
+        if isinstance(entropy, (list, tuple)):
+            entropy = [int(x) for x in entropy]
+        else:
+            entropy = int(entropy)
+        seq = np.random.SeedSequence(
+            entropy,
+            spawn_key=tuple(int(x) for x in state.get("spawn_key", ())),
+            n_children_spawned=int(state.get("n_children_spawned", 0)),
+        )
+        return cls(seq, name=name)
+
     # -- convenience draws -------------------------------------------------
     def integers(self, low, high=None, size=None, dtype=np.int64):
         return self._gen.integers(low, high=high, size=size, dtype=dtype)

@@ -241,8 +241,11 @@ class TestLiveServer:
 
             ctype, body = _fetch(f"{srv.url}/status")
             assert ctype == "application/json"
-            assert json.loads(body) == {"state": "running",
-                                        "rounds_completed": 2}
+            status = json.loads(body)
+            # the exporter splices its own address in, so an ephemeral
+            # port-0 bind is discoverable from the endpoint itself
+            assert status.pop("server") == {"host": "127.0.0.1", "port": port}
+            assert status == {"state": "running", "rounds_completed": 2}
 
             _, body = _fetch(f"{srv.url}/healthz")
             assert body == b"ok\n"
@@ -262,6 +265,97 @@ class TestLiveServer:
         srv.start(0)
         srv.stop()
         srv.stop()  # must not raise
+
+    def test_double_stop_and_restart_leak_no_threads(self):
+        before = {t.name for t in threading.enumerate()}
+        srv = LiveServer(lambda: {})
+        srv.start(0)
+        srv.stop()
+        srv.stop()
+        srv.start(0)  # a stopped server may be started again
+        assert srv.port is not None
+        srv.stop()
+        srv.stop()
+        after = {t.name for t in threading.enumerate()}
+        assert not {n for n in after - before if n.startswith("repro-live-http")}
+
+    def test_start_is_idempotent(self):
+        srv = LiveServer(lambda: {})
+        try:
+            port = srv.start(0)
+            assert srv.start(0) == port  # second start: same server, same port
+            names = [t.name for t in threading.enumerate()
+                     if t.name.startswith("repro-live-http")]
+            assert len(names) == 1
+        finally:
+            srv.stop()
+
+    def test_port_conflict_raises_typed_error_without_leaking(self):
+        from repro.errors import ConfigurationError
+
+        holder = LiveServer(lambda: {})
+        before = {t.name for t in threading.enumerate()}
+        port = holder.start(0)
+        loser = LiveServer(lambda: {})
+        with pytest.raises(ConfigurationError, match="cannot bind"):
+            loser.start(port)
+        assert loser.port is None
+        # the failed bind left nothing behind: the loser can still start
+        # elsewhere, and stopping everything restores the thread census
+        other = loser.start(0)
+        assert other and other != port
+        loser.stop()
+        holder.stop()
+        after = {t.name for t in threading.enumerate()}
+        assert not {n for n in after - before if n.startswith("repro-live-http")}
+
+    def test_port_zero_reports_chosen_port_in_status(self):
+        srv = LiveServer(lambda: {"state": "running"})
+        try:
+            port = srv.start(0)
+            status = json.loads(_fetch(f"{srv.url}/status")[1])
+            assert status["server"]["port"] == port
+        finally:
+            srv.stop()
+
+    def test_mounted_routes_dispatch_and_misses_404(self):
+        srv = LiveServer(lambda: {}, routes={
+            "/api/echo": lambda m, p, q, b: (200, "application/json",
+                                             json.dumps({"method": m,
+                                                         "body": b.decode()}).encode()),
+        })
+        srv.add_route("/api/boom", lambda m, p, q, b: 1 / 0)
+        try:
+            srv.start(0)
+            _, body = _fetch(f"{srv.url}/api/echo")
+            assert json.loads(body) == {"method": "GET", "body": ""}
+            req = urllib.request.Request(f"{srv.url}/api/echo",
+                                         data=b"hi", method="POST")
+            with urllib.request.urlopen(req, timeout=5) as resp:
+                assert json.loads(resp.read())["body"] == "hi"
+            # a broken route returns a JSON 500, not a dead server
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                _fetch(f"{srv.url}/api/boom")
+            assert exc_info.value.code == 500
+            assert json.loads(exc_info.value.read())["ok"] is False
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                _fetch(f"{srv.url}/api/nope")
+            assert exc_info.value.code == 404
+            # routes mounted after start are live immediately
+            srv.add_route("/api/late", lambda m, p, q, b:
+                          (200, "text/plain", b"late\n"))
+            assert _fetch(f"{srv.url}/api/late")[1] == b"late\n"
+            # built-ins cannot be shadowed
+            srv.add_route("/status", lambda m, p, q, b: (200, "text/plain", b"x"))
+            assert b"server" in _fetch(f"{srv.url}/status")[1]
+        finally:
+            srv.stop()
+
+    def test_bad_route_path_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            LiveServer(lambda: {}).add_route("api/echo", lambda *a: None)
 
     def test_scrape_mid_run_shows_monotonic_progress(self):
         """The acceptance-criteria scenario: scrape /status while a

@@ -1,0 +1,556 @@
+"""Detection-as-a-service: broker, registry, transports, lifecycle.
+
+The acceptance bar from the service design: results through
+:class:`LocalClient` and :class:`HttpClient` are **bit-identical** to a
+standalone engine run for a pinned seed policy (including cached and
+coalesced replies); quotas reject immediately without harming other
+tenants; shutdown leaks no threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MidasRuntime
+from repro.core.midas import detect_path, detect_tree
+from repro.errors import (
+    ConfigurationError,
+    QuotaExceededError,
+    ServiceError,
+    UnknownGraphError,
+)
+from repro.graph.generators import erdos_renyi, plant_path
+from repro.graph.templates import TreeTemplate
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.store import RunStore
+from repro.scanstat.detect import AnomalyDetector
+from repro.scanstat.statistics import BerkJones
+from repro.service import (
+    DetectionService,
+    GraphRegistry,
+    HttpClient,
+    LocalClient,
+    QuerySpec,
+    canonical_result,
+    graph_sha,
+)
+from repro.service import broker as broker_mod
+from repro.service.broker import _detection_result, _scan_result
+from repro.util.rng import RngStream
+
+
+def _graph(seed=1, n=120, m=360, k=5):
+    g, _ = plant_path(erdos_renyi(n, m, rng=RngStream(seed)), k,
+                      rng=RngStream(seed + 50))
+    g.name = ""
+    return g
+
+
+def _service_threads():
+    return sorted(t.name for t in threading.enumerate()
+                  if t.name.startswith(("midas-", "repro-live")))
+
+
+def _standalone(spec: QuerySpec, graph) -> dict:
+    """Reference execution: a fresh engine run outside the service, fed
+    the same pinned seed policy, serialized through the same
+    deterministic-slice helpers."""
+    rt = MidasRuntime(metrics=MetricsRegistry())
+    rng = spec.seed_stream()
+    if spec.kind == "detect-path":
+        raw = detect_path(graph, spec.k, eps=spec.eps, rng=rng, runtime=rt,
+                          early_exit=spec.early_exit)
+        return _detection_result(raw)
+    if spec.kind == "detect-tree":
+        factories = {"path": TreeTemplate.path, "star": TreeTemplate.star,
+                     "binary": TreeTemplate.binary,
+                     "caterpillar": TreeTemplate.caterpillar}
+        raw = detect_tree(graph, factories[spec.template](spec.k),
+                          eps=spec.eps, rng=rng, runtime=rt,
+                          early_exit=spec.early_exit)
+        res = _detection_result(raw)
+        res["template"] = spec.template
+        return res
+    det = AnomalyDetector(graph, BerkJones(alpha=spec.alpha), k=spec.k,
+                          runtime=rt, eps=spec.eps)
+    raw = det.detect(np.asarray(spec.weights, dtype=np.int64), rng=rng,
+                     extract=spec.extract)
+    return _scan_result(raw, spec)
+
+
+# ------------------------------------------------------------------ specs
+
+
+class TestQuerySpec:
+    def test_round_trips_through_dict(self):
+        spec = QuerySpec(kind="detect-tree", graph="g", k=4, eps=0.2,
+                         seed={"seed": 7}, template="star")
+        assert QuerySpec.from_dict(spec.to_dict()) == spec
+
+    def test_scan_round_trip_keeps_weights(self):
+        spec = QuerySpec(kind="scan", graph="g", k=3, seed={"seed": 1},
+                         statistic="elevated-mean", alpha=0.2,
+                         weights=(1, 0, 2), extract=True)
+        assert QuerySpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("bad", [
+        {"kind": "nope", "graph": "g", "k": 3},
+        {"kind": "detect-path", "graph": "g", "k": 0},
+        {"kind": "detect-path", "graph": "g", "k": 65},
+        {"kind": "detect-path", "graph": "g", "k": 3, "eps": 1.5},
+        {"kind": "detect-path", "graph": "g", "k": 3, "bogus": 1},
+        {"kind": "detect-path", "graph": "g"},
+        {"kind": "detect-tree", "graph": "g", "k": 3, "template": "dag"},
+        {"kind": "scan", "graph": "g", "k": 3, "statistic": "chi2"},
+        {"kind": "scan", "graph": "g", "k": 3, "weights": [-1, 2]},
+        {"kind": "detect-path", "graph": "g", "k": 3, "seed": "abc"},
+        "not a dict",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigurationError):
+            QuerySpec.from_dict(bad)
+
+    def test_seed_policy_forms(self):
+        s_int = QuerySpec.from_dict({"kind": "detect-path", "graph": "g",
+                                     "k": 3, "seed": 11})
+        assert s_int.seed == {"seed": 11}
+        state = RngStream(11).child("detect").state()
+        s_state = QuerySpec.from_dict({"kind": "detect-path", "graph": "g",
+                                       "k": 3, "seed": state})
+        assert "entropy" in s_state.seed
+        # the pinned lineage realizes identically on every call
+        a = s_state.seed_stream().child("x").integers(0, 1 << 30, size=4)
+        b = s_state.seed_stream().child("x").integers(0, 1 << 30, size=4)
+        assert (a == b).all()
+
+    def test_cache_key_tracks_identity_fields(self):
+        base = {"kind": "detect-path", "graph": "g", "k": 3, "seed": 1}
+        k0 = QuerySpec.from_dict(base).cache_key("sha")
+        assert QuerySpec.from_dict(base).cache_key("sha") == k0
+        assert QuerySpec.from_dict({**base, "seed": 2}).cache_key("sha") != k0
+        assert QuerySpec.from_dict({**base, "k": 4}).cache_key("sha") != k0
+        assert QuerySpec.from_dict(base).cache_key("other-sha") != k0
+
+
+# --------------------------------------------------------------- registry
+
+
+class TestGraphRegistry:
+    def test_register_is_idempotent_by_content(self):
+        reg = GraphRegistry()
+        g = _graph(seed=3)
+        e1 = reg.register(g, name="alpha")
+        e2 = reg.register(_graph(seed=3))  # same content, new object
+        assert e1 is e2
+        assert len(reg) == 1
+
+    def test_resolution_by_name_sha_and_prefix(self):
+        reg = GraphRegistry()
+        e = reg.register(_graph(seed=3), name="alpha")
+        assert reg.resolve("alpha") is e
+        assert reg.resolve(e.sha) is e
+        assert reg.resolve(e.sha[:12]) is e
+        with pytest.raises(UnknownGraphError):
+            reg.resolve(e.sha[:4])  # prefixes shorter than 8 never match
+        with pytest.raises(UnknownGraphError):
+            reg.resolve("missing")
+
+    def test_name_rebind_to_different_content_refused(self):
+        reg = GraphRegistry()
+        reg.register(_graph(seed=3), name="alpha")
+        with pytest.raises(ConfigurationError, match="already bound"):
+            reg.register(_graph(seed=4), name="alpha")
+
+    def test_sha_is_canonical_over_edge_presentation(self):
+        from repro.graph.csr import CSRGraph
+
+        a = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        b = CSRGraph.from_edges(4, [(3, 2), (1, 0), (2, 1), (1, 2)])
+        assert graph_sha(a) == graph_sha(b)
+
+
+# ---------------------------------------------------- local bit-identity
+
+
+class TestLocalBitIdentity:
+    def test_all_kinds_match_standalone_property_style(self):
+        g1, g2 = _graph(seed=1), _graph(seed=2)
+        n = g1.n
+        specs = []
+        for seed in (101, 202, 303):
+            specs.append(QuerySpec(kind="detect-path", graph="one", k=4,
+                                   eps=0.25, seed={"seed": seed}))
+            specs.append(QuerySpec(kind="detect-tree", graph="two", k=4,
+                                   eps=0.25, seed={"seed": seed},
+                                   template="star"))
+            specs.append(QuerySpec(
+                kind="scan", graph="one", k=3, eps=0.25,
+                seed={"seed": seed},
+                weights=tuple(i % 3 for i in range(n))))
+        refs = [_standalone(s, g1 if s.graph == "one" else g2)
+                for s in specs]
+
+        before = _service_threads()
+        with LocalClient(metrics=MetricsRegistry()) as client:
+            client.register_graph(g1, name="one")
+            client.register_graph(g2, name="two")
+            for spec, ref in zip(specs, refs):
+                out = client.query(spec)
+                assert canonical_result(out.payload) == ref
+                assert not out.cache_hit and not out.coalesced
+        assert _service_threads() == before
+
+    def test_pinned_state_seed_matches_cli_lineage(self):
+        """A spec carrying a full RngStream state reproduces exactly the
+        run that lineage would produce standalone — the contract the CLI
+        relies on to keep --server runs identical to local ones."""
+        g = _graph(seed=5)
+        child_state = RngStream(42, name="cli").child("detect").state()
+        spec = QuerySpec(kind="detect-path", graph="g", k=4, eps=0.2,
+                         seed=child_state)
+        direct = detect_path(
+            g, 4, eps=0.2,
+            rng=RngStream(42, name="cli").child("detect"),
+            runtime=MidasRuntime(metrics=MetricsRegistry()))
+        with LocalClient(metrics=MetricsRegistry()) as client:
+            client.register_graph(g, name="g")
+            out = client.query(spec)
+        assert out.result["round_values"] == [
+            int(r.value) for r in direct.rounds]
+        assert out.result["found"] == direct.found
+
+    def test_external_service_not_closed_by_client(self):
+        svc = DetectionService(metrics=MetricsRegistry())
+        svc.start()
+        try:
+            client = LocalClient(service=svc)
+            client.close()  # not owned -> must leave the service running
+            assert svc.query(QuerySpec(
+                kind="detect-path", graph=svc.register_graph(_graph()).sha,
+                k=3, eps=0.3, seed={"seed": 1})).payload["ok"]
+        finally:
+            svc.close()
+
+
+# ------------------------------------------------- cache / coalesce / quota
+
+
+class TestCacheCoalesceQuota:
+    def test_cache_hit_returns_identical_payload(self):
+        with DetectionService(metrics=MetricsRegistry()) as svc:
+            svc.register_graph(_graph(), name="g")
+            spec = QuerySpec(kind="detect-path", graph="g", k=4, eps=0.3,
+                             seed={"seed": 5})
+            first = svc.query(spec)
+            second = svc.query(spec)
+            assert not first.cache_hit and second.cache_hit
+            assert first.result == second.result
+            assert svc.broker.stats["cache_hits"] == 1
+            assert svc.metrics.snapshot().get(
+                "midas_service_cache_hits_total", kind="detect-path") == 1
+
+    def test_coalesced_join_gets_identical_result(self, monkeypatch):
+        real = broker_mod.execute_query
+        started, release = threading.Event(), threading.Event()
+
+        def slow(spec, entry, rt):
+            started.set()
+            assert release.wait(timeout=30)
+            return real(spec, entry, rt)
+
+        monkeypatch.setattr(broker_mod, "execute_query", slow)
+        with DetectionService(metrics=MetricsRegistry()) as svc:
+            svc.register_graph(_graph(), name="g")
+            spec = QuerySpec(kind="detect-path", graph="g", k=4, eps=0.3,
+                             seed={"seed": 9})
+            out = {}
+            threads = [
+                threading.Thread(target=lambda t=t: out.__setitem__(
+                    t, svc.query(spec, tenant=t)))
+                for t in ("a", "b")
+            ]
+            threads[0].start()
+            assert started.wait(timeout=10)
+            threads[1].start()
+            deadline = time.monotonic() + 10
+            while (svc.broker.stats["coalesced"] < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert svc.broker.stats["coalesced"] == 1
+            release.set()
+            for t in threads:
+                t.join(timeout=30)
+            assert sorted(o.coalesced for o in out.values()) == [False, True]
+            assert out["a"].result == out["b"].result
+
+    def test_quota_rejects_immediately_per_tenant(self, monkeypatch):
+        real = broker_mod.execute_query
+        started, release = threading.Event(), threading.Event()
+
+        def slow(spec, entry, rt):
+            started.set()
+            assert release.wait(timeout=30)
+            return real(spec, entry, rt)
+
+        monkeypatch.setattr(broker_mod, "execute_query", slow)
+        svc = DetectionService(quota=1, workers=4,
+                               metrics=MetricsRegistry())
+        try:
+            svc.register_graph(_graph(), name="g")
+
+            def spec(seed):
+                return QuerySpec(kind="detect-path", graph="g", k=4,
+                                 eps=0.3, seed={"seed": seed})
+
+            holder = threading.Thread(
+                target=lambda: svc.query(spec(1), tenant="alice"))
+            holder.start()
+            assert started.wait(timeout=10)
+            t0 = time.monotonic()
+            with pytest.raises(QuotaExceededError):
+                svc.query(spec(2), tenant="alice")  # distinct: no coalesce
+            assert time.monotonic() - t0 < 5  # refusal, not queueing
+            assert svc.broker.stats["rejected"] == 1
+            assert svc.metrics.snapshot().get(
+                "midas_service_rejected_total", tenant="alice") == 1
+            # an unrelated tenant is admitted despite alice being full
+            other = threading.Thread(
+                target=lambda: svc.query(spec(3), tenant="bob"))
+            other.start()
+            release.set()
+            holder.join(timeout=30)
+            other.join(timeout=30)
+            assert svc.broker.stats["queries"] == 2
+        finally:
+            svc.close()
+
+    def test_interrupt_inside_execution_leaves_loop_alive(self, monkeypatch):
+        """Regression: a KeyboardInterrupt inside a query must surface in
+        the calling thread *without* killing the service loop (asyncio
+        re-raises bare KI through run_forever, which used to strand the
+        caller on a never-resolving future)."""
+        real = broker_mod.execute_query
+        calls = {"n": 0}
+
+        def boom(spec, entry, rt):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt()
+            return real(spec, entry, rt)
+
+        monkeypatch.setattr(broker_mod, "execute_query", boom)
+        before = _service_threads()
+        svc = DetectionService(metrics=MetricsRegistry())
+        try:
+            svc.register_graph(_graph(), name="g")
+            spec = QuerySpec(kind="detect-path", graph="g", k=4, eps=0.3,
+                             seed={"seed": 5})
+            with pytest.raises(KeyboardInterrupt):
+                svc.query(spec, timeout=30)
+            assert svc._thread.is_alive()  # the loop survived
+            assert svc.query(spec, timeout=60).payload["ok"]  # still serving
+        finally:
+            svc.close()
+        assert _service_threads() == before
+
+    def test_execution_error_propagates_and_loop_survives(self, monkeypatch):
+        def boom(spec, entry, rt):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(broker_mod, "execute_query", boom)
+        with DetectionService(metrics=MetricsRegistry()) as svc:
+            svc.register_graph(_graph(), name="g")
+            with pytest.raises(RuntimeError, match="synthetic"):
+                svc.query(QuerySpec(kind="detect-path", graph="g", k=4,
+                                    seed={"seed": 5}), timeout=30)
+            assert svc.broker.stats["errors"] == 1
+            assert svc._thread.is_alive()
+
+    def test_unknown_graph_rejected(self):
+        with DetectionService(metrics=MetricsRegistry()) as svc:
+            with pytest.raises(UnknownGraphError):
+                svc.query(QuerySpec(kind="detect-path", graph="ghost", k=3,
+                                    seed={"seed": 1}))
+
+
+# ------------------------------------------------------- sweep + records
+
+
+class TestSweepRecords:
+    def test_sweep_appends_service_run_records(self, tmp_path):
+        store_path = tmp_path / "runs.jsonl"
+        with DetectionService(metrics=MetricsRegistry(),
+                              store_path=str(store_path)) as svc:
+            svc.register_graph(_graph(), name="g")
+            for seed in (1, 2, 3):
+                svc.query(QuerySpec(kind="detect-path", graph="g", k=4,
+                                    eps=0.3, seed={"seed": seed}),
+                          tenant="rec")
+            swept = svc.sweep_now()
+            assert swept["records"] == 3
+        records = RunStore(str(store_path)).load()
+        service_recs = [r for r in records
+                        if r.scenario.startswith("service:detect-path:g:k4")]
+        assert len(service_recs) == 3
+        assert all(r.meta["tenant"] == "rec" for r in service_recs)
+        assert all(r.values["rounds"] > 0 for r in service_recs)
+
+
+# ------------------------------------------------------------ HTTP layer
+
+
+class TestHttpTransport:
+    def test_http_query_bit_identical_to_local_and_standalone(self):
+        g = _graph(seed=7)
+        spec_d = {"kind": "detect-path", "graph": "g", "k": 4, "eps": 0.25,
+                  "seed": 17}
+        ref = _standalone(QuerySpec.from_dict(spec_d), g)
+        before = _service_threads()
+        with DetectionService(metrics=MetricsRegistry()) as svc:
+            port = svc.serve(0)
+            http = HttpClient(f"http://127.0.0.1:{port}")
+            sha = http.register_graph(g, name="g")
+            assert sha == graph_sha(g)  # upload round-trips canonically
+            remote = http.query(spec_d)
+            local = svc.query(QuerySpec.from_dict(spec_d))
+            assert canonical_result(remote.payload) == ref
+            assert canonical_result(local.payload) == ref
+            assert local.cache_hit  # identical query, shared cache
+            status = http.status()
+            assert status["state"] == "serving"
+            assert status["graphs"] == 1
+            info = http.service_info()
+            assert info["ok"] and info["graphs"][0]["sha"] == sha
+        assert _service_threads() == before
+
+    def test_server_side_er_generation_matches_local(self):
+        g = erdos_renyi(80, m=200, rng=RngStream(9, name="service-er"))
+        with DetectionService(metrics=MetricsRegistry()) as svc:
+            http = HttpClient(f"http://127.0.0.1:{svc.serve(0)}")
+            sha = http.register_er(80, m=200, seed=9, name="gen")
+            assert sha == graph_sha(g)
+
+    def test_http_error_mapping(self):
+        with DetectionService(metrics=MetricsRegistry()) as svc:
+            http = HttpClient(f"http://127.0.0.1:{svc.serve(0)}")
+            with pytest.raises(UnknownGraphError):
+                http.query({"kind": "detect-path", "graph": "ghost", "k": 3})
+            with pytest.raises(ConfigurationError):
+                http.query({"kind": "detect-path", "graph": "ghost", "k": 0})
+            with pytest.raises(ConfigurationError):
+                http.query({"kind": "detect-path", "graph": "g", "k": 3},
+                           runtime=MidasRuntime())
+            with pytest.raises(ServiceError):
+                HttpClient("http://127.0.0.1:9").status()  # unreachable
+        with pytest.raises(ConfigurationError):
+            HttpClient("ftp://x")
+
+    def test_http_quota_maps_to_429(self, monkeypatch):
+        real = broker_mod.execute_query
+        started, release = threading.Event(), threading.Event()
+
+        def slow(spec, entry, rt):
+            started.set()
+            assert release.wait(timeout=30)
+            return real(spec, entry, rt)
+
+        monkeypatch.setattr(broker_mod, "execute_query", slow)
+        svc = DetectionService(quota=1, metrics=MetricsRegistry())
+        try:
+            svc.register_graph(_graph(), name="g")
+            http = HttpClient(f"http://127.0.0.1:{svc.serve(0)}")
+            holder = threading.Thread(target=lambda: http.query(
+                {"kind": "detect-path", "graph": "g", "k": 4, "seed": 1},
+                tenant="t"))
+            holder.start()
+            assert started.wait(timeout=10)
+            with pytest.raises(QuotaExceededError, match="quota|in-flight"):
+                http.query({"kind": "detect-path", "graph": "g", "k": 4,
+                            "seed": 2}, tenant="t")
+            release.set()
+            holder.join(timeout=30)
+        finally:
+            svc.close()
+
+
+# --------------------------------------------------------- acceptance smoke
+
+
+class TestServiceSmoke:
+    def test_eight_concurrent_clients_two_graphs_two_tenants(self, tmp_path):
+        """The acceptance scenario end to end: 8 concurrent HTTP clients,
+        two graphs, two tenants, mixed query kinds — every reply
+        bit-identical to its standalone reference, service metrics
+        scraped from the live endpoint, records swept to the store, and
+        a leak-free shutdown."""
+        g1, g2 = _graph(seed=11), _graph(seed=12)
+        n = g1.n
+        specs = []
+        for i in range(8):
+            seed = {"seed": 500 + i}
+            graph = "alpha" if i % 2 == 0 else "beta"
+            if i % 3 == 0:
+                specs.append(QuerySpec(kind="detect-path", graph=graph, k=4,
+                                       eps=0.25, seed=seed))
+            elif i % 3 == 1:
+                specs.append(QuerySpec(kind="detect-tree", graph=graph, k=4,
+                                       eps=0.25, seed=seed, template="star"))
+            else:
+                specs.append(QuerySpec(
+                    kind="scan", graph=graph, k=3, eps=0.25, seed=seed,
+                    weights=tuple((i + j) % 3 for j in range(n))))
+        refs = [_standalone(s, g1 if s.graph == "alpha" else g2)
+                for s in specs]
+
+        before = _service_threads()
+        store_path = tmp_path / "smoke.jsonl"
+        svc = DetectionService(quota=8, workers=8,
+                               metrics=MetricsRegistry(),
+                               store_path=str(store_path))
+        try:
+            svc.register_graph(g1, name="alpha")
+            svc.register_graph(g2, name="beta")
+            port = svc.serve(0)
+            results = [None] * len(specs)
+            errors = []
+            gate = threading.Barrier(len(specs))
+
+            def run(i):
+                try:
+                    gate.wait(timeout=10)
+                    client = HttpClient(f"http://127.0.0.1:{port}")
+                    tenant = "tenant-a" if i % 2 == 0 else "tenant-b"
+                    results[i] = client.query(specs[i], tenant=tenant)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append((i, exc))
+
+            threads = [threading.Thread(target=run, args=(i,))
+                       for i in range(len(specs))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+            assert not errors
+            for out, ref in zip(results, refs):
+                assert canonical_result(out.payload) == ref
+
+            text = HttpClient(f"http://127.0.0.1:{port}").metrics_text()
+            assert "midas_service_queries_total" in text
+            assert "midas_service_inflight" in text
+            swept = svc.sweep_now()
+            assert svc.broker.stats["queries"] == len(specs)
+            assert swept["records"] + svc.broker.stats["records"] >= len(specs)
+        finally:
+            svc.close()
+        assert _service_threads() == before
+        records = RunStore(str(store_path)).load()
+        assert len([r for r in records
+                    if r.scenario.startswith("service:")]) == len(specs)
+        tenants = {r.meta["tenant"] for r in records}
+        assert tenants == {"tenant-a", "tenant-b"}
