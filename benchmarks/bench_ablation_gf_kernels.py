@@ -1,9 +1,14 @@
 """Ablation: GF(2^m) multiplication strategies.
 
-The inner loop is dominated by field multiplies; the library ships two
-vectorized strategies (dense product table vs log/antilog with the
-sentinel trick).  This bench justifies the default ("table" for the uint8
-fields MIDAS uses) with measurements, and checks both agree bit-for-bit.
+The inner loop is dominated by field multiplies; the library ships three
+vectorized strategies — dense product table, log/antilog with the
+sentinel trick, and the bit-sliced plane substrate.  This bench justifies
+the element-wise default ("table" for the uint8 fields MIDAS uses) with
+measurements and checks all strategies agree bit-for-bit.  Note the
+bitsliced rows here pay the full slice/unslice round-trip per call —
+that is its *worst case*; the engine amortizes the transposes across a
+whole phase (see bench_ablation_bitslice.py for the plane-resident
+numbers that motivate the calibration routing).
 """
 
 import numpy as np
@@ -28,23 +33,28 @@ def test_strategies_agree_bitwise():
     for m in (4, 7, 8):
         ft = GF2m(m, mul_strategy="table")
         fl = GF2m(m, mul_strategy="logexp")
+        fb = GF2m(m, kernel_strategy="bitsliced")
         a, b = _operands(ft, seed=m)
-        assert np.array_equal(ft.mul(a, b), fl.mul(a, b))
+        ref = ft.mul(a, b)
+        assert np.array_equal(ref, fl.mul(a, b))
+        assert np.array_equal(ref, fb.mul(a, b))
 
 
 def test_strategy_throughput_report():
     rows = []
     speeds = {}
-    for m, strategies in [(8, ("table", "logexp")), (12, ("logexp",))]:
+    for m, strategies in [(8, ("table", "logexp", "bitsliced")),
+                          (12, ("logexp", "bitsliced"))]:
         for strat in strategies:
-            f = GF2m(m, mul_strategy=strat)
+            f = GF2m(m, kernel_strategy=strat)
             a, b = _operands(f, seed=1)
             fn = lambda f=f, a=a, b=b: f.mul(a, b)
             fn()
             t = time_call(fn, min_time=0.03)
             ops = a.size / t / 1e6
             speeds[(m, strat)] = ops
-            rows.append([f"GF(2^{m})", strat, f"{ops:.0f}"])
+            label = "bitsliced (round-trip)" if strat == "bitsliced" else strat
+            rows.append([f"GF(2^{m})", label, f"{ops:.0f}"])
     # XOR addition as the speed-of-light reference
     f8 = GF2m(8)
     a, b = _operands(f8, seed=2)

@@ -87,10 +87,15 @@ def _add_client_args(p: argparse.ArgumentParser) -> None:
 
 def _add_runtime_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mode", choices=["sequential", "simulated", "modeled",
-                                      "threaded"],
+                                      "threaded", "process"],
                    default="sequential")
     p.add_argument("--workers", type=int, default=None,
-                   help="thread count for --mode threaded (default: CPU count)")
+                   help="worker count for --mode threaded/process "
+                        "(default: CPU count)")
+    p.add_argument("--kernel", choices=["auto", "table", "logexp", "bitsliced"],
+                   default="auto",
+                   help="GF(2^l) kernel strategy; auto picks per (m, N2) from "
+                        "the kernel calibration (all choices bit-identical)")
     p.add_argument("-N", "--processors", type=int, default=1)
     p.add_argument("--n1", type=int, default=1, help="graph partition count N1")
     p.add_argument("--n2", type=int, default=None, help="iteration batch size N2")
@@ -171,6 +176,7 @@ def _runtime(args):
         max_retries=getattr(args, "max_retries", 5),
         retry_backoff=getattr(args, "retry_backoff", 1e-3),
         workers=getattr(args, "workers", None),
+        kernel=getattr(args, "kernel", "auto"),
         sanitize=getattr(args, "sanitize", "off"),
         live_port=getattr(args, "live_port", None),
         progress_path=getattr(args, "progress_out", None),
@@ -1003,7 +1009,7 @@ def cmd_serve(args) -> int:
     runtime_config = {
         "mode": args.mode, "n_processors": args.processors,
         "n1": args.n1, "n2": args.n2, "workers": args.workers,
-        "sanitize": args.sanitize,
+        "kernel": args.kernel, "sanitize": args.sanitize,
     }
     svc = DetectionService(
         quota=args.quota, cache_size=args.cache_size,
@@ -1180,7 +1186,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_args(vf)
     vf.add_argument("-k", type=int, required=True)
     vf.add_argument("--reference-mode",
-                    choices=["sequential", "threaded", "simulated", "modeled"],
+                    choices=["sequential", "threaded", "simulated", "modeled",
+                             "process"],
                     default="sequential",
                     help="backend the replay check compares against")
     vf.set_defaults(fn=cmd_verify)
@@ -1287,10 +1294,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit cleanly after this long (smoke tests; "
                          "default: serve until Ctrl-C)")
     sv.add_argument("--mode", choices=["sequential", "simulated", "modeled",
-                                       "threaded"], default="sequential",
+                                       "threaded", "process"], default="sequential",
                     help="execution backend for served queries")
     sv.add_argument("--workers", type=int, default=None,
-                    help="threads per execution for --mode threaded")
+                    help="workers per execution for --mode threaded/process")
+    sv.add_argument("--kernel", choices=["auto", "table", "logexp", "bitsliced"],
+                    default="auto",
+                    help="GF(2^l) kernel strategy for served queries")
     sv.add_argument("-N", "--processors", type=int, default=1)
     sv.add_argument("--n1", type=int, default=1)
     sv.add_argument("--n2", type=int, default=None)

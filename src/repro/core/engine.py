@@ -54,6 +54,7 @@ from repro.errors import (
     FaultInjectedError,
     RankFailedError,
     WatchdogExpired,
+    WorkerCrashedError,
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import make_partition
@@ -70,8 +71,9 @@ from repro.util.timing import Stopwatch
 
 _LOG = get_logger(__name__)
 
-_MODES = ("sequential", "simulated", "modeled", "threaded")
+_MODES = ("sequential", "simulated", "modeled", "threaded", "process")
 _SANITIZE = ("off", "warn", "strict")
+_KERNELS = ("auto", "table", "logexp", "bitsliced")
 
 
 @dataclass
@@ -89,6 +91,25 @@ class MidasRuntime:
     concurrently on ``workers`` threads (default: the host's CPU count)
     for real wall-clock speedup on multi-core hosts; detection output is
     bit-identical to ``sequential`` (property-tested).
+
+    ``mode="process"`` runs the same phase windows on ``workers``
+    *processes* — past the GIL that caps threaded speedup on the
+    inter-ufunc glue.  The graph's CSR arrays are published once via
+    shared memory, workers rebuild specs from their picklable recipes,
+    and the parent XOR-merges phase values in completion order: the same
+    commutativity argument, the same bit-identical guarantee
+    (property-tested).  ``process_start`` selects the multiprocessing
+    start method (``None`` = platform default, e.g. ``fork`` on Linux).
+    A worker death (segfault, OOM-kill) surfaces as a typed
+    :class:`~repro.errors.WorkerCrashedError`, never a hang.
+
+    ``kernel`` picks the GF(2^l) kernel strategy: ``"table"``,
+    ``"logexp"``, ``"bitsliced"``, or ``"auto"`` — the default — which
+    asks the kernel calibration per ``(m, N2)`` window
+    (:meth:`resolve_kernel`), choosing bit-sliced planes for
+    plane-resident evaluators at wide batches and the dense table
+    otherwise.  All kernels are bit-identical (property-tested); only
+    wall-clock changes.
 
     Observability: attach a :class:`~repro.runtime.tracing.TraceRecorder`
     as ``recorder`` to collect a run-level, schedule-scoped timeline
@@ -140,6 +161,8 @@ class MidasRuntime:
     max_retries: int = 5
     retry_backoff: float = 1e-3
     workers: Optional[int] = None
+    kernel: str = "auto"
+    process_start: Optional[str] = None
     sanitize: str = "off"
     digest_log: Optional[object] = None
     live: Optional[object] = None
@@ -176,6 +199,18 @@ class MidasRuntime:
             )
         if self.workers is not None and self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        if self.kernel not in _KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {_KERNELS}, got {self.kernel!r}"
+            )
+        if self.process_start is not None:
+            import multiprocessing
+
+            valid = multiprocessing.get_all_start_methods()
+            if self.process_start not in valid:
+                raise ConfigurationError(
+                    f"process_start must be one of {valid}, got {self.process_start!r}"
+                )
         if self.live_port is not None and not (0 <= self.live_port <= 65535):
             raise ConfigurationError(
                 f"live_port must be a port number (0 = ephemeral), got {self.live_port}"
@@ -199,7 +234,7 @@ class MidasRuntime:
         total = 1 << k
         n2 = self.n2
         if n2 is None:
-            if self.mode in ("sequential", "threaded"):
+            if self.mode in ("sequential", "threaded", "process"):
                 n2 = min(total, 64)
             else:
                 n2 = PhaseSchedule.bs_max(k, self.n_processors, self.n1)
@@ -231,8 +266,23 @@ class MidasRuntime:
         return rec if (rec is not None and rec.enabled) else None
 
     def get_workers(self) -> int:
-        """Thread count for the threaded backend."""
+        """Worker count for the threaded and process backends."""
         return self.workers if self.workers is not None else (os.cpu_count() or 1)
+
+    def resolve_kernel(self, m: int, n2: int, plane: bool = False) -> str:
+        """The GF kernel strategy for a ``(m, n2)`` evaluation window.
+
+        An explicit ``kernel`` wins unconditionally; ``"auto"`` consults
+        the kernel calibration.  ``plane=True`` means the caller's
+        evaluator can keep the DP state plane-resident (currently the
+        k-path evaluator) — only then may auto pick ``"bitsliced"``, and
+        only in the real-execution modes (the simulated/modeled SPMD
+        programs evaluate element-wise).
+        """
+        if self.kernel != "auto":
+            return self.kernel
+        plane_resident = plane and self.mode in ("sequential", "threaded", "process")
+        return self.get_calibration().choose_kernel(m, n2, plane_resident=plane_resident)
 
     def get_live(self):
         """The live telemetry bus, built lazily from ``live`` /
@@ -625,6 +675,103 @@ class ThreadedBackend(ExecutionBackend):
             self._pool = None
 
 
+class ProcessBackend(ExecutionBackend):
+    """Run a round's phase windows on worker *processes* (past the GIL).
+
+    Same contract as :class:`ThreadedBackend` — independent windows, XOR
+    merge in completion order, bit-identical to sequential — but the
+    phase kernels run in separate interpreters: the graph is shared via
+    :class:`~repro.core.process_backend.ProcessPhasePool`'s shared-memory
+    segments, specs are rebuilt in workers from their picklable recipes,
+    and only the round fingerprint crosses the boundary per task.
+    """
+
+    name = "process"
+
+    def __init__(self, engine: "DetectionEngine") -> None:
+        super().__init__(engine)
+        self._pool = None
+        # id(spec) -> (spec, wire descriptor); the spec is pinned so a
+        # recycled id cannot alias a stale descriptor across grid cells
+        self._wired: Dict[int, tuple] = {}
+
+    def prepare(self, stage: _Stage) -> None:
+        if stage.spec.recipe is None:
+            raise ConfigurationError(
+                f"problem {stage.spec.name!r} carries no recipe and cannot run "
+                "on mode='process'; use the factory constructors in "
+                "repro.core.problems"
+            )
+        if self._pool is None:
+            from repro.core.process_backend import ProcessPhasePool
+
+            with self.engine.prof.span("pool", phase="setup", callsite="process"):
+                self._pool = ProcessPhasePool(
+                    self.engine.graph,
+                    self.engine.rt.get_workers(),
+                    start_method=self.engine.rt.process_start,
+                )
+        if id(stage.spec) not in self._wired:
+            self._wired[id(stage.spec)] = (
+                stage.spec, self._pool.wire_spec(stage.spec)
+            )
+
+    def run_round(self, stage: _Stage, fp, ell: int):
+        from concurrent.futures.process import BrokenProcessPool
+
+        e = self.engine
+        spec, sched = stage.spec, stage.sched
+        wired = self._wired[id(stage.spec)][1]
+        round0 = time.perf_counter()
+        futures = {
+            self._pool.submit(wired, fp, sched.phase_window(t)[0], sched.n2): t
+            for t in range(sched.n_phases)
+        }
+        value = spec.acc_init()
+        timings = []
+        try:
+            with e.prof.span("kernel", phase="rounds", callsite=spec.name):
+                for fut in as_completed(futures):
+                    t = futures[fut]
+                    q0, q1 = sched.phase_window(t)
+                    raw, p0, p1, pid = fut.result()
+                    v = spec.rank_value(raw)
+                    value = spec.combine(value, v)
+                    # perf_counter is CLOCK_MONOTONIC on Linux: worker and
+                    # parent stamps share a timebase (clamped for safety)
+                    s0, s1 = max(p0 - round0, 0.0), max(p1 - round0, 0.0)
+                    stage.phase_hist.observe(s1 - s0)
+                    timings.append((t, q0, q1, s0, s1, f"pid-{pid}"))
+                    # digests are keyed by phase index: completion order moot
+                    e.note_phase(stage, ell, t, v)
+        except BrokenProcessPool as exc:
+            self.close()
+            raise WorkerCrashedError(
+                f"a worker process died while evaluating round {ell} of "
+                f"{spec.name!r} (see stderr for the worker's fate); the "
+                "process pool is closed"
+            ) from exc
+        elapsed = time.perf_counter() - round0
+        if e.rec is not None:
+            lanes = {w: i for i, w in enumerate(sorted({tm[5] for tm in timings}))}
+            for t, q0, q1, s0, s1, worker in sorted(timings, key=lambda tm: tm[3]):
+                e.rec.record(lanes[worker], "compute", e.cursor + s0, e.cursor + s1,
+                             scope=Scope(round=ell, phase=t, q0=q0, q1=q1,
+                                         label=stage.label))
+            if timings:
+                slow = max(timings, key=lambda tm: tm[4])
+                e.rec.record_edge("barrier", lanes[slow[5]], e.cursor + slow[4],
+                                  0, e.cursor + elapsed, info=f"r{ell} join")
+            e.cursor += elapsed
+        return value, 0.0
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._wired = {}
+
+
 class SimulatedBackend(ExecutionBackend):
     """The real SPMD decomposition on the runtime simulator."""
 
@@ -731,6 +878,7 @@ _BACKENDS: Dict[str, Type[ExecutionBackend]] = {
     "simulated": SimulatedBackend,
     "modeled": ModeledBackend,
     "threaded": ThreadedBackend,
+    "process": ProcessBackend,
 }
 
 
@@ -774,15 +922,24 @@ class EngineSession:
         partition_method: str = "random",
         partition_seed: int = 7777,
         calibration: Optional[KernelCalibration] = None,
+        kernel: str = "auto",
     ) -> None:
+        if kernel not in _KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {_KERNELS}, got {kernel!r}"
+            )
         self.graph = graph
         self.n1 = n1
         self.partition_method = partition_method
         self.partition_seed = partition_seed
+        self.kernel = kernel
         self._calibration = calibration
         self._partition = None
         self._views = None
-        self._fields: Dict[int, object] = {}  # field degree -> GF2m tables
+        # (field degree, kernel strategy) -> GF2m tables: fields with
+        # different kernels are distinct objects (GF2m equality includes
+        # the strategy), so they must not share a cache slot
+        self._fields: Dict[tuple, object] = {}
         self._lock = threading.Lock()
         self.uses = 0  # engines ever attached (for /api/service stats)
 
@@ -791,14 +948,14 @@ class EngineSession:
         """A session matching ``rt``'s decomposition knobs."""
         return cls(graph, n1=rt.n1, partition_method=rt.partition_method,
                    partition_seed=rt.partition_seed,
-                   calibration=rt.calibration)
+                   calibration=rt.calibration, kernel=rt.kernel)
 
     def compatible(self, graph: CSRGraph, rt: "MidasRuntime") -> Optional[str]:
         """``None`` when this session may serve ``(graph, rt)``, else the
         human-readable mismatch."""
         if graph is not self.graph:
             return "session was prepared for a different graph object"
-        for attr in ("n1", "partition_method", "partition_seed"):
+        for attr in ("n1", "partition_method", "partition_seed", "kernel"):
             if getattr(rt, attr) != getattr(self, attr):
                 return (f"runtime {attr}={getattr(rt, attr)!r} != session "
                         f"{attr}={getattr(self, attr)!r}")
@@ -834,16 +991,26 @@ class EngineSession:
                     self._views = build_halo_views(self.graph, part)
             return self._views
 
-    def field_for_k(self, k: int):
+    def field_for_k(self, k: int, strategy: Optional[str] = None):
         """The GF(2^l) table set for iteration exponent ``k``, cached per
-        field degree (many ``k`` share one degree)."""
+        ``(field degree, kernel strategy)`` (many ``k`` share one degree).
+
+        ``strategy`` is the *resolved* kernel for this use site (from
+        :meth:`MidasRuntime.resolve_kernel`); ``None`` falls back to the
+        session's ``kernel`` knob taken literally (``"auto"`` builds a
+        default-strategy field).
+        """
         from repro.ff.gf2m import default_field_for_k, field_degree_for_k
 
+        if strategy is None:
+            strategy = self.kernel
         deg = field_degree_for_k(k)
+        key = (deg, strategy)
         with self._lock:
-            fld = self._fields.get(deg)
+            fld = self._fields.get(key)
             if fld is None:
-                fld = self._fields[deg] = default_field_for_k(k)
+                kernel = None if strategy == "auto" else strategy
+                fld = self._fields[key] = default_field_for_k(k, kernel_strategy=kernel)
             return fld
 
     def get_calibration(self) -> KernelCalibration:
@@ -859,9 +1026,10 @@ class EngineSession:
                 "n1": self.n1,
                 "partition_method": self.partition_method,
                 "partition_seed": self.partition_seed,
+                "kernel": self.kernel,
                 "partition_built": self._partition is not None,
                 "views_built": self._views is not None,
-                "fields_cached": sorted(self._fields),
+                "fields_cached": sorted(f"{deg}/{strat}" for deg, strat in self._fields),
                 "uses": self.uses,
             }
 

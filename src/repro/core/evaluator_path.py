@@ -39,17 +39,50 @@ def path_eval_phase(graph: CSRGraph, fp: Fingerprint, q_start: int, n2: int) -> 
     Returns an ``(n2,)`` field array: entry ``t`` is
     ``sum_i P(i, q_start + t, k)``.  XORing these across all ``2^k``
     iterations gives the round's final value.
+
+    Fields resolved to the ``"bitsliced"`` kernel take the plane-resident
+    fast path: the DP state never leaves bit-plane layout, so each level is
+    a plane gather + XOR-segment-reduce + carry-less multiply, and only the
+    final ``(m, W)`` reduction is unpacked.  Both paths are bit-identical.
     """
     field = fp.field
     k = fp.k
     if fp.levels < k:
         raise ConfigurationError(f"fingerprint has {fp.levels} levels; k={k} needed")
+    if getattr(field, "kernel_strategy", None) == "bitsliced":
+        return _path_eval_phase_bitsliced(graph, fp, q_start, n2)
     p = fp.level_base_block(0, q_start, n2)  # (n, n2)
     for j in range(1, k):
         gathered = p[graph.indices]  # (nnz, n2)
         acc = xor_segment_reduce(gathered, graph.indptr)  # (n, n2)
         p = field.mul(fp.level_base_block(j, q_start, n2), acc)
     return field.xor_sum(p, axis=0)  # (n2,)
+
+
+def _path_eval_phase_bitsliced(
+    graph: CSRGraph, fp: Fingerprint, q_start: int, n2: int
+) -> np.ndarray:
+    """Plane-resident k-path phase: DP state stays ``(n, m, W)`` uint64.
+
+    The per-level base block is built straight from the {0,1} indicator and
+    the ``y`` column (:meth:`BitslicedGF2m.indicator_planes`) — the
+    ``(n, n2)`` element array is never materialized.  The segment reduce
+    sees the planes flattened to ``(nnz, m * W)``; XOR is bitwise so the
+    reshape is free of semantics.
+    """
+    field = fp.field
+    bs = field.bitsliced
+    m, w = bs.m, bs.words(n2)
+    n = graph.n
+    iw = bs.pack_indicator(fp.base_block(q_start, n2))  # (n, W), per-phase
+    p = bs.planes_from_words(iw, fp.y[:, 0])  # (n, m, W)
+    for j in range(1, fp.k):
+        gathered = p[graph.indices]  # (nnz, m, W)
+        acc = xor_segment_reduce(
+            gathered.reshape(len(graph.indices), m * w), graph.indptr
+        ).reshape(n, m, w)
+        p = bs.mul(bs.planes_from_words(iw, fp.y[:, j]), acc)
+    return bs.unslice(bs.xor_sum(p, axis=0), n2, field.dtype)  # (n2,)
 
 
 def path_phase_value(graph: CSRGraph, fp: Fingerprint, q_start: int, n2: int) -> int:

@@ -56,10 +56,27 @@ from repro.util.rng import as_stream
 _LOG = get_logger(__name__)
 
 
-def _session_field(rt: MidasRuntime, k: int):
-    """The runtime session's cached GF(2^l) tables for ``k``, or ``None``
-    (the problem factory then builds a fresh, identical table set)."""
-    return rt.session.field_for_k(k) if rt.session is not None else None
+def _field_for(rt: MidasRuntime, k: int, plane: bool = False):
+    """The GF(2^l) tables for ``k`` with the kernel this runtime resolves.
+
+    ``plane=True`` marks call sites whose evaluator can keep the DP
+    plane-resident (the k-path drivers) — the only ones where ``auto``
+    may choose ``"bitsliced"``.  With a session attached the field comes
+    from its per-``(degree, strategy)`` cache; otherwise a fresh,
+    identical table set is built here (``None`` would make the problem
+    factory build a default-kernel field, losing the resolution).
+    """
+    from repro.ff.gf2m import field_degree_for_k
+
+    deg = field_degree_for_k(k)
+    strategy = rt.resolve_kernel(deg, rt.schedule_for(k).n2, plane=plane)
+    if rt.session is not None:
+        return rt.session.field_for_k(k, strategy=strategy)
+    from repro.ff.gf2m import default_field_for_k
+
+    return default_field_for_k(
+        k, kernel_strategy=None if strategy == "auto" else strategy
+    )
 
 
 def _run_scalar_detection(
@@ -128,7 +145,7 @@ def detect_path(
     """
     rt = runtime or MidasRuntime()
     return _run_scalar_detection(
-        graph, path_problem(graph, k, field=_session_field(rt, k)),
+        graph, path_problem(graph, k, field=_field_for(rt, k, plane=True)),
         k, eps, rng, rt, early_exit
     )
 
@@ -145,7 +162,7 @@ def detect_tree(
     rt = runtime or MidasRuntime()
     return _run_scalar_detection(
         graph, tree_problem(graph, template,
-                            field=_session_field(rt, template.k)),
+                            field=_field_for(rt, template.k)),
         template.k, eps, rng, rt, early_exit
     )
 
@@ -185,7 +202,7 @@ def max_weight_path(
     rounds = rounds_for_epsilon(eps)
     rng = as_stream(rng, "max-weight-path")
     spec = weighted_path_problem(graph, w, k, z_max,
-                                 field=_session_field(rt, k))
+                                 field=_field_for(rt, k))
     with DetectionEngine(graph, rt, spec.name) as engine:
         out = engine.run_stage(spec, rounds, rng, eps=eps,
                                want_estimate=engine.want_estimate_default())
@@ -222,7 +239,7 @@ def detect_scan_cell(
     rounds = rounds_for_epsilon(eps)
     rng = as_stream(rng, "scan-cell")
     spec = scanstat_problem(graph, w, size, z_max=weight,
-                            field=_session_field(rt, max(size, 2)))
+                            field=_field_for(rt, max(size, 2)))
     with DetectionEngine(graph, rt, spec.name) as engine:
         out = engine.run_stage(spec, rounds, rng, eps=eps,
                                stop=lambda acc: acc[weight] != 0)
@@ -277,7 +294,7 @@ def scan_grid(
         for j in sizes:
             out = engine.run_stage(
                 scanstat_problem(graph, w, j, z_max,
-                                 field=_session_field(rt, max(j, 2))), rounds,
+                                 field=_field_for(rt, max(j, 2))), rounds,
                 rng.child(f"size{j}"), eps=eps,
                 key_prefix=f"size{j}/", label=f"size{j}",
                 want_estimate=(rt.mode == "modeled"),

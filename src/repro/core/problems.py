@@ -82,6 +82,12 @@ class ProblemSpec:
     model_z_axis: int = 1  # `z_axis` arg of estimate_runtime
     vector: bool = False  # accumulator is a weight axis even when payload == 1
     details: Dict[str, object] = dc_field(default_factory=dict)
+    # picklable rebuild instructions ``(kind, params)`` for worker processes:
+    # the closures above capture the graph and cannot cross a process
+    # boundary, so the process backend ships this instead and calls
+    # spec_from_recipe against the shared-memory graph (None = spec was
+    # hand-built and cannot run on mode="process")
+    recipe: Optional[tuple] = None
 
     # ------------------------------------------------------------ semantics
     @property
@@ -143,6 +149,7 @@ def path_problem(graph: CSRGraph, k: int, field: Any = None) -> ProblemSpec:
         program_factory_overlapped=make_path_phase_program_overlapped,
         model_problem="k-path",
         model_levels=k - 1,
+        recipe=("k-path", {"k": k}),
     )
 
 
@@ -173,6 +180,15 @@ def tree_problem(graph: CSRGraph, template: TreeTemplate,
         model_problem="k-tree",
         model_levels=k - 1,
         details={"template": template.name, "n_subtrees": len(specs)},
+        recipe=(
+            "k-tree",
+            {
+                "k": template.k,
+                "edges": tuple(tuple(e) for e in template.edges),
+                "root": template.root,
+                "name": template.name,
+            },
+        ),
     )
 
 
@@ -205,6 +221,7 @@ def weighted_path_problem(
         model_levels=k - 1,
         model_z_axis=z_max + 1,
         vector=True,
+        recipe=("weighted-path", {"k": k, "z_max": z_max, "weights": w}),
     )
 
 
@@ -239,4 +256,31 @@ def scanstat_problem(
         model_levels=None,
         model_z_axis=z_max + 1,
         vector=True,
+        recipe=("scanstat", {"size": size, "z_max": z_max, "weights": w}),
     )
+
+
+def spec_from_recipe(graph: CSRGraph, recipe: tuple, field: Any = None) -> ProblemSpec:
+    """Rebuild a :class:`ProblemSpec` from its picklable ``recipe``.
+
+    Worker processes call this against their shared-memory graph view;
+    the result is behaviourally identical to the parent's spec (same
+    factory, same parameters), so phase values are bit-identical.
+    """
+    kind, params = recipe
+    if kind == "k-path":
+        return path_problem(graph, params["k"], field=field)
+    if kind == "k-tree":
+        template = TreeTemplate(
+            params["k"], params["edges"], root=params["root"], name=params["name"]
+        )
+        return tree_problem(graph, template, field=field)
+    if kind == "weighted-path":
+        return weighted_path_problem(
+            graph, params["weights"], params["k"], params["z_max"], field=field
+        )
+    if kind == "scanstat":
+        return scanstat_problem(
+            graph, params["weights"], params["size"], params["z_max"], field=field
+        )
+    raise ValueError(f"unknown problem recipe kind {kind!r}")

@@ -183,6 +183,19 @@ class WatchdogExpired(ReproError, RuntimeError):
         self.reason = reason
 
 
+class WorkerCrashedError(ReproError, RuntimeError):
+    """A worker process of the ``mode="process"`` backend died mid-round.
+
+    Raised by the parent when the process pool reports a broken worker
+    (segfault, ``os._exit``, OOM-kill) — the round cannot be completed and
+    the pool is unusable, so the backend closes its shared-memory segments
+    and surfaces this typed error instead of hanging on lost futures.
+    Deliberately *not* a :class:`FaultInjectedError`: a real worker crash
+    is not a simulated fault and must never be retried away by the
+    fault-tolerant phase runner.
+    """
+
+
 class ResourceExhaustedError(ReproError, RuntimeError):
     """A modeled resource limit (e.g. per-node memory) was exceeded.
 

@@ -14,6 +14,7 @@ MIDAS evaluates its polynomials over the group algebra
   detection into polynomial identity testing.
 """
 
+from repro.ff.bitsliced import BitslicedGF2m
 from repro.ff.gf2m import GF2m, default_field_for_k
 from repro.ff.fingerprint import Fingerprint, base_indicator_block
 from repro.ff.group_algebra import GroupAlgebra, GroupAlgebraElement
@@ -28,6 +29,7 @@ from repro.ff.poly2 import (
 )
 
 __all__ = [
+    "BitslicedGF2m",
     "GF2m",
     "default_field_for_k",
     "Fingerprint",

@@ -45,9 +45,24 @@ class GF2m:
     mul_strategy:
         ``"table"`` (dense product table, only for ``m <= 8``),
         ``"logexp"``, or ``"auto"`` (table when possible).
+    kernel_strategy:
+        Superset of ``mul_strategy`` that also accepts ``"bitsliced"``:
+        element arrays are transposed into ``m`` uint64 bit-planes and
+        multiplied with carry-less AND/XOR schedules
+        (:class:`repro.ff.bitsliced.BitslicedGF2m`).  When given, it takes
+        precedence over ``mul_strategy``; the resolved choice is stored as
+        both attributes (``mul_strategy`` keeps its pre-kernel meaning for
+        back-compat, falling back to ``"logexp"`` tables under
+        ``"bitsliced"`` for scalar calls and the inverse's zero check).
     """
 
-    def __init__(self, m: int, modulus: Optional[int] = None, mul_strategy: str = "auto") -> None:
+    def __init__(
+        self,
+        m: int,
+        modulus: Optional[int] = None,
+        mul_strategy: str = "auto",
+        kernel_strategy: Optional[str] = None,
+    ) -> None:
         if not (1 <= m <= _MAX_M):
             raise FieldError(f"GF2m supports 1 <= m <= {_MAX_M}, got m={m}")
         self.m = int(m)
@@ -58,6 +73,10 @@ class GF2m:
             raise FieldError(
                 f"modulus {bin(self.modulus)} is not an irreducible polynomial of degree {m}"
             )
+        if kernel_strategy is not None:
+            if kernel_strategy not in ("auto", "table", "logexp", "bitsliced"):
+                raise FieldError(f"unknown kernel_strategy {kernel_strategy!r}")
+            mul_strategy = "auto" if kernel_strategy == "bitsliced" else kernel_strategy
         if mul_strategy not in ("auto", "table", "logexp"):
             raise FieldError(f"unknown mul_strategy {mul_strategy!r}")
         use_table = mul_strategy == "table" or (mul_strategy == "auto" and m <= _TABLE_MAX_M)
@@ -74,10 +93,14 @@ class GF2m:
         t0 = time.perf_counter()
         self._build_log_tables()
         self.mul_strategy = "table" if use_table else "logexp"
+        self.kernel_strategy = (
+            "bitsliced" if kernel_strategy == "bitsliced" else self.mul_strategy
+        )
         self._mul_table = self._build_mul_table() if use_table else None
+        self._bitsliced = None
         reg = get_default_registry()
         reg.counter("midas_field_builds_total", "GF(2^m) table constructions").labels(
-            m=self.m, strategy=self.mul_strategy
+            m=self.m, strategy=self.kernel_strategy
         ).inc()
         reg.histogram(
             "midas_field_table_build_seconds", "GF(2^m) log/mul table build time"
@@ -132,6 +155,24 @@ class GF2m:
         idx = la[:, None] + la[None, :]
         return self._exp_ext[idx]
 
+    # --------------------------------------------------------------- kernels
+    @property
+    def bitsliced(self):
+        """The plane-wise kernel substrate for this ``(m, modulus)`` pair.
+
+        Built lazily: fields resolved to the table/logexp kernels never pay
+        for it, and the plane-resident evaluators fetch it through here so
+        the scalar-column cache is shared per field instance.
+        """
+        if self._bitsliced is None:
+            from repro.ff.bitsliced import BitslicedGF2m
+
+            self._bitsliced = BitslicedGF2m(self.m, self.modulus)
+        return self._bitsliced
+
+    def _is_bitsliced_array(self, a: np.ndarray) -> bool:
+        return self.kernel_strategy == "bitsliced" and a.ndim >= 1
+
     # ------------------------------------------------------------- operations
     def add(self, a, b):
         """Field addition (XOR); works elementwise on arrays or scalars."""
@@ -143,6 +184,10 @@ class GF2m:
         """Field multiplication, elementwise with broadcasting."""
         a = np.asarray(a, self.dtype)
         b = np.asarray(b, self.dtype)
+        if self._is_bitsliced_array(a) or self._is_bitsliced_array(b):
+            a, b = np.broadcast_arrays(a, b)
+            bs = self.bitsliced
+            return bs.unslice(bs.mul(bs.slice(a), bs.slice(b)), a.shape[-1], self.dtype)
         if self._mul_table is not None:
             return self._mul_table[a, b]
         return self._exp_ext[self._log[a] + self._log[b]]
@@ -152,6 +197,9 @@ class GF2m:
         a = np.asarray(a, self.dtype)
         if np.any(a == 0):
             raise FieldError("zero has no multiplicative inverse")
+        if self._is_bitsliced_array(a):
+            bs = self.bitsliced
+            return bs.unslice(bs.inv(bs.slice(a)), a.shape[-1], self.dtype)
         return self._exp_ext[(self._q1 - self._log[a]) % self._q1]
 
     def div(self, a, b):
@@ -165,6 +213,9 @@ class GF2m:
         a = np.asarray(a, self.dtype)
         if e == 0:
             return np.ones_like(a)
+        if self._is_bitsliced_array(a):
+            bs = self.bitsliced
+            return bs.unslice(bs.pow(bs.slice(a), e), a.shape[-1], self.dtype)
         le = (self._log[a] * e) % self._q1
         out = self._exp[le]
         return np.where(a == 0, self.dtype(0), out)
@@ -181,6 +232,9 @@ class GF2m:
         if s == 0:
             return np.zeros_like(np.asarray(a, self.dtype))
         a = np.asarray(a, self.dtype)
+        if self._is_bitsliced_array(a):
+            bs = self.bitsliced
+            return bs.unslice(bs.mul_scalar(bs.slice(a), s), a.shape[-1], self.dtype)
         return self._exp_ext[self._log[a] + self._log[s]]
 
     # ------------------------------------------------------------------ draws
@@ -209,15 +263,24 @@ class GF2m:
         return 1
 
     def __eq__(self, other) -> bool:
+        # kernel_strategy is part of identity: two fields with the same
+        # (m, modulus) but different kernels produce bit-identical values yet
+        # mean differently-shaped hot paths — sessions cache fields by
+        # equality and GraphRegistry reuses sessions by compatibility, so
+        # conflating them would silently hand a bitsliced caller a table
+        # field (or vice versa).
         return (
-            isinstance(other, GF2m) and other.m == self.m and other.modulus == self.modulus
+            isinstance(other, GF2m)
+            and other.m == self.m
+            and other.modulus == self.modulus
+            and other.kernel_strategy == self.kernel_strategy
         )
 
     def __hash__(self) -> int:
-        return hash(("GF2m", self.m, self.modulus))
+        return hash(("GF2m", self.m, self.modulus, self.kernel_strategy))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"GF2m(m={self.m}, modulus={bin(self.modulus)}, mul={self.mul_strategy})"
+        return f"GF2m(m={self.m}, modulus={bin(self.modulus)}, kernel={self.kernel_strategy})"
 
 
 def field_degree_for_k(k: int) -> int:
@@ -227,10 +290,14 @@ def field_degree_for_k(k: int) -> int:
     return 3 + (math.ceil(math.log2(k)) if k > 1 else 0)
 
 
-def default_field_for_k(k: int, mul_strategy: str = "auto") -> GF2m:
+def default_field_for_k(
+    k: int, mul_strategy: str = "auto", kernel_strategy: Optional[str] = None
+) -> GF2m:
     """Construct ``GF(2^(3 + ceil(log2 k)))`` as used by Williams' refinement.
 
     For every subgraph size the paper evaluates (``k <= 18``) this is at most
-    ``GF(2^8)``, so elements fit in a byte and the dense product table wins.
+    ``GF(2^8)``, so elements fit in a byte and the dense product table wins
+    for element-wise calls; plane-resident evaluators may prefer
+    ``kernel_strategy="bitsliced"`` (see the kernel calibration).
     """
-    return GF2m(field_degree_for_k(k), mul_strategy=mul_strategy)
+    return GF2m(field_degree_for_k(k), mul_strategy=mul_strategy, kernel_strategy=kernel_strategy)

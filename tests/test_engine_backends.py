@@ -22,7 +22,8 @@ from repro.core.midas import (
     max_weight_path,
     scan_grid,
 )
-from repro.errors import ConfigurationError
+from repro.core.problems import path_problem
+from repro.errors import ConfigurationError, WorkerCrashedError
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import erdos_renyi, plant_path
 from repro.graph.templates import TreeTemplate
@@ -53,6 +54,8 @@ def backends():
         MidasRuntime(n_processors=4, n1=2, n2=4, mode="simulated", overlap=True),
         MidasRuntime(mode="threaded", workers=3, n2=8),
         MidasRuntime(n_processors=8, n1=4, mode="modeled"),
+        MidasRuntime(mode="process", workers=2, n2=8),
+        MidasRuntime(kernel="bitsliced", n2=8),
     ]
 
 
@@ -180,6 +183,55 @@ class TestFaultEquivalence:
         assert faulty == clean
 
 
+class TestProcessConfig:
+    def test_workers_validated(self):
+        with pytest.raises(ConfigurationError):
+            MidasRuntime(mode="process", workers=0)
+
+    def test_start_method_validated(self):
+        with pytest.raises(ConfigurationError, match="start"):
+            MidasRuntime(mode="process", process_start="bogus")
+
+    def test_kernel_validated(self):
+        with pytest.raises(ConfigurationError, match="kernel"):
+            MidasRuntime(kernel="bogus")
+
+    def test_fault_plan_rejected_in_process_mode(self):
+        with pytest.raises(ConfigurationError, match="simulated"):
+            MidasRuntime(mode="process", fault_plan=FaultPlan([drop()]))
+
+    def test_recipeless_spec_rejected(self):
+        import dataclasses
+
+        from repro.core.process_backend import ProcessPhasePool
+
+        g = erdos_renyi(12, 24, rng=RngStream(61, name="g"))
+        spec = dataclasses.replace(path_problem(g, 3), recipe=None)
+        pool = ProcessPhasePool(g, workers=1)
+        try:
+            with pytest.raises(ConfigurationError, match="recipe"):
+                pool.wire_spec(spec)
+        finally:
+            pool.close()
+
+    def test_pool_released_and_reusable(self):
+        g = erdos_renyi(16, 36, rng=RngStream(41, name="g"))
+        rt = MidasRuntime(mode="process", workers=2)
+        a = detect_path(g, 4, eps=0.3, rng=RngStream(42), runtime=rt)
+        b = detect_path(g, 4, eps=0.3, rng=RngStream(42), runtime=rt)
+        assert _round_values(a) == _round_values(b)
+
+    def test_worker_crash_surfaces_as_typed_error(self, monkeypatch):
+        """A dying worker must raise WorkerCrashedError promptly — not
+        hang the parent on a never-completing future, and not leak the
+        raw BrokenProcessPool."""
+        monkeypatch.setenv("REPRO_TEST_CRASH_WORKER", "1")
+        g = erdos_renyi(16, 36, rng=RngStream(71, name="g"))
+        rt = MidasRuntime(mode="process", workers=2, n2=8)
+        with pytest.raises(WorkerCrashedError, match="worker process died"):
+            detect_path(g, 4, eps=0.3, rng=RngStream(72), runtime=rt)
+
+
 class TestThreadedConfig:
     def test_workers_validated(self):
         with pytest.raises(ConfigurationError):
@@ -200,6 +252,19 @@ class TestThreadedConfig:
         a = detect_path(g, 4, eps=0.3, rng=RngStream(42), runtime=rt)
         b = detect_path(g, 4, eps=0.3, rng=RngStream(42), runtime=rt)
         assert _round_values(a) == _round_values(b)
+
+    def test_process_trace_records_phase_windows(self):
+        g = erdos_renyi(16, 36, rng=RngStream(51, name="g"))
+        rec = TraceRecorder()
+        rt = MidasRuntime(mode="process", workers=2, n2=4, recorder=rec)
+        res = detect_path(g, 4, eps=0.4, rng=RngStream(52), runtime=rt,
+                          early_exit=False)
+        sched_phases = 16 // 4
+        computes = [ev for ev in rec.events if ev.kind == "compute"]
+        assert len(computes) == sched_phases * len(res.rounds)
+        r0 = sorted((ev.scope.q0, ev.scope.q1) for ev in computes
+                    if ev.scope.round == 0)
+        assert r0 == [(i * 4, (i + 1) * 4) for i in range(sched_phases)]
 
     def test_threaded_trace_records_phase_windows(self):
         g = erdos_renyi(16, 36, rng=RngStream(51, name="g"))

@@ -1,0 +1,203 @@
+"""Differential kernel-fuzz suite: bitsliced vs table vs logexp.
+
+The three GF(2^m) kernel strategies must be *element-wise equal* on every
+operation for every legal ``(m, modulus, shape)`` — the engine's
+calibration is free to pick any of them per (m, N2) window, so a single
+divergent lane would silently change detection results.  Hypothesis
+drives random fields (including non-default irreducible moduli), random
+array shapes (odd lane counts straddling the uint64 word boundary), and
+the documented edge lanes: all-zeros, all-ones (identity), and the
+``m = 8`` → uint8 / ``m > 8`` → uint16 dtype boundary.
+
+The table strategy (``m <= 8``) is the oracle where it exists; logexp is
+the oracle above.  The plane-resident path evaluator gets its own
+differential test against the element-wise evaluator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.ff import BitslicedGF2m, GF2m
+from repro.ff.poly2 import is_irreducible
+
+COMMON = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.data_too_large],
+)
+
+# lane counts chosen to straddle the uint64 word boundary
+LANE_COUNTS = (1, 3, 8, 63, 64, 65, 127, 128, 130)
+
+
+def irreducibles(m, limit=4):
+    """The first ``limit`` irreducible degree-m polynomials (packed)."""
+    out = []
+    for cand in range(1 << m, 1 << (m + 1)):
+        if is_irreducible(cand):
+            out.append(cand)
+            if len(out) == limit:
+                break
+    return out
+
+
+_FIELD_CACHE = {}
+
+
+def field_pair(m, modulus):
+    """(oracle field, bitsliced field) for one (m, modulus), cached —
+    table construction is the slow part of every example."""
+    key = (m, modulus)
+    if key not in _FIELD_CACHE:
+        _FIELD_CACHE[key] = (
+            GF2m(m, modulus=modulus),  # auto: table for m<=8, logexp above
+            GF2m(m, modulus=modulus, kernel_strategy="bitsliced"),
+        )
+    return _FIELD_CACHE[key]
+
+
+@st.composite
+def field_and_arrays(draw):
+    m = draw(st.integers(min_value=1, max_value=16))
+    modulus = draw(st.sampled_from(irreducibles(m)))
+    oracle, bits = field_pair(m, modulus)
+    rows = draw(st.integers(min_value=1, max_value=5))
+    n2 = draw(st.sampled_from(LANE_COUNTS))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, oracle.order, size=(rows, n2)).astype(oracle.dtype)
+    b = rng.integers(0, oracle.order, size=(rows, n2)).astype(oracle.dtype)
+    # force the documented edge lanes into every example
+    a[0, 0] = 0
+    b[0, 0] = 0
+    if rows > 1:
+        a[1, :] = 1  # identity lane
+    edge = draw(st.sampled_from(["none", "zeros", "ones"]))
+    if edge == "zeros":
+        a[...] = 0
+    elif edge == "ones":
+        a[...] = 1
+    return oracle, bits, a, b
+
+
+class TestDifferentialKernels:
+    @given(data=field_and_arrays())
+    @settings(**COMMON)
+    def test_mul_agrees(self, data):
+        oracle, bits, a, b = data
+        assert np.array_equal(oracle.mul(a, b), bits.mul(a, b))
+
+    @given(data=field_and_arrays())
+    @settings(**COMMON)
+    def test_add_and_xor_sum_agree(self, data):
+        oracle, bits, a, b = data
+        assert np.array_equal(oracle.add(a, b), bits.add(a, b))
+        assert np.array_equal(oracle.xor_sum(a, axis=0), bits.xor_sum(a, axis=0))
+        assert np.array_equal(oracle.xor_sum(a, axis=1), bits.xor_sum(a, axis=1))
+
+    @given(data=field_and_arrays(),
+           e=st.one_of(st.integers(min_value=0, max_value=9),
+                       st.sampled_from([63, 255, 510, 65535, 131070])))
+    @settings(**COMMON)
+    def test_pow_agrees(self, data, e):
+        # the sampled exponents hit e % (2^m - 1) == 0 for every m in
+        # range — the zero-stays-zero / nonzero-becomes-one special case
+        oracle, bits, a, _ = data
+        assert np.array_equal(oracle.pow(a, e), bits.pow(a, e))
+
+    @given(data=field_and_arrays())
+    @settings(**COMMON)
+    def test_inv_agrees(self, data):
+        oracle, bits, a, _ = data
+        nz = np.where(a == 0, oracle.dtype(1), a)
+        assert np.array_equal(oracle.inv(nz), bits.inv(nz))
+        if np.any(a == 0):
+            with pytest.raises(FieldError):
+                bits.inv(a)
+
+    @given(data=field_and_arrays(), s_seed=st.integers(min_value=0, max_value=2**16))
+    @settings(**COMMON)
+    def test_mul_scalar_agrees(self, data, s_seed):
+        oracle, bits, a, _ = data
+        for s in (0, 1, oracle.order - 1, s_seed % oracle.order):
+            assert np.array_equal(oracle.mul_scalar(a, s), bits.mul_scalar(a, s))
+
+    @given(data=field_and_arrays())
+    @settings(**COMMON)
+    def test_div_agrees(self, data):
+        oracle, bits, a, b = data
+        bnz = np.where(b == 0, oracle.dtype(1), b)
+        assert np.array_equal(oracle.div(a, bnz), bits.div(a, bnz))
+
+
+class TestSubstrateLayout:
+    @given(data=field_and_arrays())
+    @settings(**COMMON)
+    def test_slice_unslice_roundtrip(self, data):
+        oracle, bits, a, _ = data
+        bs = bits.bitsliced
+        planes = bs.slice(a)
+        assert planes.shape == a.shape[:-1] + (oracle.m, bs.words(a.shape[-1]))
+        assert np.array_equal(bs.unslice(planes, a.shape[-1], oracle.dtype), a)
+
+    def test_dtype_boundary(self):
+        # m = 8 stays uint8; m = 9 crosses to uint16 — both must slice,
+        # multiply, and unslice losslessly at full range
+        rng = np.random.default_rng(7)
+        for m in (8, 9, 16):
+            f_oracle, f_bits = field_pair(m, irreducibles(m)[0])
+            assert f_oracle.dtype == (np.uint8 if m <= 8 else np.uint16)
+            a = rng.integers(0, f_oracle.order, size=(3, 65)).astype(f_oracle.dtype)
+            b = rng.integers(0, f_oracle.order, size=(3, 65)).astype(f_oracle.dtype)
+            assert np.array_equal(f_oracle.mul(a, b), f_bits.mul(a, b))
+
+    def test_table_vs_logexp_vs_bitsliced_three_way(self):
+        # all three strategies exist only for m <= 8; pin them pairwise
+        rng = np.random.default_rng(11)
+        for m in (4, 8):
+            mod = irreducibles(m)[0]
+            table = GF2m(m, modulus=mod, kernel_strategy="table")
+            logexp = GF2m(m, modulus=mod, kernel_strategy="logexp")
+            bits = GF2m(m, modulus=mod, kernel_strategy="bitsliced")
+            a = rng.integers(0, table.order, size=(4, 70)).astype(table.dtype)
+            b = rng.integers(0, table.order, size=(4, 70)).astype(table.dtype)
+            r = table.mul(a, b)
+            assert np.array_equal(r, logexp.mul(a, b))
+            assert np.array_equal(r, bits.mul(a, b))
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(FieldError, match="kernel_strategy"):
+            GF2m(4, kernel_strategy="nonsense")
+
+    def test_substrate_rejects_bad_m(self):
+        with pytest.raises(FieldError):
+            BitslicedGF2m(17, 1 << 17)
+
+    def test_mul_shape_mismatch_rejected(self):
+        bs = BitslicedGF2m(4, 0b10011)
+        with pytest.raises(FieldError, match="shapes"):
+            bs.mul(np.zeros((2, 4, 1), np.uint64), np.zeros((3, 4, 1), np.uint64))
+
+
+class TestPlaneResidentEvaluator:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           n2=st.sampled_from([1, 8, 64, 96]),
+           k=st.integers(min_value=2, max_value=6))
+    @settings(**COMMON)
+    def test_path_phase_bitsliced_matches_elementwise(self, seed, n2, k):
+        from repro.core.evaluator_path import path_eval_phase
+        from repro.ff.fingerprint import Fingerprint
+        from repro.graph.generators import erdos_renyi
+        from repro.util.rng import RngStream
+
+        rng = RngStream(seed, name="fuzz")
+        g = erdos_renyi(40, 120, rng=rng)
+        ft, fb = field_pair(7, irreducibles(7)[0])
+        fpt = Fingerprint.draw(g.n, k, rng, field=ft)
+        fpb = Fingerprint(k=k, field=fb, v=fpt.v, y=fpt.y.copy())
+        assert np.array_equal(
+            path_eval_phase(g, fpt, 0, n2), path_eval_phase(g, fpb, 0, n2)
+        )
