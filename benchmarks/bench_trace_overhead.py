@@ -1,0 +1,89 @@
+"""Overhead of end-to-end query tracing on the service hot path.
+
+Tracing decorates every served query with a handful of spans (client,
+broker admission stages, engine rounds, worker windows) plus one SLO
+histogram observation per stage — constant work per query, nothing in
+the per-phase kernel loop.  This bench runs the service batching
+workload (two tenants, distinct pinned seeds so every query executes)
+twice: ``DetectionService(tracing=True)`` (the default) and
+``tracing=False``, through :class:`~repro.service.client.LocalClient`
+so the client-span export path is included.  The contract asserted at
+the bottom: tracing costs < 5% wall on the batch, and every traced
+reply is bit-identical to its untraced twin.
+"""
+
+import time
+
+from _bench_utils import print_series
+from repro.graph.generators import erdos_renyi
+from repro.obs.metrics import MetricsRegistry
+from repro.service import DetectionService, LocalClient, QuerySpec, canonical_result
+from repro.util.rng import RngStream
+
+K = 6
+EPS = 0.3
+N_QUERIES = 8
+REPEATS = 3
+OVERHEAD_CEILING = 1.05
+
+
+def _jobs():
+    """Two tenants, all-distinct pinned seeds: no cache hits, no
+    coalescing — every query pays the full execution, so the measured
+    delta is the tracing machinery itself."""
+    return [
+        (QuerySpec(kind="detect-path", graph="bench", k=K, eps=EPS,
+                   seed={"seed": 7000 + i}, early_exit=False),
+         f"tenant-{i % 2}")
+        for i in range(N_QUERIES)
+    ]
+
+
+def _batch(graph, tracing: bool):
+    with DetectionService(tracing=tracing, workers=4,
+                          metrics=MetricsRegistry()) as svc:
+        svc.register_graph(graph, name="bench")
+        client = LocalClient(svc)
+        t0 = time.perf_counter()
+        outs = [client.query(spec, tenant=tenant)
+                for spec, tenant in _jobs()]
+        wall = time.perf_counter() - t0
+        traced = sum(1 for o in outs if o.trace_id)
+    return wall, [canonical_result(o.payload) for o in outs], traced
+
+
+def _best_of(graph, tracing: bool):
+    walls, results, traced = [], None, 0
+    for _ in range(REPEATS):
+        wall, results, traced = _batch(graph, tracing)
+        walls.append(wall)
+    return min(walls), results, traced
+
+
+def test_tracing_overhead_under_five_percent():
+    g = erdos_renyi(1500, m=6000, rng=RngStream(1, name="bench-g"))
+
+    wall_off, res_off, traced_off = _best_of(g, tracing=False)
+    wall_on, res_on, traced_on = _best_of(g, tracing=True)
+
+    # tracing must never perturb the detection itself
+    assert res_on == res_off
+    assert traced_off == 0
+    assert traced_on == N_QUERIES
+
+    overhead = wall_on / wall_off
+    rows = [
+        ["tracing off", f"{wall_off:.3f}", "1.000x", 0],
+        ["tracing on", f"{wall_on:.3f}", f"{overhead:.3f}x", traced_on],
+    ]
+    print_series(
+        f"Query tracing overhead on the service batch (k-path k={K}, "
+        f"er1500, {N_QUERIES} distinct queries, 2 tenants, "
+        f"best of {REPEATS})",
+        ["tracing", "wall [s]", "vs off", "traces"],
+        rows,
+    )
+    assert overhead < OVERHEAD_CEILING, (
+        f"tracing overhead {overhead:.3f}x exceeds {OVERHEAD_CEILING}x "
+        f"({wall_on:.3f}s vs {wall_off:.3f}s)"
+    )

@@ -292,9 +292,21 @@ def _write_obs(args, rt, problem: str = "", estimate=None, resilience=None,
 def _flush_interrupted(args, rt, problem: str) -> int:
     """SIGINT mid-run: flush whatever observability we have and exit 130
     (the conventional 128+SIGINT code).  The progress stream is already
-    on disk — it is appended and flushed per event."""
+    on disk — it is appended and flushed per event.  The flight
+    recorder is dumped too (with any still-open query spans) so an
+    interrupted run leaves the same forensic artifact a crash would."""
     print("\ninterrupted — flushing partial artifacts", file=sys.stderr)
     _write_obs(args, rt, problem=problem, truncated=True)
+    from repro.obs.qtrace import get_flight_recorder
+
+    qt = getattr(rt, "qtrace", None)
+    extra = ({"open_spans": [sp.to_dict() for sp in qt.open_spans()]}
+             if qt is not None else None)
+    rec = get_flight_recorder()
+    rec.record("interrupted", problem=problem)
+    path = rec.dump("interrupted", extra=extra)
+    if path is not None:
+        print(f"flight recorder dumped: {path}", file=sys.stderr)
     return 130
 
 
@@ -454,10 +466,16 @@ def _print_remote_detection(outcome) -> None:
               f"after {r.get('rounds_run', 0)} round(s) {tail}")
         if r.get("cluster") is not None:
             print(f"cluster: {r['cluster']}")
+        if getattr(outcome, "trace_id", ""):
+            print(f"trace: {outcome.trace_id}  "
+                  f"(repro trace {outcome.trace_id} --url <service>)")
         return
     verdict = "FOUND" if r.get("found") else "not found"
     print(f"{r.get('problem', '?')}(k={r.get('k', '?')}): {verdict} after "
           f"{r.get('rounds_run', 0)} round(s) {tail}")
+    trace_id = getattr(outcome, "trace_id", "")
+    if trace_id:
+        print(f"trace: {trace_id}  (repro trace {trace_id} --url <service>)")
 
 
 def cmd_detect_path(args) -> int:
@@ -1016,6 +1034,7 @@ def cmd_serve(args) -> int:
         coalesce=not args.no_coalesce, workers=args.pool_workers,
         store_path=args.store, sweep_interval=args.sweep_interval,
         runtime_config=runtime_config, host=args.host,
+        tracing=not args.no_tracing, trace_capacity=args.trace_capacity,
     )
     try:
         for spec in args.register or []:
@@ -1089,6 +1108,41 @@ def cmd_query(args) -> int:
     if args.kind == "scan":
         return 0
     return 0 if found else 1
+
+
+def cmd_trace(args) -> int:
+    """Fetch a finished query's end-to-end trace from a running
+    ``repro serve`` endpoint and render it."""
+    import json as _json
+
+    from repro.errors import ConfigurationError, ServiceError
+    from repro.obs.chrome_trace import validate_chrome_trace
+    from repro.obs.qtrace import render_timeline, trace_to_chrome
+    from repro.service.client import HttpClient
+
+    client = HttpClient(args.url)
+    try:
+        doc = client.trace(args.trace_id)
+    except (ConfigurationError, ServiceError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if doc is None:
+        print(f"unknown trace: {args.trace_id} (expired from the ring "
+              f"buffer, or tracing is disabled on the server)",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_timeline(doc))
+    if args.chrome_out:
+        chrome = trace_to_chrome(doc)
+        validate_chrome_trace(chrome)
+        with open(args.chrome_out, "w", encoding="utf-8") as fh:
+            _json.dump(chrome, fh)
+        print(f"chrome trace written: {args.chrome_out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
 
 
 def cmd_figures(args) -> int:
@@ -1306,6 +1360,12 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--n2", type=int, default=None)
     sv.add_argument("--sanitize", choices=["off", "warn", "strict"],
                     default="off")
+    sv.add_argument("--no-tracing", action="store_true",
+                    help="disable per-query distributed tracing and "
+                         "per-tenant SLO metrics")
+    sv.add_argument("--trace-capacity", type=int, default=512,
+                    help="finished traces kept in memory for "
+                         "/api/trace/<id> (default 512, LRU-evicted)")
     sv.set_defaults(fn=cmd_serve)
 
     qu = sub.add_parser(
@@ -1333,6 +1393,21 @@ def build_parser() -> argparse.ArgumentParser:
     qu.add_argument("--json", action="store_true",
                     help="print the full JSON payload instead of a summary")
     qu.set_defaults(fn=cmd_query)
+
+    tr = sub.add_parser(
+        "trace",
+        help="render a served query's end-to-end timeline (client, broker "
+             "stages, engine rounds, process workers) by trace id",
+    )
+    tr.add_argument("trace_id", help="32-hex trace id from a query reply")
+    tr.add_argument("--url", required=True,
+                    help="service base URL, e.g. http://127.0.0.1:8641")
+    tr.add_argument("--json", action="store_true",
+                    help="print the raw trace document instead of a timeline")
+    tr.add_argument("--chrome-out", metavar="PATH", default=None,
+                    help="also write the cross-process Chrome trace_event "
+                         "JSON (chrome://tracing / ui.perfetto.dev)")
+    tr.set_defaults(fn=cmd_trace)
 
     fg = sub.add_parser("figures", help="regenerate the paper's figure series")
     fg.add_argument("name", nargs="?", default=None,

@@ -53,6 +53,7 @@ from repro.errors import (
     ConfigurationError,
     FaultInjectedError,
     RankFailedError,
+    SanitizerError,
     WatchdogExpired,
     WorkerCrashedError,
 )
@@ -178,6 +179,7 @@ class MidasRuntime:
     hang_timeout: Optional[float] = None
     watchdog: Optional[object] = None
     session: Optional["EngineSession"] = None
+    qtrace: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -722,9 +724,11 @@ class ProcessBackend(ExecutionBackend):
         e = self.engine
         spec, sched = stage.spec, stage.sched
         wired = self._wired[id(stage.spec)][1]
+        want_spans = e.qt is not None
         round0 = time.perf_counter()
         futures = {
-            self._pool.submit(wired, fp, sched.phase_window(t)[0], sched.n2): t
+            self._pool.submit(wired, fp, sched.phase_window(t)[0], sched.n2,
+                              want_spans): t
             for t in range(sched.n_phases)
         }
         value = spec.acc_init()
@@ -734,9 +738,18 @@ class ProcessBackend(ExecutionBackend):
                 for fut in as_completed(futures):
                     t = futures[fut]
                     q0, q1 = sched.phase_window(t)
-                    raw, p0, p1, pid = fut.result()
+                    raw, p0, p1, pid, wspans, mdelta = fut.result()
                     v = spec.rank_value(raw)
                     value = spec.combine(value, v)
+                    if mdelta:
+                        # increments made inside the worker (field builds,
+                        # calibration, phase counters) land in the parent's
+                        # run registry exactly once
+                        from repro.obs.metrics import merge_into
+
+                        merge_into(e.reg, mdelta)
+                    if wspans and e.qt is not None:
+                        e.qt.add_spans(wspans)
                     # perf_counter is CLOCK_MONOTONIC on Linux: worker and
                     # parent stamps share a timebase (clamped for safety)
                     s0, s1 = max(p0 - round0, 0.0), max(p1 - round0, 0.0)
@@ -746,6 +759,16 @@ class ProcessBackend(ExecutionBackend):
                     e.note_phase(stage, ell, t, v)
         except BrokenProcessPool as exc:
             self.close()
+            from repro.obs.qtrace import get_flight_recorder
+
+            fr = get_flight_recorder()
+            fr.record("worker_crash", problem=spec.name, round=ell,
+                      graph=getattr(e.graph, "name", None),
+                      trace_id=e.qt.trace_id if e.qt is not None else None)
+            fr.dump("worker_crash", extra={
+                "open_spans": [s.to_dict() for s in e.qt.open_spans()]
+                if e.qt is not None else [],
+            })
             raise WorkerCrashedError(
                 f"a worker process died while evaluating round {ell} of "
                 f"{spec.name!r} (see stderr for the worker's fate); the "
@@ -1098,6 +1121,11 @@ class DetectionEngine:
         self.views = None
         self.prof = rt.get_profiler()
         self.live = rt.get_live()
+        # per-query trace (repro.obs.qtrace.QueryTrace) threaded in by the
+        # service broker; None for standalone runs
+        self.qt = rt.qtrace
+        if self.qt is not None and self.live is not None:
+            self.live.trace_id = self.qt.trace_id
         self.round_sw = Stopwatch()  # wall clock around the round loop
         if self.live is not None:
             self.live.run_started(problem, rt.mode,
@@ -1145,6 +1173,12 @@ class DetectionEngine:
             else:
                 state, error = "failed", f"{exc_type.__name__}: {exc}"
             self.live.run_ended(state, error=error)
+        if exc_type is not None and issubclass(exc_type, SanitizerError):
+            from repro.obs.qtrace import get_flight_recorder
+
+            fr = get_flight_recorder()
+            fr.record("sanitizer_error", problem=self.problem, detail=str(exc))
+            fr.dump("sanitizer_error")
         self.close()
 
     def close(self) -> None:
@@ -1199,6 +1233,13 @@ class DetectionEngine:
             "p(miss) <= %.3g", exc.reason, rounds_done,
             self.degraded["p_failure_bound"],
         )
+        from repro.obs.qtrace import get_flight_recorder
+
+        fr = get_flight_recorder()
+        fr.record("watchdog_trip", problem=self.problem, reason=exc.reason,
+                  rounds_completed=int(rounds_done),
+                  trace_id=self.qt.trace_id if self.qt is not None else None)
+        fr.dump("watchdog_trip", extra={"degraded": dict(self.degraded)})
         if self.ckpt is not None:
             self.ckpt.save()
 
@@ -1327,6 +1368,10 @@ class DetectionEngine:
                 if st.get("hit") or st.get("complete"):
                     return StageResult(values, virtuals, sched, estimate)
 
+        stage_span = (self.qt.span("engine.stage", lane="engine",
+                                   label=label or self.problem, k=spec.k,
+                                   mode=rt.mode, rounds=rounds)
+                      if self.qt is not None else None)
         for ell in range(start_round, rounds):
             if self.wd is not None:
                 try:
@@ -1335,6 +1380,7 @@ class DetectionEngine:
                     self._note_degraded(exc, len(values))
                     break
             fp = spec.draw_fingerprint(self.graph.n, rng.child(f"round{ell}"))
+            round_t0 = time.perf_counter()
             try:
                 with self.round_sw, stage_sw, self.prof.span(
                         "round", phase="rounds", callsite=label or self.problem):
@@ -1344,6 +1390,10 @@ class DetectionEngine:
                 # re-runs it from the same round-scoped stream, bit-identical
                 self._note_degraded(exc, len(values))
                 break
+            if stage_span is not None:
+                self.qt.add_span("engine.round", round_t0, time.perf_counter(),
+                                 parent=stage_span.context, lane="engine",
+                                 round=ell)
             self.note_round(stage, ell, value)
             self.rounds_ctr.inc()
             self.virtual_total += round_virtual
@@ -1372,6 +1422,9 @@ class DetectionEngine:
                 _LOG.info("%s k=%d: witness found in round %d",
                           self.problem, spec.k, ell + 1)
                 break
+        if stage_span is not None:
+            stage_span.tag(rounds_done=len(values),
+                           degraded=self.degraded is not None).finish()
         return StageResult(values, virtuals, sched, estimate)
 
     # ------------------------------------------------------------- details

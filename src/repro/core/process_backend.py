@@ -74,6 +74,11 @@ def publish_array(arr: np.ndarray) -> Tuple[ShmArray, shared_memory.SharedMemory
 _ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
 _WORKER_GRAPH: Optional[CSRGraph] = None
 _SPEC_CACHE: Dict[bytes, Any] = {}
+# Last metrics snapshot shipped back to the parent.  Each task returns
+# the *delta* of the worker's default registry against this baseline and
+# advances it, so increments made inside workers (field builds, kernel
+# calibration, anything instrumented) reach the parent exactly once.
+_METRICS_BASE = None
 
 
 def _attach(ref: ShmArray) -> np.ndarray:
@@ -127,19 +132,61 @@ def _spec_for(wired: bytes):
     return spec
 
 
+def _metrics_delta():
+    """Diff the worker's default registry against the last-shipped
+    baseline; advance the baseline.  Returns None when nothing changed
+    (the common case after warm-up) so the wire stays small."""
+    global _METRICS_BASE
+    from repro.obs.metrics import get_default_registry, snapshot_delta
+
+    snap = get_default_registry().snapshot()
+    delta = snapshot_delta(snap, _METRICS_BASE)
+    _METRICS_BASE = snap
+    return delta or None
+
+
 def _phase_task(wired: bytes, k: int, v: np.ndarray, y: np.ndarray,
-                q_start: int, n2: int):
-    """Evaluate one phase window; returns (value, t0, t1, pid)."""
+                q_start: int, n2: int, want_spans: bool = False):
+    """Evaluate one phase window.
+
+    Returns ``(value, t0, t1, pid, spans, mdelta)``: the phase value,
+    kernel perf stamps, worker pid, a list of serialized qtrace spans
+    (empty unless ``want_spans``), and the worker registry's metric
+    delta since the previous task (None when unchanged).  Spans and
+    deltas are buffered worker-side and shipped on the task wire — the
+    only channel back to the parent.
+    """
     if os.environ.get(_CRASH_ENV):
         os._exit(23)
     from repro.ff.fingerprint import Fingerprint
+    from repro.obs.metrics import get_default_registry
 
+    pid = os.getpid()
+    spans = []
+    tb0 = perf_counter()
     spec = _spec_for(wired)
+    tb1 = perf_counter()
+    if want_spans and tb1 - tb0 > 1e-6:
+        spans.append({
+            "span_id": os.urandom(8).hex(), "parent_id": None,
+            "name": "worker.spec_build", "t_start": tb0, "t_end": tb1,
+            "pid": pid, "lane": f"worker-{pid}", "trace_id": "",
+        })
     fp = Fingerprint(k=k, field=spec.field, v=v, y=y)
     t0 = perf_counter()
     value = spec.seq_phase(fp, q_start, n2)
     t1 = perf_counter()
-    return value, t0, t1, os.getpid()
+    get_default_registry().counter(
+        "midas_worker_phases_total", "Phase windows evaluated in process workers"
+    ).inc()
+    if want_spans:
+        spans.append({
+            "span_id": os.urandom(8).hex(), "parent_id": None,
+            "name": "worker.kernel", "t_start": t0, "t_end": t1,
+            "pid": pid, "lane": f"worker-{pid}", "trace_id": "",
+            "tags": {"q_start": q_start, "n2": n2, "k": k},
+        })
+    return value, t0, t1, pid, spans, _metrics_delta()
 
 
 # --------------------------------------------------------------- parent side
@@ -213,10 +260,12 @@ class ProcessPhasePool:
         self._wire_cache[id(spec)] = (spec, wired)
         return wired
 
-    def submit(self, wired: bytes, fp, q_start: int, n2: int):
-        """Submit one phase window; future resolves to (value, t0, t1, pid)."""
+    def submit(self, wired: bytes, fp, q_start: int, n2: int,
+               want_spans: bool = False):
+        """Submit one phase window; future resolves to
+        ``(value, t0, t1, pid, spans, mdelta)`` — see :func:`_phase_task`."""
         return self._executor.submit(
-            _phase_task, wired, fp.k, fp.v, fp.y, q_start, n2
+            _phase_task, wired, fp.k, fp.v, fp.y, q_start, n2, want_spans
         )
 
     def close(self) -> None:

@@ -26,7 +26,12 @@ Three complementary views of one MIDAS run:
   (``MidasRuntime(live_port=...)`` / CLI ``--live-port``);
 * :mod:`repro.obs.profile` — wall-clock span profiler over the real
   kernel/evaluator/collective call sites with per-(phase, op, callsite)
-  aggregates, a ``profile`` RunReport section, and speedscope export.
+  aggregates, a ``profile`` RunReport section, and speedscope export;
+* :mod:`repro.obs.qtrace` — end-to-end query tracing for the detection
+  service: W3C-traceparent contexts minted per query, spans across
+  client/broker/engine/process-worker boundaries on one shared
+  monotonic timebase, per-tenant SLO histograms with exemplar trace
+  ids, and a crash flight recorder (``repro trace <id>``).
 
 CLI: ``python -m repro detect-path ... --trace-out run.json
 --metrics-out metrics.json --report-out report.json`` and
@@ -64,6 +69,17 @@ from repro.obs.profile import (
     WallProfiler,
     validate_speedscope,
 )
+from repro.obs.qtrace import (
+    FlightRecorder,
+    QueryTrace,
+    QueryTracer,
+    Span,
+    TraceContext,
+    get_flight_recorder,
+    render_timeline,
+    reset_flight_recorder,
+    trace_to_chrome,
+)
 from repro.obs.report import RunReport
 from repro.obs.store import (
     RunComparison,
@@ -78,6 +94,7 @@ from repro.obs.store import (
 __all__ = [
     "Counter",
     "CriticalPath",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LiveRun",
@@ -87,13 +104,17 @@ __all__ = [
     "MetricsSnapshot",
     "PathSegment",
     "ProgressStream",
+    "QueryTrace",
+    "QueryTracer",
     "RunAnalysis",
     "RunComparison",
     "RunRecord",
     "RunReport",
     "RunStatus",
     "RunStore",
+    "Span",
     "SpanRecord",
+    "TraceContext",
     "WallProfiler",
     "analyze_run",
     "communication_matrix",
@@ -104,9 +125,13 @@ __all__ = [
     "dump_chrome_trace",
     "extract_critical_path",
     "get_default_registry",
+    "get_flight_recorder",
     "log_buckets",
+    "render_timeline",
+    "reset_flight_recorder",
     "slack_histogram",
     "to_chrome_trace",
+    "trace_to_chrome",
     "validate_chrome_trace",
     "validate_speedscope",
 ]

@@ -59,11 +59,17 @@ def to_chrome_trace(
     events: Sequence[TraceEvent],
     nranks: Optional[int] = None,
     meta: Optional[dict] = None,
+    pid: int = _PID,
+    process_name: str = "midas",
 ) -> dict:
     """Build the ``trace_event`` JSON object for a recording.
 
     ``nranks`` sizes the thread list; inferred from the events when
     omitted.  ``meta`` lands in ``otherData`` (run parameters etc.).
+    ``pid``/``process_name`` label the Chrome process the recording's
+    threads live in — callers splicing several recordings into one
+    multi-process trace (e.g. qtrace's cross-process query timelines)
+    give each its own.
     """
     events = list(events)
     if nranks is None:
@@ -71,9 +77,10 @@ def to_chrome_trace(
     if nranks < 1:
         raise ConfigurationError(f"nranks must be >= 1, got {nranks}")
 
+    _PID = int(pid)  # noqa: N806 - shadows the module default on purpose
     out: List[dict] = [
         {"ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
-         "args": {"name": "midas"}},
+         "args": {"name": process_name}},
     ]
     has_coordinator = any(e.rank < 0 for e in events)
     for r in range(nranks):

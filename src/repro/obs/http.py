@@ -76,7 +76,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch_route(self, method: str, path: str, query: str,
                         body: bytes) -> None:
-        handler = self.server._routes.get(path)  # type: ignore[attr-defined]
+        routes = self.server._routes  # type: ignore[attr-defined]
+        handler = routes.get(path)
+        if handler is None:
+            # longest-prefix fallback so path-parameter routes work:
+            # "/api/trace/<id>" dispatches to the "/api/trace" handler,
+            # which receives the full path and parses the suffix itself
+            probe = path.rstrip("/")
+            while handler is None and "/" in probe[1:]:
+                probe = probe.rsplit("/", 1)[0]
+                handler = routes.get(probe)
         if handler is None:
             self._reply(404, "text/plain; charset=utf-8", b"not found\n")
             return
@@ -132,8 +141,10 @@ class LiveServer:
         return f"http://{self._host}:{self.port}" if self._httpd is not None else None
 
     def add_route(self, path: str, handler: RouteHandler) -> None:
-        """Mount ``handler`` at exact path ``path`` (effective immediately;
-        built-in ``/metrics`` ``/status`` ``/healthz`` cannot be shadowed)."""
+        """Mount ``handler`` at ``path`` (effective immediately; built-in
+        ``/metrics`` ``/status`` ``/healthz`` cannot be shadowed).  A
+        request for an unregistered subpath falls back to the longest
+        registered ancestor, so one handler can serve ``path/<param>``."""
         if not path.startswith("/"):
             raise ConfigurationError(f"route path must start with '/', got {path!r}")
         self._routes[path] = handler

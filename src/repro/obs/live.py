@@ -171,6 +171,10 @@ class LiveRun:
         self._stream = ProgressStream(progress_path) if progress_path else None
         self._subs: List[Callable[[dict], None]] = []
         self._server = None
+        # when set (the service's per-query runs), every emitted event
+        # carries the query's trace id so the progress stream joins the
+        # qtrace/RunStore records
+        self.trace_id: Optional[str] = None
         if metrics is not None:
             g = metrics.gauge
             self._g_rounds = g("midas_live_rounds_completed",
@@ -235,6 +239,8 @@ class LiveRun:
 
     def _emit(self, event: str, **payload) -> None:
         evt = {"t": self._clock(), "event": event, **payload}
+        if self.trace_id:
+            evt["trace_id"] = self.trace_id
         if self._stream is not None:
             self._stream.write(evt)
         for fn in self._subs:

@@ -97,6 +97,9 @@ class Counter:
     def _sample(self) -> dict:
         return {"value": self._value}
 
+    def _merge(self, sample: Mapping[str, Any]) -> None:
+        self.inc(float(sample.get("value", 0.0)))
+
     def _reset(self) -> None:
         self._value = 0.0
 
@@ -132,6 +135,11 @@ class Gauge:
     def _sample(self) -> dict:
         return {"value": self._value}
 
+    def _merge(self, sample: Mapping[str, Any]) -> None:
+        # Gauges are point-in-time: a shipped delta carries the source's
+        # latest reading, which simply wins.
+        self.set(float(sample.get("value", 0.0)))
+
     def _reset(self) -> None:
         self._value = 0.0
 
@@ -147,7 +155,8 @@ class Histogram:
 
     kind = "histogram"
 
-    __slots__ = ("bounds", "bucket_counts", "overflow", "count", "sum", "_lock")
+    __slots__ = ("bounds", "bucket_counts", "overflow", "count", "sum",
+                 "_exemplars", "_lock")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -158,9 +167,15 @@ class Histogram:
         self.overflow = 0
         self.count = 0
         self.sum = 0.0
+        # bucket index (len(bounds) = overflow) -> {"labels": {...}, "value": v}
+        self._exemplars: Dict[int, dict] = {}
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: Optional[Mapping[str, Any]] = None) -> None:
+        """Record ``value``; optionally attach an exemplar — a small label
+        set (e.g. ``{"trace_id": ...}``) remembered per bucket, last
+        observation wins — rendered OpenMetrics-style in exposition."""
         v = float(value)
         lo, hi = 0, len(self.bounds)
         while lo < hi:  # first bound >= v
@@ -176,24 +191,54 @@ class Histogram:
                 self.overflow += 1
             else:
                 self.bucket_counts[lo] += 1
+            if exemplar:
+                self._exemplars[lo] = {
+                    "labels": {str(k): str(val) for k, val in exemplar.items()},
+                    "value": v,
+                }
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
     def _sample(self) -> dict:
-        return {
+        out = {
             "count": self.count,
             "sum": self.sum,
             "buckets": [[b, c] for b, c in zip(self.bounds, self.bucket_counts)],
             "overflow": self.overflow,
         }
+        with self._lock:
+            if self._exemplars:
+                out["exemplars"] = {
+                    str(i): dict(e) for i, e in sorted(self._exemplars.items())
+                }
+        return out
+
+    def _merge(self, sample: Mapping[str, Any]) -> None:
+        """Fold a serialized sample (e.g. a worker-side delta) into this
+        histogram.  Buckets merge positionally; mismatched bounds raise."""
+        buckets = sample.get("buckets", [])
+        bounds = tuple(float(b) for b, _c in buckets)
+        if bounds != self.bounds:
+            raise ConfigurationError(
+                "cannot merge histogram samples with different bucket bounds"
+            )
+        with self._lock:
+            self.count += int(sample.get("count", 0))
+            self.sum += float(sample.get("sum", 0.0))
+            self.overflow += int(sample.get("overflow", 0))
+            for i, (_b, c) in enumerate(buckets):
+                self.bucket_counts[i] += int(c)
+            for key, ex in (sample.get("exemplars") or {}).items():
+                self._exemplars[int(key)] = dict(ex)
 
     def _reset(self) -> None:
         self.bucket_counts = [0] * len(self.bounds)
         self.overflow = 0
         self.count = 0
         self.sum = 0.0
+        self._exemplars = {}
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -249,8 +294,9 @@ class MetricFamily:
     def set(self, value: float) -> None:
         self.labels().set(value)
 
-    def observe(self, value: float) -> None:
-        self.labels().observe(value)
+    def observe(self, value: float,
+                exemplar: Optional[Mapping[str, Any]] = None) -> None:
+        self.labels().observe(value, exemplar=exemplar)
 
     @property
     def value(self) -> float:
@@ -373,6 +419,8 @@ class MetricsSnapshot:
         cumulative ``_bucket{le=...}`` series Prometheus expects, ending
         with ``le="+Inf"`` plus ``_sum`` and ``_count``.  Label values
         are escaped per the spec (backslash, double-quote, newline).
+        Buckets carrying an exemplar render it OpenMetrics-style as a
+        ``# {trace_id="..."} <value>`` suffix on the ``_bucket`` line.
         """
         def esc(v: str) -> str:
             return (str(v).replace("\\", "\\\\").replace('"', '\\"')
@@ -403,14 +451,33 @@ class MetricsSnapshot:
                 if kind in ("counter", "gauge"):
                     lines.append(f"{name}{fmt_labels(labels)} {num(s['value'])}")
                     continue
+                exemplars = s.get("exemplars") or {}
+
+                def ex_suffix(idx: int) -> str:
+                    ex = exemplars.get(str(idx)) or exemplars.get(idx)
+                    if not ex:
+                        return ""
+                    exl = ",".join(
+                        f'{k}="{esc(v)}"'
+                        for k, v in sorted(ex.get("labels", {}).items())
+                    )
+                    return " # {%s} %s" % (exl, num(ex.get("value", 0.0)))
+
                 cum = 0
-                for bound, cnt in s.get("buckets", []):
+                nb = len(s.get("buckets", []))
+                for i, (bound, cnt) in enumerate(s.get("buckets", [])):
                     cum += cnt
                     le = 'le="%s"' % num(bound)
-                    lines.append(f"{name}_bucket{fmt_labels(labels, le)} {cum}")
+                    lines.append(
+                        f"{name}_bucket{fmt_labels(labels, le)} {cum}"
+                        f"{ex_suffix(i)}"
+                    )
                 cum += s.get("overflow", 0)
                 inf = 'le="+Inf"'
-                lines.append(f"{name}_bucket{fmt_labels(labels, inf)} {cum}")
+                lines.append(
+                    f"{name}_bucket{fmt_labels(labels, inf)} {cum}"
+                    f"{ex_suffix(nb)}"
+                )
                 lines.append(f"{name}_sum{fmt_labels(labels)} {num(s['sum'])}")
                 lines.append(f"{name}_count{fmt_labels(labels)} {s['count']}")
         return "\n".join(lines) + ("\n" if lines else "")
@@ -430,6 +497,89 @@ class MetricsSnapshot:
         if data.get("type") != "MetricsSnapshot":
             raise ConfigurationError("not a serialized MetricsSnapshot")
         return MetricsSnapshot(metrics=list(data.get("metrics", [])))
+
+
+def snapshot_delta(new: MetricsSnapshot,
+                   old: Optional[MetricsSnapshot]) -> List[dict]:
+    """The per-family difference ``new - old``, for shipping increments
+    across a process boundary.
+
+    Counters and histograms subtract (non-cumulative histogram buckets
+    make this positional subtraction); gauges carry their latest value.
+    Families and samples absent from ``old`` ship whole.  Samples whose
+    delta is all-zero are dropped; the result is ``[]`` when nothing
+    changed — the cheap common case the process backend tests for before
+    putting anything on the wire.
+    """
+    old_fams = {m["name"]: m for m in old.metrics} if old is not None else {}
+    out: List[dict] = []
+    for fam in new.metrics:
+        ofam = old_fams.get(fam["name"])
+        osamples = {}
+        if ofam is not None and ofam["kind"] == fam["kind"]:
+            osamples = {_label_key(s["labels"]): s for s in ofam["samples"]}
+        kept: List[dict] = []
+        for s in fam["samples"]:
+            prev = osamples.get(_label_key(s["labels"]))
+            d = _sample_delta(fam["kind"], s, prev)
+            if d is not None:
+                kept.append(d)
+        if kept:
+            out.append({"name": fam["name"], "kind": fam["kind"],
+                        "help": fam.get("help", ""), "samples": kept})
+    return out
+
+
+def _sample_delta(kind: str, new: dict, old: Optional[dict]) -> Optional[dict]:
+    if kind in ("counter", "gauge"):
+        value = new["value"] - (old["value"] if old is not None else 0.0)
+        if kind == "gauge":
+            # Point-in-time: ship the reading itself when it moved.
+            if old is not None and new["value"] == old["value"]:
+                return None
+            return {"labels": dict(new["labels"]), "value": new["value"]}
+        if value == 0.0:
+            return None
+        return {"labels": dict(new["labels"]), "value": value}
+    # histogram
+    count = new["count"] - (old["count"] if old is not None else 0)
+    if count == 0:
+        return None
+    oldb = {float(b): c for b, c in (old or {}).get("buckets", [])}
+    return {
+        "labels": dict(new["labels"]),
+        "count": count,
+        "sum": new["sum"] - (old["sum"] if old is not None else 0.0),
+        "overflow": new["overflow"] - (old or {}).get("overflow", 0),
+        "buckets": [[b, c - oldb.get(float(b), 0)] for b, c in new["buckets"]],
+        "exemplars": dict(new.get("exemplars") or {}),
+    }
+
+
+def merge_into(registry: MetricsRegistry, delta: Sequence[dict]) -> int:
+    """Fold a :func:`snapshot_delta` payload into ``registry``; returns
+    the number of samples merged.  Families are created on demand with
+    the shipped help text; histogram bucket bounds come from the shipped
+    sample so parent and worker stay structurally identical."""
+    merged = 0
+    for fam in delta:
+        kind = fam.get("kind")
+        name = fam.get("name")
+        if kind not in _KINDS or not name:
+            continue
+        for s in fam.get("samples", []):
+            if kind == "histogram":
+                mf = registry.histogram(
+                    name, fam.get("help", ""),
+                    buckets=[b for b, _c in s.get("buckets", [])] or None,
+                )
+            elif kind == "counter":
+                mf = registry.counter(name, fam.get("help", ""))
+            else:
+                mf = registry.gauge(name, fam.get("help", ""))
+            mf.labels(**dict(s.get("labels", {})))._merge(s)
+            merged += 1
+    return merged
 
 
 _DEFAULT_REGISTRY = MetricsRegistry()

@@ -1,0 +1,743 @@
+"""End-to-end query tracing across the service and process-worker boundary.
+
+This module gives every service query a W3C-traceparent-style identity
+(:class:`TraceContext`) that is minted in the client, propagated through
+the HTTP routes and the broker admission pipeline, threaded into the
+engine via ``MidasRuntime.qtrace``, and carried across the
+``mode="process"`` boundary — workers buffer spans locally and ship them
+back on the task wire so the parent can splice a single cross-process
+timeline with distinct pids per worker.
+
+Three layers live here:
+
+* :class:`TraceContext` / :class:`Span` / :class:`QueryTrace` — the
+  per-query span collector.  All timestamps are ``time.perf_counter()``
+  stamps: on Linux ``perf_counter`` is CLOCK_MONOTONIC, which is shared
+  by every process on the machine, so client, service, and worker spans
+  land on one common timebase and can be spliced without clock-skew
+  correction.  Each :class:`QueryTrace` carries an ``anchor`` pairing a
+  perf stamp with a unix wall stamp so renderers can map spans back to
+  wall-clock time.
+* :class:`QueryTracer` — the service-resident side: a bounded in-memory
+  store of finished traces (for ``/api/trace/<id>`` and ``repro
+  trace``), plus per-tenant SLO accounting — per-stage latency
+  histograms with exemplar trace_ids and per-tenant
+  error/quota/cache-hit counters — registered in the service metrics
+  registry.
+* :class:`FlightRecorder` — a bounded ring of recent notable events
+  (admissions, crashes, watchdog trips, sanitizer errors, degraded
+  results) that auto-dumps to ``$REPRO_FLIGHT_DIR`` when something goes
+  wrong, so post-mortems of a crashed or interrupted service run have
+  the last seconds of history.  When the environment variable is unset
+  the dump stays in memory (``last_dump``) — test runs and ordinary CLI
+  usage never scatter files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "QueryTrace",
+    "QueryTracer",
+    "FlightRecorder",
+    "get_flight_recorder",
+    "reset_flight_recorder",
+    "trace_to_chrome",
+    "render_timeline",
+    "SLO_STAGES",
+]
+
+_TRACEPARENT_VERSION = "00"
+
+# Pipeline stages with per-tenant SLO histograms.  "total" is the
+# end-to-end broker latency; the rest decompose it.
+SLO_STAGES = ("total", "cache", "coalesce", "quota", "queue", "execute")
+
+
+def _hex(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A W3C-traceparent-style trace identity.
+
+    ``trace_id`` is 32 lowercase hex chars, ``span_id`` 16; ``parent_id``
+    is the span that created this context (None for a root).
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    @staticmethod
+    def mint() -> "TraceContext":
+        return TraceContext(trace_id=_hex(16), span_id=_hex(8))
+
+    def child(self) -> "TraceContext":
+        """A new context under the same trace, parented to this span."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=_hex(8), parent_id=self.span_id
+        )
+
+    def to_traceparent(self) -> str:
+        return f"{_TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-01"
+
+    @staticmethod
+    def from_traceparent(value: str) -> "TraceContext":
+        parts = value.strip().split("-")
+        if len(parts) != 4:
+            raise ValueError(f"malformed traceparent: {value!r}")
+        version, trace_id, span_id, _flags = parts
+        if version != _TRACEPARENT_VERSION:
+            raise ValueError(f"unsupported traceparent version: {version!r}")
+        if len(trace_id) != 32 or _nothex(trace_id) or trace_id == "0" * 32:
+            raise ValueError(f"bad trace_id in traceparent: {trace_id!r}")
+        if len(span_id) != 16 or _nothex(span_id) or span_id == "0" * 16:
+            raise ValueError(f"bad span_id in traceparent: {span_id!r}")
+        return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+def _nothex(s: str) -> bool:
+    try:
+        int(s, 16)
+        return False
+    except ValueError:
+        return True
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace.
+
+    ``t_start``/``t_end`` are perf_counter stamps (shared machine-wide
+    monotonic timebase); ``pid`` distinguishes processes in the spliced
+    Chrome trace, ``lane`` the thread/worker track within a process.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    t_start: float
+    t_end: float
+    pid: int
+    lane: str = "main"
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(self.t_end - self.t_start, 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "pid": self.pid,
+            "lane": self.lane,
+        }
+        if self.tags:
+            d["tags"] = dict(self.tags)
+        return d
+
+    @staticmethod
+    def from_dict(d: Dict[str, Any]) -> "Span":
+        return Span(
+            trace_id=d["trace_id"],
+            span_id=d["span_id"],
+            parent_id=d.get("parent_id"),
+            name=d["name"],
+            t_start=float(d["t_start"]),
+            t_end=float(d["t_end"]),
+            pid=int(d.get("pid", 0)),
+            lane=str(d.get("lane", "main")),
+            tags=dict(d.get("tags") or {}),
+        )
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`QueryTrace.span`."""
+
+    __slots__ = ("_qt", "_span")
+
+    def __init__(self, qt: "QueryTrace", span: Span) -> None:
+        self._qt = qt
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(
+            trace_id=self._span.trace_id,
+            span_id=self._span.span_id,
+            parent_id=self._span.parent_id,
+        )
+
+    def tag(self, **tags: Any) -> "_SpanHandle":
+        self._span.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish(error=exc is not None)
+
+    def finish(self, *, error: bool = False) -> Span:
+        self._span.t_end = time.perf_counter()
+        if error:
+            self._span.tags.setdefault("error", True)
+        self._qt._commit(self._span)
+        return self._span
+
+
+class QueryTrace:
+    """Thread-safe span collector for one query.
+
+    The trace lives in the service process; spans produced elsewhere
+    (client, process workers) are serialized as dicts and spliced in via
+    :meth:`add_spans`.
+    """
+
+    def __init__(self, ctx: TraceContext, *, tenant: str = "-") -> None:
+        self.ctx = ctx
+        self.tenant = tenant
+        # Pair a perf stamp with a wall stamp so renderers can translate
+        # the shared monotonic timebase back to wall-clock time.
+        self.anchor = {"perf": time.perf_counter(), "unix": time.time()}
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._open: Dict[str, Span] = {}
+
+    @property
+    def trace_id(self) -> str:
+        return self.ctx.trace_id
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[TraceContext] = None,
+        lane: str = "main",
+        **tags: Any,
+    ) -> _SpanHandle:
+        par = parent if parent is not None else self.ctx
+        sp = Span(
+            trace_id=self.ctx.trace_id,
+            span_id=_hex(8),
+            parent_id=par.span_id,
+            name=name,
+            t_start=time.perf_counter(),
+            t_end=0.0,
+            pid=os.getpid(),
+            lane=lane,
+            tags=dict(tags),
+        )
+        with self._lock:
+            self._open[sp.span_id] = sp
+        return _SpanHandle(self, sp)
+
+    def _commit(self, span: Span) -> None:
+        with self._lock:
+            self._open.pop(span.span_id, None)
+            self._spans.append(span)
+
+    def add_span(
+        self,
+        name: str,
+        t_start: float,
+        t_end: float,
+        *,
+        parent: Optional[TraceContext] = None,
+        pid: Optional[int] = None,
+        lane: str = "main",
+        **tags: Any,
+    ) -> Span:
+        """Record an already-measured span (no context manager)."""
+        par = parent if parent is not None else self.ctx
+        sp = Span(
+            trace_id=self.ctx.trace_id,
+            span_id=_hex(8),
+            parent_id=par.span_id,
+            name=name,
+            t_start=t_start,
+            t_end=t_end,
+            pid=os.getpid() if pid is None else pid,
+            lane=lane,
+            tags=dict(tags),
+        )
+        with self._lock:
+            self._spans.append(sp)
+        return sp
+
+    def add_spans(self, spans: Iterable[Dict[str, Any]]) -> int:
+        """Splice in serialized spans (from a worker or a client).
+
+        Spans keep their own pid/lane; their trace_id is rewritten to
+        this trace (workers don't know it) and orphan parents are
+        re-parented under the root so the timeline stays connected.
+        """
+        known: set
+        with self._lock:
+            known = {s.span_id for s in self._spans}
+            known.add(self.ctx.span_id)
+        added = []
+        for d in spans:
+            sp = Span.from_dict(dict(d, trace_id=self.ctx.trace_id))
+            added.append(sp)
+            known.add(sp.span_id)
+        for sp in added:
+            if sp.parent_id is None or sp.parent_id not in known:
+                sp.parent_id = self.ctx.span_id
+        with self._lock:
+            self._spans.extend(added)
+        return len(added)
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def open_spans(self) -> List[Span]:
+        """Snapshot of started-but-unfinished spans (for crash dumps)."""
+        now = time.perf_counter()
+        with self._lock:
+            out = []
+            for sp in self._open.values():
+                cp = Span(**{**sp.to_dict(), "tags": dict(sp.tags, open=True)})
+                cp.t_end = now
+                out.append(cp)
+            return out
+
+    def stage_walls(self) -> Dict[str, float]:
+        """Total wall per broker pipeline stage (``broker.<stage>`` spans)."""
+        walls: Dict[str, float] = {}
+        for sp in self.spans():
+            if sp.name.startswith("broker."):
+                stage = sp.name.split(".", 1)[1]
+                walls[stage] = walls.get(stage, 0.0) + sp.duration
+        return walls
+
+    def to_doc(self, **extra: Any) -> Dict[str, Any]:
+        """A JSON-safe document for the trace store / ``/api/trace``."""
+        spans = sorted(self.spans(), key=lambda s: (s.t_start, s.t_end))
+        doc: Dict[str, Any] = {
+            "trace_id": self.ctx.trace_id,
+            "root_span_id": self.ctx.span_id,
+            "tenant": self.tenant,
+            "anchor": dict(self.anchor),
+            "spans": [s.to_dict() for s in spans],
+        }
+        doc.update(extra)
+        return doc
+
+
+# ---------------------------------------------------------------------------
+# Service-side tracer: bounded store + per-tenant SLO accounting.
+# ---------------------------------------------------------------------------
+
+
+class QueryTracer:
+    """Owns finished traces and per-tenant SLO metrics for one service."""
+
+    def __init__(self, registry=None, *, capacity: int = 512) -> None:
+        from .metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._store: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._tenants: Dict[str, Dict[str, Any]] = {}
+        self.m_stage = self.registry.histogram(
+            "midas_slo_stage_seconds",
+            "Per-tenant, per-stage query latency",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        self.m_errors = self.registry.counter(
+            "midas_tenant_errors_total", "Per-tenant query errors by type"
+        )
+        self.m_cache_hits = self.registry.counter(
+            "midas_tenant_cache_hits_total", "Per-tenant result-cache hits"
+        )
+        self.m_traces = self.registry.counter(
+            "midas_traces_total", "Traces finished, by outcome"
+        )
+
+    # -- trace lifecycle -------------------------------------------------
+
+    def begin(self, ctx: TraceContext, *, tenant: str = "-") -> QueryTrace:
+        return QueryTrace(ctx, tenant=tenant)
+
+    def finish(
+        self,
+        qt: QueryTrace,
+        *,
+        outcome: str = "ok",
+        error: Optional[str] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """Store the finished trace and fold its stages into the SLOs."""
+        doc = qt.to_doc(outcome=outcome, error=error, **extra)
+        walls = qt.stage_walls()
+        doc["stage_walls"] = walls
+        tenant = qt.tenant
+        exemplar = {"trace_id": qt.trace_id}
+        for stage, wall in walls.items():
+            if stage in SLO_STAGES:
+                self.m_stage.labels(tenant=tenant, stage=stage).observe(
+                    wall, exemplar=exemplar
+                )
+        self.m_traces.labels(outcome=outcome).inc()
+        tstat = self._tenant(tenant)
+        with self._lock:
+            tstat["queries"] += 1
+            if outcome == "cache_hit":
+                tstat["cache_hits"] += 1
+            elif outcome == "quota":
+                tstat["rejected"] += 1
+                tstat["errors"] += 1
+            elif outcome not in ("ok", "coalesced"):
+                tstat["errors"] += 1
+            tstat["last_trace_id"] = qt.trace_id
+            self._store[qt.trace_id] = doc
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+        if outcome == "cache_hit":
+            self.m_cache_hits.labels(tenant=tenant).inc()
+        elif outcome not in ("ok", "coalesced"):
+            self.m_errors.labels(tenant=tenant, type=outcome).inc()
+        return doc
+
+    def note_rejected(self, tenant: str, reason: str) -> None:
+        self.m_errors.labels(tenant=tenant, type=reason).inc()
+        tstat = self._tenant(tenant)
+        with self._lock:
+            tstat["rejected"] += 1
+
+    def _tenant(self, tenant: str) -> Dict[str, Any]:
+        with self._lock:
+            if tenant not in self._tenants:
+                self._tenants[tenant] = {
+                    "queries": 0,
+                    "cache_hits": 0,
+                    "errors": 0,
+                    "rejected": 0,
+                    "last_trace_id": None,
+                }
+            return self._tenants[tenant]
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            doc = self._store.get(trace_id)
+            return json.loads(json.dumps(doc)) if doc is not None else None
+
+    def ingest(self, trace_id: str, spans: List[Dict[str, Any]]) -> int:
+        """Splice externally produced spans (e.g. client-side) into a
+        stored trace.  Returns the number of spans accepted."""
+        with self._lock:
+            doc = self._store.get(trace_id)
+            if doc is None:
+                return 0
+            known = {s["span_id"] for s in doc["spans"]}
+            known.add(doc["root_span_id"])
+            added = 0
+            for d in spans:
+                try:
+                    sp = Span.from_dict(dict(d, trace_id=trace_id))
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if sp.span_id in known:
+                    continue
+                if sp.parent_id is None or sp.parent_id not in known:
+                    sp.parent_id = doc["root_span_id"]
+                doc["spans"].append(sp.to_dict())
+                known.add(sp.span_id)
+                added += 1
+            doc["spans"].sort(key=lambda s: (s["t_start"], s["t_end"]))
+            return added
+
+    def tenant_slos(self) -> Dict[str, Dict[str, Any]]:
+        with self._lock:
+            return {t: dict(v) for t, v in self._tenants.items()}
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "stored_traces": len(self._store),
+                "capacity": self.capacity,
+                "tenants": {t: dict(v) for t, v in self._tenants.items()},
+            }
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder
+# ---------------------------------------------------------------------------
+
+_FLIGHT_ENV = "REPRO_FLIGHT_DIR"
+
+
+class FlightRecorder:
+    """Bounded in-memory ring of recent notable events.
+
+    ``record()`` is cheap (deque append under a lock); ``dump()``
+    snapshots the ring to ``$REPRO_FLIGHT_DIR/flight_<reason>_<pid>_<n>.json``
+    when that env var points at a directory, else keeps the snapshot on
+    ``last_dump`` so tests and in-process consumers can inspect it
+    without any filesystem side effects.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._dumps = 0
+        self.last_dump: Optional[Dict[str, Any]] = None
+        self.last_dump_path: Optional[str] = None
+
+    def record(self, kind: str, **fields: Any) -> None:
+        evt = {"t": time.perf_counter(), "unix": time.time(), "kind": kind}
+        evt.update(fields)
+        with self._lock:
+            self._ring.append(evt)
+
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._ring)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def dump(
+        self,
+        reason: str,
+        *,
+        extra: Optional[Dict[str, Any]] = None,
+        directory: Optional[str] = None,
+    ) -> Optional[str]:
+        """Snapshot the ring.  Returns the path written, or None when no
+        dump directory is configured (snapshot kept on ``last_dump``)."""
+        with self._lock:
+            events = list(self._ring)
+            self._dumps += 1
+            n = self._dumps
+        snap: Dict[str, Any] = {
+            "reason": reason,
+            "pid": os.getpid(),
+            "unix": time.time(),
+            "events": events,
+        }
+        if extra:
+            snap.update(extra)
+        self.last_dump = snap
+        target = directory if directory is not None else os.environ.get(_FLIGHT_ENV)
+        if not target:
+            self.last_dump_path = None
+            return None
+        try:
+            os.makedirs(target, exist_ok=True)
+            safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in reason)
+            path = os.path.join(
+                target, f"flight_{safe}_{os.getpid()}_{n}.json"
+            )
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(snap, fh, indent=2, sort_keys=True, default=str)
+            self.last_dump_path = path
+            return path
+        except OSError:
+            self.last_dump_path = None
+            return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+_flight_lock = threading.Lock()
+_flight: Optional[FlightRecorder] = None
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-wide flight recorder (created on first use)."""
+    global _flight
+    with _flight_lock:
+        if _flight is None:
+            _flight = FlightRecorder()
+        return _flight
+
+
+def reset_flight_recorder() -> None:
+    """Drop the process-wide recorder (test isolation)."""
+    global _flight
+    with _flight_lock:
+        _flight = None
+
+
+# ---------------------------------------------------------------------------
+# Rendering: Chrome trace splice + text timeline
+# ---------------------------------------------------------------------------
+
+
+def trace_to_chrome(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a trace document into one Chrome ``traceEvents`` object.
+
+    Each distinct span pid becomes a Chrome process (workers show up as
+    their own pids); lanes become threads.  Events are complete ("X")
+    events on the shared perf_counter timebase, shifted so the earliest
+    span starts at ts=0, emitted sorted by (ts, dur) so the stream
+    passes :func:`repro.obs.chrome_trace.validate_chrome_trace`.
+    """
+    spans = [Span.from_dict(d) for d in doc.get("spans", [])]
+    events: List[Dict[str, Any]] = []
+    if not spans:
+        return {"traceEvents": [], "displayTimeUnit": "ms",
+                "metadata": {"trace_id": doc.get("trace_id")}}
+    t0 = min(s.t_start for s in spans)
+    pids = sorted({s.pid for s in spans})
+    service_pid = doc.get("service_pid")
+    lanes = sorted({(s.pid, s.lane) for s in spans})
+    for pid in pids:
+        label = f"pid {pid}"
+        if service_pid is not None and pid == service_pid:
+            label = f"service (pid {pid})"
+        elif any(s.pid == pid and s.name.startswith("client.") for s in spans):
+            label = f"client (pid {pid})"
+        elif any(s.pid == pid and s.name.startswith("worker.") for s in spans):
+            label = f"worker (pid {pid})"
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    tid_of: Dict[Tuple[int, str], int] = {}
+    for pid, lane in lanes:
+        tid = len([1 for (p, _l) in tid_of if p == pid]) + 1
+        tid_of[(pid, lane)] = tid
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": lane},
+        })
+    xevents = []
+    for s in sorted(spans, key=lambda s: (s.t_start, s.t_end)):
+        args: Dict[str, Any] = {"span_id": s.span_id}
+        if s.parent_id:
+            args["parent_id"] = s.parent_id
+        if s.tags:
+            args.update({str(k): v for k, v in s.tags.items()})
+        xevents.append({
+            "name": s.name,
+            "ph": "X",
+            "pid": s.pid,
+            "tid": tid_of[(s.pid, s.lane)],
+            "ts": (s.t_start - t0) * 1e6,
+            "dur": s.duration * 1e6,
+            "cat": s.name.split(".", 1)[0],
+            "args": args,
+        })
+    events.extend(xevents)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "trace_id": doc.get("trace_id"),
+            "tenant": doc.get("tenant"),
+            "outcome": doc.get("outcome"),
+        },
+    }
+
+
+def render_timeline(doc: Dict[str, Any], *, width: int = 72) -> str:
+    """Human-readable tree timeline of one trace document."""
+    spans = [Span.from_dict(d) for d in doc.get("spans", [])]
+    lines: List[str] = []
+    trace_id = doc.get("trace_id", "?")
+    lines.append(f"trace {trace_id}  tenant={doc.get('tenant', '-')}  "
+                 f"outcome={doc.get('outcome', '?')}")
+    anchor = doc.get("anchor") or {}
+    if anchor.get("unix") is not None:
+        wall = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(anchor["unix"])
+        )
+        lines.append(f"  started {wall}")
+    if not spans:
+        lines.append("  (no spans)")
+        return "\n".join(lines)
+    t0 = min(s.t_start for s in spans)
+    t1 = max(s.t_end for s in spans)
+    total = max(t1 - t0, 1e-9)
+    children: Dict[Optional[str], List[Span]] = {}
+    ids = {s.span_id for s in spans}
+    for s in spans:
+        key = s.parent_id if s.parent_id in ids else None
+        children.setdefault(key, []).append(s)
+    for v in children.values():
+        v.sort(key=lambda s: (s.t_start, s.t_end))
+    name_w = max(
+        (len(s.name) + 2 * _depth(s, spans, ids) for s in spans), default=20
+    )
+    name_w = min(max(name_w, 20), 44)
+    barw = max(width - name_w - 26, 10)
+
+    def emit(s: Span, depth: int) -> None:
+        off = int((s.t_start - t0) / total * barw)
+        length = max(int(s.duration / total * barw), 1)
+        length = min(length, barw - off) or 1
+        bar = " " * off + "#" * length
+        label = ("  " * depth + s.name)[:name_w]
+        pidmark = f"pid {s.pid}"
+        lines.append(
+            f"  {label:<{name_w}} {_ms(s.t_start - t0):>9} {_ms(s.duration):>9}"
+            f"  {pidmark:>9}  |{bar:<{barw}}|"
+        )
+        for c in children.get(s.span_id, []):
+            emit(c, depth + 1)
+
+    lines.append(
+        f"  {'span':<{name_w}} {'start':>9} {'dur':>9}  {'pid':>9}  "
+        f"|{'timeline':<{barw}}|"
+    )
+    for root in children.get(None, []):
+        emit(root, 0)
+    walls = doc.get("stage_walls") or {}
+    if walls:
+        parts = ", ".join(
+            f"{k}={_ms(v)}" for k, v in sorted(walls.items())
+        )
+        lines.append(f"  stage walls: {parts}")
+    lines.append(f"  total: {_ms(total)} across {len(spans)} spans, "
+                 f"{len({s.pid for s in spans})} process(es)")
+    return "\n".join(lines)
+
+
+def _depth(s: Span, spans: List[Span], ids: set) -> int:
+    by_id = {x.span_id: x for x in spans}
+    d = 0
+    cur = s
+    seen = set()
+    while cur.parent_id in by_id and cur.parent_id not in seen:
+        seen.add(cur.span_id)
+        cur = by_id[cur.parent_id]
+        d += 1
+        if d > 32:
+            break
+    return d
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}ms"

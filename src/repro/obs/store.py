@@ -102,7 +102,11 @@ class RunRecord:
     """One run's compact perf fingerprint (see module docs).
 
     ``values`` holds flat numeric metrics where higher means worse;
-    ``meta`` holds small string context (k, n1, dataset, ...).
+    ``meta`` holds small string context (k, n1, dataset, ...).  Runs
+    executed under the detection service also carry the originating
+    query's ``meta["trace_id"]`` so a regression flagged by
+    ``repro compare`` can be joined back to its end-to-end timeline
+    via ``repro trace <trace_id>``.
     """
 
     scenario: str

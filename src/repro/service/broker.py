@@ -30,6 +30,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import os
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
@@ -301,6 +302,11 @@ def execute_query(spec: QuerySpec, entry: GraphEntry,
     Returns ``(payload, raw_result)`` — the payload's ``"result"`` holds
     only deterministic fields; wall time and backend identity live in
     separate keys so cached/coalesced replies stay bit-comparable.
+
+    Tracing is decorated around this function by the broker
+    (:meth:`QueryBroker._traced_execute`), so replacing it — the tests
+    monkeypatch slow/failing executors here — keeps the traced pipeline
+    intact.
     """
     from repro.core.midas import detect_path, detect_tree
     from repro.graph.templates import TreeTemplate
@@ -385,6 +391,11 @@ class QueryOutcome:
     def found(self):
         return self.result.get("found")
 
+    @property
+    def trace_id(self) -> Optional[str]:
+        """This request's trace id (None when the service traces nothing)."""
+        return (self.payload.get("trace") or {}).get("trace_id")
+
 
 class QueryBroker:
     """Loop-confined admission/coalescing/quota/cache state machine.
@@ -405,6 +416,7 @@ class QueryBroker:
         workers: Optional[int] = None,
         store=None,
         runtime_config: Optional[dict] = None,
+        tracer=None,
     ) -> None:
         if quota < 1:
             raise ConfigurationError(f"quota must be >= 1, got {quota}")
@@ -416,6 +428,8 @@ class QueryBroker:
         self.cache_size = cache_size
         self.coalesce = coalesce
         self.store = store
+        # repro.obs.qtrace.QueryTracer; None disables per-query tracing
+        self.tracer = tracer
         self._runtime_config = dict(runtime_config or {})
         self.pool = ThreadPoolExecutor(
             max_workers=workers or 4, thread_name_prefix="midas-query"
@@ -462,10 +476,15 @@ class QueryBroker:
         return MidasRuntime(metrics=self.metrics, **self._runtime_config)
 
     def _served(self, payload: dict, tenant: str, *, cache_hit: bool,
-                coalesced: bool) -> dict:
+                coalesced: bool, qt=None) -> dict:
         out = dict(payload)
         out["served"] = {"cache_hit": cache_hit, "coalesced": coalesced,
                          "tenant": tenant}
+        if qt is not None:
+            # per-request identity: cache hits and coalesced joins share a
+            # payload but each carries its own trace
+            out["trace"] = {"trace_id": qt.trace_id,
+                            "traceparent": qt.ctx.to_traceparent()}
         return out
 
     def _remember(self, key: str, payload: dict) -> None:
@@ -480,27 +499,87 @@ class QueryBroker:
         self.m_cache_entries.set(len(self._cache))
 
     # ----------------------------------------------------------- admission
+    def _begin_trace(self, spec: QuerySpec, tenant: str, trace):
+        """Start a QueryTrace for this request (None when tracing is off).
+
+        ``trace`` is the client's request-side context: a dict carrying a
+        ``traceparent`` header value (malformed values are ignored — the
+        query must not fail over its telemetry), a TraceContext, or None.
+        """
+        if self.tracer is None:
+            return None
+        from repro.obs.qtrace import TraceContext
+
+        ctx = None
+        if isinstance(trace, TraceContext):
+            ctx = trace.child()
+        elif isinstance(trace, dict):
+            tp = trace.get("traceparent")
+            if tp:
+                try:
+                    ctx = TraceContext.from_traceparent(str(tp)).child()
+                except ValueError:
+                    ctx = None
+        if ctx is None:
+            ctx = TraceContext.mint()
+        return self.tracer.begin(ctx, tenant=tenant)
+
+    def _traced_execute(self, spec: QuerySpec, entry: GraphEntry,
+                        rt: MidasRuntime, qt, submit_t: float):
+        """Executor-thread wrapper decorating the module-level
+        :func:`execute_query` (which tests monkeypatch) with the
+        ``broker.queue`` / ``broker.execute`` spans and handing the
+        engine its QueryTrace via ``rt.qtrace``."""
+        if qt is None:
+            return execute_query(spec, entry, rt)
+        t0 = time.perf_counter()
+        qt.add_span("broker.queue", submit_t, t0, lane="broker")
+        exec_span = qt.span("broker.execute", lane="broker",
+                            kind=spec.kind, graph=entry.sha[:12], k=spec.k)
+        rt.qtrace = qt
+        # on exception the execute span is left open on purpose: crash
+        # dumps capture it through QueryTrace.open_spans()
+        payload, raw = execute_query(spec, entry, rt)
+        rounds = payload.get("timing", {}).get("rounds", 0)
+        exec_span.tag(rounds=int(rounds)).finish()
+        return payload, raw
+
     async def submit(self, spec: QuerySpec, tenant: str = "default",
-                     runtime: Optional[MidasRuntime] = None) -> QueryOutcome:
+                     runtime: Optional[MidasRuntime] = None,
+                     trace=None) -> QueryOutcome:
         """Admit and run one query (loop coroutine; see class docs).
 
         Raises :class:`~repro.errors.UnknownGraphError` for an
         unresolvable graph reference and
         :class:`~repro.errors.QuotaExceededError` when ``tenant`` is at
-        its in-flight limit.
+        its in-flight limit.  ``trace`` carries the client's trace
+        context (see :meth:`_begin_trace`); every served payload is
+        stamped with its own ``trace`` identity when tracing is on.
         """
         entry = self.registry.resolve(spec.graph)
         key = spec.cache_key(entry.sha)
+        qt = self._begin_trace(spec, tenant, trace)
+        total_span = (qt.span("broker.total", lane="broker", kind=spec.kind)
+                      if qt is not None else None)
 
+        cache_span = (qt.span("broker.cache", lane="broker",
+                              parent=total_span.context)
+                      if qt is not None else None)
         cached = self._cache.get(key)
+        if cache_span is not None:
+            cache_span.tag(hit=cached is not None).finish()
         if cached is not None:
             self._cache.move_to_end(key)
             self.stats["cache_hits"] += 1
             self.m_cache_hits.labels(kind=spec.kind).inc()
             self.m_queries.labels(kind=spec.kind, tenant=tenant,
                                   outcome="cached").inc()
+            if qt is not None:
+                total_span.finish()
+                self.tracer.finish(qt, outcome="cache_hit", kind=spec.kind,
+                                   service_pid=os.getpid())
             return QueryOutcome(self._served(cached, tenant, cache_hit=True,
-                                             coalesced=False))
+                                             coalesced=False, qt=qt))
 
         if self.coalesce:
             existing = self._inflight.get(key)
@@ -509,16 +588,47 @@ class QueryBroker:
                 self.m_coalesced.labels(kind=spec.kind).inc()
                 self.m_queries.labels(kind=spec.kind, tenant=tenant,
                                       outcome="coalesced").inc()
-                payload = await asyncio.shield(existing)
+                co_span = (qt.span("broker.coalesce", lane="broker",
+                                   parent=total_span.context)
+                           if qt is not None else None)
+                try:
+                    payload = await asyncio.shield(existing)
+                except BaseException as exc:
+                    if qt is not None:
+                        co_span.finish(error=True)
+                        total_span.finish(error=True)
+                        self.tracer.finish(qt, outcome="error",
+                                           error=f"coalesced execution "
+                                                 f"failed: {exc}")
+                    raise
+                if qt is not None:
+                    co_span.finish()
+                    total_span.finish()
+                    self.tracer.finish(qt, outcome="coalesced",
+                                       kind=spec.kind,
+                                       service_pid=os.getpid())
                 return QueryOutcome(self._served(payload, tenant,
                                                  cache_hit=False,
-                                                 coalesced=True))
+                                                 coalesced=True, qt=qt))
 
+        quota_span = (qt.span("broker.quota", lane="broker",
+                              parent=total_span.context)
+                      if qt is not None else None)
         held = self._tenant_inflight.get(tenant, 0)
         if held >= self.quota:
             self.stats["rejected"] += 1
             self.m_rejected.labels(tenant=tenant).inc()
+            if qt is not None:
+                quota_span.tag(rejected=True).finish()
+                total_span.finish()
+                self.tracer.finish(
+                    qt, outcome="quota",
+                    error=f"tenant {tenant!r} at quota {self.quota}",
+                    service_pid=os.getpid(),
+                )
             raise QuotaExceededError(tenant, self.quota)
+        if quota_span is not None:
+            quota_span.finish()
         self._tenant_inflight[tenant] = held + 1
         self.m_inflight.inc()
 
@@ -533,7 +643,7 @@ class QueryBroker:
         t0 = time.perf_counter()
         try:
             payload, raw = await loop.run_in_executor(
-                self.pool, execute_query, spec, entry, rt
+                self.pool, self._traced_execute, spec, entry, rt, qt, t0
             )
         except (KeyboardInterrupt, SystemExit) as exc:
             self.stats["errors"] += 1
@@ -543,6 +653,11 @@ class QueryBroker:
             if not fut.done():
                 fut.set_exception(carrier)
                 fut.exception()  # mark retrieved: waiters may be zero
+            if qt is not None:
+                total_span.finish(error=True)
+                self.tracer.finish(qt, outcome="interrupted",
+                                   error=str(carrier),
+                                   service_pid=os.getpid())
             raise carrier from exc
         except Exception as exc:
             self.stats["errors"] += 1
@@ -551,6 +666,11 @@ class QueryBroker:
             if not fut.done():
                 fut.set_exception(exc)
                 fut.exception()  # mark retrieved: waiters may be zero
+            if qt is not None:
+                total_span.finish(error=True)
+                self.tracer.finish(qt, outcome="error",
+                                   error=f"{type(exc).__name__}: {exc}",
+                                   service_pid=os.getpid())
             raise
         else:
             wall = time.perf_counter() - t0
@@ -561,14 +681,21 @@ class QueryBroker:
             self.m_queries.labels(kind=spec.kind, tenant=tenant,
                                   outcome="ok").inc()
             self.m_latency.labels(kind=spec.kind).observe(wall)
+            if qt is not None:
+                total_span.finish()
+                self.tracer.finish(qt, outcome="ok", kind=spec.kind,
+                                   wall_seconds=wall,
+                                   service_pid=os.getpid(),
+                                   mode=rt.mode)
             self._completed.append({
                 "spec": spec, "entry": entry, "tenant": tenant,
                 "wall": wall, "payload": payload, "mode": rt.mode,
                 "nranks": rt.n_processors,
+                "trace_id": qt.trace_id if qt is not None else None,
             })
             return QueryOutcome(self._served(payload, tenant,
                                              cache_hit=False,
-                                             coalesced=False), raw)
+                                             coalesced=False, qt=qt), raw)
         finally:
             self._inflight.pop(key, None)
             left = self._tenant_inflight.get(tenant, 1) - 1
@@ -599,7 +726,9 @@ class QueryBroker:
                 "rounds": float(timing.get("rounds", 0)),
             },
             meta={"tenant": item["tenant"], "graph": entry.sha[:12],
-                  "kind": spec.kind, "k": str(spec.k), "service": "1"},
+                  "kind": spec.kind, "k": str(spec.k), "service": "1",
+                  **({"trace_id": item["trace_id"]}
+                     if item.get("trace_id") else {})},
         )
 
     def sweep(self) -> dict:

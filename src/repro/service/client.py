@@ -21,6 +21,8 @@ deterministic payload is identical either way, property-tested).
 from __future__ import annotations
 
 import json
+import os
+import time
 import urllib.error
 import urllib.request
 from typing import Optional
@@ -32,8 +34,22 @@ from repro.errors import (
     UnknownGraphError,
 )
 from repro.graph.csr import CSRGraph
+from repro.obs.qtrace import TraceContext
 from repro.service.broker import QueryOutcome, QuerySpec
 from repro.service.server import DetectionService
+
+
+def _client_span(ctx: TraceContext, t0: float, t1: float,
+                 **tags) -> dict:
+    """The serialized client-side span for one request, exported to the
+    server after the reply (client and server share the perf_counter
+    timebase on one machine, so the stamps splice directly)."""
+    return {
+        "span_id": ctx.span_id, "parent_id": None,
+        "name": "client.request", "t_start": t0, "t_end": t1,
+        "pid": os.getpid(), "lane": "client", "trace_id": "",
+        "tags": dict(tags),
+    }
 
 
 class LocalClient:
@@ -52,8 +68,30 @@ class LocalClient:
 
     def query(self, query, tenant: str = "default", runtime=None,
               timeout: Optional[float] = None) -> QueryOutcome:
-        return self.service.query(query, tenant=tenant, runtime=runtime,
-                                  timeout=timeout)
+        """Submit one query; when the service traces, a per-request
+        client context is minted here and the measured client span is
+        spliced into the stored trace after the reply."""
+        if self.service.tracer is None:
+            return self.service.query(query, tenant=tenant, runtime=runtime,
+                                      timeout=timeout)
+        ctx = TraceContext.mint()
+        t0 = time.perf_counter()
+        outcome = self.service.query(
+            query, tenant=tenant, runtime=runtime, timeout=timeout,
+            trace={"traceparent": ctx.to_traceparent()},
+        )
+        t1 = time.perf_counter()
+        trace_id = outcome.trace_id
+        if trace_id:
+            self.service.ingest_spans(
+                trace_id,
+                [_client_span(ctx, t0, t1, transport="local", tenant=tenant)],
+            )
+        return outcome
+
+    def trace(self, trace_id: str) -> Optional[dict]:
+        """A finished query's trace document (None when unknown)."""
+        return self.service.get_trace(trace_id)
 
     def close(self) -> None:
         if self._owned:
@@ -165,15 +203,45 @@ class HttpClient:
                 "configuration lives server-side (repro serve flags)"
             )
         spec = query if isinstance(query, QuerySpec) else QuerySpec.from_dict(query)
+        ctx = TraceContext.mint()
         saved = self.timeout
         if timeout is not None:
             self.timeout = timeout
+        t0 = time.perf_counter()
         try:
-            payload = self._post("/api/query", {"tenant": tenant,
-                                                "query": spec.to_dict()})
+            payload = self._post("/api/query", {
+                "tenant": tenant,
+                "query": spec.to_dict(),
+                "trace": {"traceparent": ctx.to_traceparent()},
+            })
         finally:
             self.timeout = saved
-        return QueryOutcome(payload)
+        t1 = time.perf_counter()
+        outcome = QueryOutcome(payload)
+        trace_id = outcome.trace_id
+        if trace_id:
+            try:
+                # export the measured client span so `repro trace` shows
+                # the full client->broker->engine->worker timeline; a
+                # failed export must never fail the query itself
+                self._post("/api/trace", {
+                    "trace_id": trace_id,
+                    "spans": [_client_span(ctx, t0, t1, transport="http",
+                                           tenant=tenant)],
+                })
+            except (ServiceError, ConfigurationError,
+                    UnknownGraphError, QuotaExceededError):
+                pass
+        return outcome
+
+    def trace(self, trace_id: str) -> Optional[dict]:
+        """Fetch one query's trace document from ``/api/trace/<id>``;
+        None when the server doesn't know the id (evicted/disabled)."""
+        try:
+            reply = json.loads(self._get(f"/api/trace/{trace_id}").decode())
+        except (UnknownGraphError, ServiceError):
+            return None
+        return reply.get("trace")
 
     def status(self) -> dict:
         return json.loads(self._get("/status").decode())

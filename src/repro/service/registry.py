@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from repro.core.engine import EngineSession, MidasRuntime
 from repro.errors import ConfigurationError, UnknownGraphError
 from repro.graph.csr import CSRGraph
+from repro.obs.qtrace import get_flight_recorder
 
 
 def graph_sha(graph: CSRGraph) -> str:
@@ -109,6 +110,13 @@ class GraphRegistry:
             if entry is None:
                 entry = self._by_sha[sha] = GraphEntry(
                     sha, graph, name=name or graph.name or ""
+                )
+                get_flight_recorder().record(
+                    "graph_registered",
+                    sha=sha[:12],
+                    name=name or graph.name or "",
+                    n=int(graph.n),
+                    edges=int(graph.num_edges),
                 )
             if name:
                 bound = self._names.get(name)

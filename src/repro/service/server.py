@@ -87,6 +87,8 @@ class DetectionService:
         runtime_config: Optional[dict] = None,
         sweep_interval: float = 0.05,
         host: str = "127.0.0.1",
+        tracing: bool = True,
+        trace_capacity: int = 512,
     ) -> None:
         if sweep_interval <= 0:
             raise ConfigurationError(
@@ -99,10 +101,15 @@ class DetectionService:
             from repro.obs.store import RunStore
 
             store = RunStore(store_path)
+        self.tracer = None
+        if tracing:
+            from repro.obs.qtrace import QueryTracer
+
+            self.tracer = QueryTracer(self.metrics, capacity=trace_capacity)
         self.broker = QueryBroker(
             self.registry, metrics=self.metrics, quota=quota,
             cache_size=cache_size, coalesce=coalesce, workers=workers,
-            store=store, runtime_config=runtime_config,
+            store=store, runtime_config=runtime_config, tracer=self.tracer,
         )
         self.sweep_interval = float(sweep_interval)
         self.host = host
@@ -201,18 +208,20 @@ class DetectionService:
         return self.registry.register(graph, name=name)
 
     def query(self, query, tenant: str = "default", runtime=None,
-              timeout: Optional[float] = None) -> QueryOutcome:
+              timeout: Optional[float] = None, trace=None) -> QueryOutcome:
         """Submit one query and block for its outcome (any thread).
 
         ``query`` is a :class:`QuerySpec` or a dict for
         :meth:`QuerySpec.from_dict`; ``runtime`` optionally overrides
         the broker's per-execution runtime (the CLI's LocalClient path,
-        where ``--mode``/``--n1``/... flags build it).
+        where ``--mode``/``--n1``/... flags build it); ``trace`` carries
+        the caller's trace context (a ``{"traceparent": ...}`` dict).
         """
         spec = query if isinstance(query, QuerySpec) else QuerySpec.from_dict(query)
         self.start()
         fut = asyncio.run_coroutine_threadsafe(
-            self.broker.submit(spec, tenant=tenant, runtime=runtime),
+            self.broker.submit(spec, tenant=tenant, runtime=runtime,
+                               trace=trace),
             self._loop,
         )
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -248,13 +257,32 @@ class DetectionService:
     def status_snapshot(self) -> dict:
         """The ``/status`` payload: service-level, not per-run."""
         up = time.monotonic() - self._t0 if self._t0 is not None else 0.0
-        return {
+        snap = {
             "state": "serving" if not self._closed else "closed",
             "service": "midas-detection",
             "uptime_seconds": round(up, 3),
             "graphs": len(self.registry),
             "broker": self.broker.describe(),
         }
+        if self.tracer is not None:
+            snap["tracing"] = self.tracer.describe()
+            snap["tenants"] = self.tracer.tenant_slos()
+        return snap
+
+    # ------------------------------------------------------------- tracing
+    def get_trace(self, trace_id: str) -> Optional[dict]:
+        """A finished query's trace document, or None (tracing off or
+        the id unknown/evicted)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.get(trace_id)
+
+    def ingest_spans(self, trace_id: str, spans) -> int:
+        """Splice client-side spans into a stored trace (0 when tracing
+        is off or the trace is unknown)."""
+        if self.tracer is None:
+            return 0
+        return self.tracer.ingest(trace_id, list(spans or []))
 
     # ------------------------------------------------------------ HTTP layer
     def serve(self, port: int = 0, host: Optional[str] = None) -> int:
@@ -278,6 +306,7 @@ class DetectionService:
             "/api/query": self._route_query,
             "/api/graphs": self._route_graphs,
             "/api/service": self._route_service,
+            "/api/trace": self._route_trace,
         }
 
     def _route_query(self, method, path, query, body):
@@ -290,9 +319,12 @@ class DetectionService:
         if not isinstance(req, dict):
             return _json_reply(400, {"ok": False, "error": "body must be a JSON object"})
         tenant = str(req.get("tenant") or "default")
+        trace = req.get("trace")
+        if not isinstance(trace, dict):
+            trace = None
         try:
             spec = QuerySpec.from_dict(req.get("query", req))
-            outcome = self.query(spec, tenant=tenant)
+            outcome = self.query(spec, tenant=tenant, trace=trace)
         except QuotaExceededError as exc:
             return _error_reply(429, exc)
         except UnknownGraphError as exc:
@@ -351,6 +383,42 @@ class DetectionService:
                 "graph upload needs 'edges' (with 'n') or an 'er' spec"
             )
         return self.register_graph(graph, name=name)
+
+    def _route_trace(self, method, path, query, body):
+        """``GET /api/trace/<id>`` (or ``?id=...``) returns one query's
+        trace document; ``POST /api/trace`` ingests client-side spans
+        (``{"trace_id": ..., "spans": [...]}``)."""
+        if self.tracer is None:
+            return _json_reply(404, {"ok": False, "error": "tracing disabled"})
+        if method == "POST":
+            try:
+                req = json.loads(body.decode() or "{}")
+            except (ValueError, UnicodeDecodeError) as exc:
+                return _error_reply(400, exc)
+            if not isinstance(req, dict) or not req.get("trace_id"):
+                return _json_reply(
+                    400, {"ok": False, "error": "need trace_id and spans"}
+                )
+            added = self.ingest_spans(str(req["trace_id"]),
+                                      req.get("spans") or [])
+            return _json_reply(200, {"ok": True, "ingested": added})
+        trace_id = ""
+        if path.startswith("/api/trace/"):
+            trace_id = path[len("/api/trace/"):].strip("/")
+        if not trace_id and query:
+            from urllib.parse import parse_qs
+
+            trace_id = (parse_qs(query).get("id") or [""])[0]
+        if not trace_id:
+            return _json_reply(400, {"ok": False,
+                                     "error": "need /api/trace/<id>"})
+        doc = self.get_trace(trace_id)
+        if doc is None:
+            return _json_reply(404, {
+                "ok": False,
+                "error": f"unknown or evicted trace {trace_id!r}",
+            })
+        return _json_reply(200, {"ok": True, "trace": doc})
 
     def _route_service(self, method, path, query, body):
         return _json_reply(200, {
